@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates the evidence of one paper figure (see DESIGN.md,
+section 4) and prints the corresponding rows/series with ``-s``.  The
+pytest-benchmark fixture times a representative kernel of each
+experiment; the scientific output (the paper-shape table) is produced
+once and printed regardless of timing rounds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.device.devices import device
+from repro.device.fabric import Fabric
+
+
+@pytest.fixture
+def xcv200():
+    """The paper's device."""
+    return device("XCV200")
+
+
+@pytest.fixture
+def fabric(xcv200):
+    """A fresh XCV200 fabric."""
+    return Fabric(xcv200)
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run a heavy experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

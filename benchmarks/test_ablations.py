@@ -1,0 +1,185 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* **Mandatory waits** (Fig. 4's "> 2 CLK" / "> 1 CLK"): removing them
+  breaks state capture for gated-clock cells — the waits are
+  load-bearing, not conservative padding.
+* **Halting relocation** (the [5]-style baseline): functionally correct
+  and cheaper in port time, but the application loses wall-clock time —
+  quantified against the concurrent procedure.
+* **Staged function moves** (section 3's "several stages" advice):
+  staging bounds the per-stage distance at a modest total-time premium.
+* **On-line test rotation** (reference [8]): the relocation mechanism
+  doubles as the vacating step of concurrent self-test.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import Table
+from repro.core.active_replication import ActiveReplicationTester, StuckAtFault
+from repro.core.function_move import FunctionRelocator
+from repro.core.relocation import RelocationEngine, make_lockstep_engine
+from repro.device.devices import device
+from repro.device.fabric import Fabric
+from repro.device.geometry import ClbCoord
+from repro.netlist import library as lib
+from repro.netlist.simulator import CycleSimulator, LockstepChecker
+from repro.netlist.synth import place
+
+
+def gated_setup(honor_waits=True):
+    fabric = Fabric(device("XCV200"))
+    design = place(lib.gated_counter(4), fabric, owner=1)
+    golden = CycleSimulator(design.circuit.clone("golden"))
+    dut = CycleSimulator(design.circuit)
+    checker = LockstepChecker(dut, golden)
+    engine = RelocationEngine(
+        design, dut, checker=checker, honor_min_waits=honor_waits
+    )
+    return design, engine, checker
+
+
+def test_ablation_waits_are_load_bearing(benchmark):
+    """Skipping the Fig. 4 waits loses gated-clock state."""
+    def run(honor):
+        design, engine, checker = gated_setup(honor_waits=honor)
+        # Count to 6 (0b110): bits b1 and b2 hold 1 — state that a
+        # capture-less relocation would lose.
+        for _ in range(6):
+            checker.step({"en": 1})
+        for _ in range(2):
+            checker.step({"en": 0})
+        engine.relocate("b2")
+        for _ in range(4):
+            checker.step({"en": 0})
+        for _ in range(10):
+            checker.step({"en": 1})
+        return checker.clean
+
+    with_waits = run(True)
+    without_waits = benchmark.pedantic(
+        run, args=(False,), rounds=1, iterations=1
+    )
+    table = Table(
+        "ABLATION: the '> 2 CLK' / '> 1 CLK' waits of Fig. 4",
+        ["variant", "transparent"],
+    )
+    table.add("waits honoured (paper)", "yes" if with_waits else "NO")
+    table.add("waits skipped", "yes" if without_waits else "NO")
+    table.show()
+    assert with_waits
+    assert not without_waits
+
+
+def test_ablation_halting_vs_concurrent(benchmark):
+    """Halting is cheaper on the port but stops the application."""
+    def run():
+        rows = []
+        for method in ("concurrent", "halting"):
+            fabric = Fabric(device("XCV200"))
+            design = place(lib.gated_counter(4), fabric, owner=1)
+            engine, checker = make_lockstep_engine(
+                design, stimulus=lambda c: {"en": 1}
+            )
+            for _ in range(4):
+                checker.step({"en": 1})
+            if method == "concurrent":
+                report = engine.relocate("b1")
+                halted = 0.0
+            else:
+                report = engine.relocate_halting("b1")
+                halted = report.total_seconds
+            for _ in range(10):
+                checker.step({"en": 1})
+            rows.append(
+                (method, report.total_seconds * 1e3, halted * 1e3,
+                 checker.clean)
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        "ABLATION: concurrent (paper) vs halting ([5]-style) relocation",
+        ["method", "port ms", "application halted ms", "correct"],
+    )
+    for row in rows:
+        table.add(row[0], row[1], row[2], "yes" if row[3] else "NO")
+    table.show()
+    concurrent, halting = rows
+    assert concurrent[3] and halting[3]          # both correct
+    assert concurrent[2] == 0.0                  # zero halt (contribution)
+    assert halting[2] > 0.0                      # baseline stops the app
+
+
+def test_ablation_staged_function_move(benchmark):
+    """Staging a long move bounds per-stage distance."""
+    def run(hops):
+        fabric = Fabric(device("XCV200"))
+        design = place(lib.counter(4), fabric, owner=1,
+                       origin=ClbCoord(0, 0))
+        engine, checker = make_lockstep_engine(design)
+        for _ in range(3):
+            checker.step()
+        mover = FunctionRelocator(engine)
+        report = mover.relocate_function(
+            ClbCoord(0, 36), max_hop_columns=hops
+        )
+        for _ in range(10):
+            checker.step()
+        assert checker.clean
+        return report
+
+    direct = run(None)
+    staged = benchmark.pedantic(run, args=(12,), rounds=1, iterations=1)
+    table = Table(
+        "ABLATION: direct vs staged whole-function move (36 columns)",
+        ["variant", "stages", "cells moved", "total ms"],
+    )
+    table.add("direct", len(direct.stages), direct.cells_moved,
+              direct.total_seconds * 1e3)
+    table.add("staged (12-col hops)", len(staged.stages),
+              staged.cells_moved, staged.total_seconds * 1e3)
+    table.show()
+    assert len(staged.stages) == 3
+    assert staged.transparent and direct.transparent
+
+
+def test_ablation_online_test_rotation(benchmark):
+    """Reference [8]: relocation enables concurrent self-test."""
+    def run():
+        fabric = Fabric(device("XCV200"))
+        design = place(lib.counter(8), fabric, owner=1,
+                       origin=ClbCoord(0, 0))
+        engine, checker = make_lockstep_engine(design)
+        tester = ActiveReplicationTester(engine)
+        victim = design.site_of("b3")
+        tester.inject_fault(StuckAtFault(victim, 0))
+        for _ in range(4):
+            checker.step()
+        region = [
+            ClbCoord(r, c) for r in range(6) for c in range(6)
+        ]
+        report = tester.rotate(region)
+        for _ in range(12):
+            checker.step()
+        return report, tester.coverage(), checker.clean
+
+    report, coverage, clean = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    table = Table(
+        "EXTENSION: on-line test rotation via dynamic relocation ([8])",
+        ["metric", "value"],
+    )
+    table.add("CLBs tested", report.clbs_tested)
+    table.add("cells tested", report.cells_tested)
+    table.add("live cells relocated", len(report.relocations))
+    table.add("vacating time ms", report.relocation_seconds * 1e3)
+    table.add("injected faults detected", len(report.detected))
+    table.add("coverage", f"{coverage:.1%}")
+    table.add("application disturbed", "no" if clean else "YES")
+    table.show()
+    assert clean
+    assert report.detected
+    assert report.transparent

@@ -1,0 +1,126 @@
+"""FIG1 — temporal scheduling of applications in space and time.
+
+Paper (section 1, Fig. 1): applications A, B, C share the FPGA; after a
+function executes, its successor "may be set up in its place during the
+interval rt, in order to be available when required by the application
+flow", making the reconfiguration overhead "virtually zero"; but "an
+increase in the degree of parallelism may retard the reconfiguration of
+incoming functions, due to lack of space in the FPGA", introducing
+delays.
+
+The bench runs the three-application scenario on the XCV200 model and
+reports, per application: makespan, reconfiguration stall and prefetch
+success — then sweeps the degree of parallelism (1, 2, 3 applications)
+to reproduce the figure's qualitative claim.
+"""
+
+import pytest
+
+from repro.analysis import Table
+from repro.core.cost import CostModel
+from repro.core.manager import LogicSpaceManager, RearrangePolicy
+from repro.device.devices import device
+from repro.device.fabric import Fabric
+from repro.sched.scheduler import ApplicationFlowScheduler
+from repro.sched.workload import fig1_applications
+
+
+def make_scheduler(prefetch=True):
+    dev = device("XCV200")
+    manager = LogicSpaceManager(
+        Fabric(dev),
+        cost_model=CostModel(dev),
+        policy=RearrangePolicy.CONCURRENT,
+    )
+    return ApplicationFlowScheduler(manager, prefetch=prefetch)
+
+
+def test_fig1_three_applications_share_device(benchmark):
+    dev = device("XCV200")
+    apps = fig1_applications(dev)
+
+    runs = benchmark.pedantic(
+        lambda: make_scheduler().run(apps), rounds=1, iterations=1
+    )
+    total_demand = sum(a.total_area for a in apps)
+    table = Table(
+        "FIG1: applications sharing the XCV200 in space and time",
+        ["app", "functions", "area demand", "makespan s", "stall s",
+         "prefetched"],
+    )
+    for record in runs:
+        prefetched = sum(1 for r in record.runs if r.prefetched)
+        table.add(
+            record.spec.name,
+            len(record.spec.functions),
+            record.spec.total_area,
+            record.makespan,
+            record.stall_seconds,
+            f"{prefetched}/{len(record.runs)}",
+        )
+    table.add(
+        "TOTAL", "-", f"{total_demand} ({total_demand / dev.clb_count:.0%})",
+        "-", "-", "-",
+    )
+    table.show()
+    # The virtual-hardware premise: total demand well above the device.
+    assert total_demand > dev.clb_count
+    assert all(r.finished_at is not None for r in runs)
+
+
+def test_fig1_parallelism_sweep(benchmark):
+    """More concurrent applications -> more stalls (Fig. 1's caveat)."""
+    dev = device("XCV200")
+
+    def sweep():
+        rows = []
+        for parallelism in (1, 2, 3):
+            apps = fig1_applications(dev)[:parallelism]
+            runs = make_scheduler().run(apps)
+            stall = sum(r.stall_seconds for r in runs)
+            prefetched = sum(
+                sum(1 for f in r.runs if f.prefetched) for r in runs
+            )
+            total_fns = sum(len(r.runs) for r in runs)
+            rows.append((parallelism, stall, prefetched, total_fns))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = Table(
+        "FIG1: degree of parallelism vs reconfiguration stalls",
+        ["apps running", "total stall s", "prefetched", "functions"],
+    )
+    for row in rows:
+        table.add(*row)
+    table.show()
+    stalls = [r[1] for r in rows]
+    # Stalls are monotonically non-decreasing with parallelism.
+    assert stalls[0] <= stalls[-1] + 1e-9
+    assert stalls == sorted(stalls)
+
+
+def test_fig1_prefetch_vs_no_prefetch(benchmark):
+    """Swapping functions in advance hides the reconfiguration interval."""
+    dev = device("XCV200")
+    apps = fig1_applications(dev)
+
+    def run_both():
+        with_prefetch = make_scheduler(prefetch=True).run(apps)
+        without = make_scheduler(prefetch=False).run(apps)
+        return with_prefetch, without
+
+    with_prefetch, without = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+    table = Table(
+        "FIG1: reconfiguration overhead with and without prefetch (rt)",
+        ["app", "stall s (prefetch)", "stall s (no prefetch)"],
+    )
+    total_pf, total_np = 0.0, 0.0
+    for a, b in zip(with_prefetch, without):
+        table.add(a.spec.name, a.stall_seconds, b.stall_seconds)
+        total_pf += a.stall_seconds
+        total_np += b.stall_seconds
+    table.add("TOTAL", total_pf, total_np)
+    table.show()
+    assert total_pf <= total_np + 1e-9

@@ -1,0 +1,103 @@
+"""FIG6 — propagation delay during the relocation of routing resources.
+
+Paper (section 3, Fig. 6): while the original and replica paths are
+paralleled, a source transition reaches the destination through both,
+and "the signal at the input of the CLB destination will show an
+interval of fuzziness"; for transient analysis "the propagation delay
+... shall be the longer of the two paths".
+
+The bench sweeps the delay mismatch between the two paths and reports
+the fuzziness interval per edge and the maximum safe clock frequency —
+reproducing the figure's waveform analysis numerically.
+"""
+
+import pytest
+
+from repro.analysis import Table
+from repro.core.routing_relocation import RoutingRelocator
+from repro.device.devices import device
+from repro.device.fabric import Fabric
+from repro.device.geometry import ClbCoord
+from repro.netlist.timing import merge_parallel_paths, square_wave
+
+
+def test_fig6_fuzziness_vs_delay_mismatch(benchmark):
+    d_original = 4.0  # ns
+
+    def sweep():
+        rows = []
+        for d_replica in (4.0, 5.0, 6.0, 8.0, 12.0, 20.0):
+            source = square_wave(period=200.0, edges=8)
+            report = merge_parallel_paths(source, d_original, d_replica)
+            rows.append(
+                (
+                    d_replica,
+                    report.fuzz_per_edge,
+                    report.total_fuzz,
+                    report.effective_delay,
+                    # Delays are in ns, so 1/period comes out in GHz;
+                    # scale to MHz for the table.
+                    report.max_safe_clock_hz(setup=1.0) * 1e3,
+                )
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    table = Table(
+        "FIG6: fuzziness at the destination input (original delay 4 ns)",
+        ["replica delay ns", "fuzz/edge ns", "total fuzz ns",
+         "effective delay ns", "max clock MHz"],
+    )
+    for row in rows:
+        table.add(*row)
+    table.show()
+    # Shape: fuzz per edge == |d_replica - d_original|; effective delay is
+    # the longer path; max clock falls as mismatch grows.
+    fuzz = [r[1] for r in rows]
+    assert fuzz == sorted(fuzz)
+    assert all(r[3] == max(4.0, r[0]) for r in rows)
+
+
+def test_fig6_real_paths_on_fabric(benchmark):
+    """Measure fuzziness on actual routed paths rather than synthetic
+    delays: relocate a path and read the timing report."""
+    def run():
+        fabric = Fabric(device("XCV200"))
+        path = fabric.routing.route_and_allocate(
+            ClbCoord(3, 3), ClbCoord(10, 30)
+        )
+        relocator = RoutingRelocator(fabric.routing)
+        return relocator.relocate_path(path, disjoint=True)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    timing = report.timing
+    table = Table(
+        "FIG6: parallel interval of a real path relocation",
+        ["metric", "value"],
+    )
+    table.add("original delay ns", report.original.delay_ns)
+    table.add("replica delay ns", report.replica.delay_ns)
+    table.add("effective delay ns", timing.effective_delay)
+    table.add("fuzz per edge ns", timing.fuzz_per_edge)
+    table.add("fuzz intervals", len(timing.fuzz_intervals))
+    table.show()
+    assert timing.effective_delay == pytest.approx(
+        max(report.original.delay_ns, report.replica.delay_ns)
+    )
+    if report.replica.delay_ns != report.original.delay_ns:
+        assert timing.total_fuzz > 0
+
+
+def test_fig6_sampling_after_effective_delay_is_stable(benchmark):
+    """Sampling later than the longer delay always reads settled data —
+    the operational content of 'use the longer of the two paths'."""
+    def check():
+        source = square_wave(period=100.0, edges=10)
+        report = merge_parallel_paths(source, 3.0, 9.0)
+        sink = report.sink_waveform
+        for t in source.edge_times():
+            settle = t + report.effective_delay
+            assert sink.value_at(settle) == source.value_at(t)
+        return True
+
+    assert benchmark(check)

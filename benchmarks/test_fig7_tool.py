@@ -1,0 +1,129 @@
+"""FIG7 — the FPGA rearrangement and programming tool.
+
+Paper (section 4): the tool generates the partial configuration files
+automatically from either a complete configuration (new placement) or
+source/destination CLB coordinates, plays them through Boundary Scan,
+and keeps a recovery copy of the current configuration.
+
+The bench measures generation throughput, file sizes, staged long moves
+and the recovery path.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import Table, mean
+from repro.core.tool import RearrangementTool
+from repro.device.clb import CellMode
+from repro.device.devices import device
+from repro.device.geometry import ClbCoord
+
+
+def test_fig7_generation_from_coordinates(benchmark):
+    tool = RearrangementTool(device("XCV200"))
+
+    def generate_one():
+        jobs = tool.jobs_from_coordinates(ClbCoord(3, 3), ClbCoord(5, 6))
+        return tool.generate_all(jobs)
+
+    generated = benchmark(generate_one)
+    gen = generated[0]
+    table = Table(
+        "FIG7: partial configuration files for one CLB relocation",
+        ["metric", "value"],
+    )
+    table.add("files", len(gen.files))
+    table.add("total words", gen.total_words)
+    table.add("total bits", gen.total_words * 32)
+    table.add(
+        "load time @20MHz TCK (ms)", gen.total_words * 32 / 20e6 * 1e3
+    )
+    table.show()
+    assert len(gen.files) == 11  # gated flow: 13 steps minus 2 waits
+
+
+def test_fig7_placement_diff_input(benchmark):
+    """Input form 1: a new placement for the running functions."""
+    tool = RearrangementTool(device("XCV200"))
+    rng = random.Random(3)
+    current = {
+        i: ClbCoord(rng.randrange(28), rng.randrange(42)) for i in range(12)
+    }
+    target = {
+        i: (
+            coord
+            if i % 3
+            else ClbCoord(
+                min(27, coord.row + 2), min(41, coord.col + 3)
+            )
+        )
+        for i, coord in current.items()
+    }
+
+    jobs = benchmark(tool.jobs_from_placements, current, target)
+    moves = [i for i in current if current[i] != target[i]]
+    table = Table(
+        "FIG7: jobs from a full-configuration placement diff",
+        ["metric", "value"],
+    )
+    table.add("CLBs in design", len(current))
+    table.add("CLBs that move", len(moves))
+    table.add("jobs emitted (with staging)", len(jobs))
+    table.show()
+    assert len(jobs) >= len(moves)
+
+
+def test_fig7_execution_and_recovery(benchmark):
+    def run():
+        tool = RearrangementTool(device("XCV200"))
+        jobs = tool.jobs_from_coordinates(ClbCoord(2, 2), ClbCoord(2, 3))
+        generated = tool.generate_all(jobs)
+        ok = tool.execute(generated)
+        snapshot = tool.memory.snapshot()
+        failed = tool.execute(generated, inject_failure_at=4)
+        recovered_clean = tool.memory.snapshot() == snapshot
+        return ok, failed, recovered_clean
+
+    ok, failed, recovered_clean = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    table = Table(
+        "FIG7: execution through Boundary Scan, with failure injection",
+        ["run", "loads", "time ms", "recovered"],
+    )
+    table.add("clean", ok.loads, ok.seconds * 1e3, "no")
+    table.add("failure injected", failed.loads, failed.seconds * 1e3, "yes")
+    table.show()
+    assert not ok.recovered
+    assert failed.recovered
+    assert recovered_clean
+
+
+def test_fig7_staged_long_move(benchmark):
+    """Long moves split into nearby hops (section 3's staging advice)."""
+    tool = RearrangementTool(device("XCV200"), max_hop_columns=8)
+
+    jobs = benchmark(
+        tool.jobs_from_coordinates, ClbCoord(0, 0), ClbCoord(20, 40)
+    )
+    table = Table(
+        "FIG7: staging of a corner-to-corner move (hop limit 8 columns)",
+        ["stage", "from", "to"],
+    )
+    for i, job in enumerate(jobs):
+        table.add(i, str(job.src), str(job.dst))
+    table.show()
+    assert len(jobs) >= 3
+    assert jobs[-1].dst == ClbCoord(20, 40)
+
+
+def test_fig7_generation_throughput(benchmark):
+    """Files/second the tool can produce (pure generation kernel)."""
+    tool = RearrangementTool(device("XCV200"))
+    jobs = tool.jobs_from_coordinates(
+        ClbCoord(1, 1), ClbCoord(1, 2), CellMode.FF_FREE_CLOCK
+    )
+
+    result = benchmark(tool.generate, jobs[0])
+    assert result.files

@@ -1,0 +1,151 @@
+"""FRAG — fragmentation of the logic space over time.
+
+Paper (section 1): "many small pools of resources are created as they
+are released.  These unallocated areas tend to become so small that they
+fail to satisfy any request and for that reason remain unused, leading
+to a fragmentation of the FPGA logic space."
+
+The bench drives a long allocation/release trace and tracks the
+fragmentation index, free-region count and the fraction of a request
+distribution that remains satisfiable — then shows that one concurrent
+defragmentation pass restores satisfiability.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import Table, mean
+from repro.core.defrag import DefragPlanner
+from repro.core.manager import LogicSpaceManager, RearrangePolicy
+from repro.core.cost import CostModel
+from repro.device.devices import device
+from repro.device.fabric import Fabric
+from repro.placement.compaction import apply_moves, ordered_compaction
+from repro.placement.metrics import (
+    fragmentation_index,
+    free_region_count,
+    satisfiable_fraction,
+    utilization,
+)
+from repro.sched.workload import uniform_requests
+
+
+def churn_trace(steps=150, seed=5):
+    """Random allocate/release churn; returns the fabric + samples."""
+    rng = random.Random(seed)
+    dev = device("XCV200")
+    manager = LogicSpaceManager(
+        Fabric(dev),
+        cost_model=CostModel(dev, port_kind="selectmap"),
+        policy=RearrangePolicy.NONE,
+    )
+    requests = uniform_requests(100, seed=seed)
+    live = []
+    next_owner = 1
+    samples = []
+    for step in range(steps):
+        occ = manager.fabric.occupancy
+        if live and (rng.random() < 0.45 or utilization(occ) > 0.8):
+            owner = live.pop(rng.randrange(len(live)))
+            manager.release(owner)
+        else:
+            h, w = rng.randint(3, 10), rng.randint(3, 10)
+            outcome = manager.request(h, w, next_owner)
+            if outcome.success:
+                live.append(next_owner)
+                next_owner += 1
+        occ = manager.fabric.occupancy
+        samples.append(
+            (
+                step,
+                utilization(occ),
+                fragmentation_index(occ),
+                free_region_count(occ),
+                satisfiable_fraction(occ, requests),
+            )
+        )
+    return manager, samples
+
+
+def test_frag_accumulates_over_churn(benchmark):
+    manager, samples = benchmark.pedantic(
+        churn_trace, rounds=1, iterations=1
+    )
+    early = samples[: len(samples) // 5]
+    late = samples[-len(samples) // 5 :]
+    table = Table(
+        "FRAG: fragmentation over an allocate/release churn (XCV200)",
+        ["window", "utilization", "frag index", "free regions",
+         "satisfiable"],
+    )
+    table.add(
+        "first 20%",
+        mean([s[1] for s in early]),
+        mean([s[2] for s in early]),
+        mean([float(s[3]) for s in early]),
+        mean([s[4] for s in early]),
+    )
+    table.add(
+        "last 20%",
+        mean([s[1] for s in late]),
+        mean([s[2] for s in late]),
+        mean([float(s[3]) for s in late]),
+        mean([s[4] for s in late]),
+    )
+    table.show()
+    # Fragmentation (and free-region fragmentation) grows with churn.
+    assert mean([s[2] for s in late]) > mean([s[2] for s in early])
+
+
+def test_frag_defragmentation_restores_satisfiability(benchmark):
+    def run():
+        manager, samples = churn_trace(steps=120, seed=9)
+        occ_before = manager.fabric.occupancy.copy()
+        requests = uniform_requests(100, seed=9)
+        before = satisfiable_fraction(occ_before, requests)
+        frag_before = fragmentation_index(occ_before)
+        moves = ordered_compaction(occ_before, toward="left")
+        occ_after = apply_moves(occ_before, moves)
+        after = satisfiable_fraction(occ_after, requests)
+        frag_after = fragmentation_index(occ_after)
+        return before, after, frag_before, frag_after, len(moves)
+
+    before, after, frag_before, frag_after, n_moves = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    table = Table(
+        "FRAG: one full compaction pass (concurrent relocation makes it "
+        "free of application downtime)",
+        ["state", "satisfiable fraction", "frag index"],
+    )
+    table.add("before defrag", before, frag_before)
+    table.add(f"after defrag ({n_moves} moves)", after, frag_after)
+    table.show()
+    assert after >= before
+    assert frag_after <= frag_before
+
+
+def test_frag_planner_finds_space_when_metrics_predict_it(benchmark):
+    """Cross-check: whenever free area >= request and the planner
+    succeeds, the target is genuinely free after the moves."""
+    def run():
+        manager, _ = churn_trace(steps=100, seed=13)
+        occ = manager.fabric.occupancy
+        planner = DefragPlanner()
+        checked = 0
+        for h, w in ((8, 8), (10, 12), (14, 6)):
+            plan = planner.plan(occ, h, w)
+            if plan is None:
+                continue
+            result = apply_moves(occ, plan.moves)
+            view = result[
+                plan.target.row : plan.target.row_end,
+                plan.target.col : plan.target.col_end,
+            ]
+            assert (view == 0).all()
+            checked += 1
+        return checked
+
+    checked = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert checked >= 1

@@ -1,0 +1,175 @@
+"""Placement-model ablations: 2-D CLB-level vs 1-D column strips, and
+the on-line fit heuristics.
+
+The Virtex configuration architecture is column-oriented (frames span
+the device height), so a simpler run-time manager constrains functions
+to full-height column strips.  The paper manages the space at CLB
+granularity (2-D).  These benches quantify the difference — allocation
+success and wasted area — and compare the first/best/bottom-left fit
+heuristics feeding the 2-D manager.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import Table, mean
+from repro.core.manager import LogicSpaceManager, RearrangePolicy
+from repro.device.devices import device
+from repro.device.fabric import Fabric
+from repro.placement.one_dim import OneDimAllocator
+from repro.sched.workload import random_tasks
+
+
+#: Both models keep the same *task area* resident (fair churn): the
+#: oldest task is released once live area exceeds this share of the
+#: device.  The models then differ only in how they pack that area.
+LIVE_AREA_SHARE = 0.6
+
+
+def drive_2d(tasks, fit, share=LIVE_AREA_SHARE,
+             policy=RearrangePolicy.NONE):
+    """Offered stream against the 2-D manager; returns acceptance."""
+    dev = device("XCV200")
+    budget = share * dev.clb_count
+    manager = LogicSpaceManager(Fabric(dev), policy=policy, fit=fit)
+    live = []  # (task_id, area)
+    live_area = 0
+    accepted = rejected = 0
+    for task in tasks:
+        while live and live_area + task.area > budget:
+            owner, area = live.pop(0)
+            manager.release(owner)
+            live_area -= area
+        outcome = manager.request(task.height, task.width, task.task_id)
+        if outcome.success:
+            accepted += 1
+            live.append((task.task_id, task.area))
+            live_area += task.area
+        else:
+            rejected += 1
+    return accepted, rejected
+
+
+def drive_1d(tasks, share=LIVE_AREA_SHARE):
+    """Same stream, same churn policy, against the 1-D allocator."""
+    dev = device("XCV200")
+    budget = share * dev.clb_count
+    alloc = OneDimAllocator(dev.clb_rows, dev.clb_cols)
+    live = []
+    live_area = 0
+    accepted = rejected = 0
+    wasted = 0
+    for task in tasks:
+        while live and live_area + task.area > budget:
+            owner, area = live.pop(0)
+            alloc.release(owner)
+            live_area -= area
+        strip = alloc.allocate(task.height, task.width, task.task_id)
+        if strip is not None:
+            accepted += 1
+            live.append((task.task_id, task.area))
+            live_area += task.area
+            wasted += strip.width * dev.clb_rows - task.area
+        else:
+            rejected += 1
+    return accepted, rejected, wasted
+
+
+def test_ablation_2d_vs_1d_allocation(benchmark):
+    """Load sweep: 1-D column strips inflate every request by the
+    internal waste (ceil to full columns, ~20-25 % at these sizes), so
+    the model saturates at a lower *useful* load than 2-D packing."""
+    tasks = random_tasks(120, seed=5, size_range=(3, 12))
+
+    def run():
+        rows = []
+        for share in (0.5, 0.65, 0.8, 0.9):
+            acc2, __ = drive_2d(tasks, fit="best", share=share)
+            accd, __ = drive_2d(
+                tasks, fit="best", share=share,
+                policy=RearrangePolicy.CONCURRENT,
+            )
+            acc1, __, wasted = drive_1d(tasks, share=share)
+            rows.append((share, acc2, accd, acc1, wasted))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        "ABLATION: 1-D column strips vs 2-D CLB-level, accepted of 120",
+        ["live-area share", "2-D no-defrag", "2-D + concurrent defrag",
+         "1-D strips", "1-D waste (sites)"],
+    )
+    for row in rows:
+        table.add(*row)
+    table.show()
+    # 1-D always pays internal waste.
+    assert all(row[4] > 0 for row in rows)
+    for share, plain2d, defrag2d, oned, __ in rows:
+        # The paper's thesis in one line: CLB-level management only beats
+        # the simple column model *because* it can defragment on-line.
+        assert defrag2d >= plain2d
+        assert defrag2d >= oned - 1  # at least parity everywhere
+    # At the highest load, 2-D + defrag strictly wins over 1-D.
+    assert rows[-1][2] > rows[-1][3]
+
+
+def test_ablation_fit_heuristics(benchmark):
+    def run():
+        rows = []
+        for fit in ("first", "best", "bottom-left"):
+            accepted_all, rejected_all = [], []
+            for seed in (1, 2, 3):
+                tasks = random_tasks(100, seed=seed, size_range=(3, 12))
+                accepted, rejected = drive_2d(tasks, fit)
+                accepted_all.append(accepted)
+                rejected_all.append(rejected)
+            rows.append(
+                (fit, mean([float(a) for a in accepted_all]),
+                 mean([float(r) for r in rejected_all]))
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        "ABLATION: on-line fit heuristics (3-seed means, no rearrangement)",
+        ["heuristic", "accepted", "rejected"],
+    )
+    for row in rows:
+        table.add(*row)
+    table.show()
+    # All heuristics must place the overwhelming majority of this load.
+    for __, accepted, rejected in rows:
+        assert accepted > rejected
+
+
+def test_ablation_1d_compaction_is_cheap_but_coarse(benchmark):
+    """1-D compaction is a single sweep, but granularity stays a full
+    column — the 2-D model reclaims sub-column fragments too."""
+    def run():
+        dev = device("XCV200")
+        alloc = OneDimAllocator(dev.clb_rows, dev.clb_cols)
+        rng = random.Random(3)
+        owners = []
+        for i in range(1, 13):
+            if alloc.allocate(rng.randint(5, 28), rng.randint(2, 5), i):
+                owners.append(i)
+        for owner in owners[::2]:
+            alloc.release(owner)
+        frag_before = alloc.fragmentation_index()
+        moved = alloc.compact()
+        return frag_before, alloc.fragmentation_index(), moved
+
+    frag_before, frag_after, moved = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    table = Table(
+        "ABLATION: 1-D compaction",
+        ["metric", "value"],
+    )
+    table.add("fragmentation before", frag_before)
+    table.add("fragmentation after", frag_after)
+    table.add("functions moved", moved)
+    table.show()
+    assert frag_after == 0.0
+    assert frag_before > 0.0

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Gated-clock relocation: why the auxiliary circuit exists (Fig. 3/4).
+
+Scenario: a gated-clock counter whose clock-enable (CE) is *inactive*
+while a relocation happens — exactly the case the paper identifies:
+
+    "the previous method does not ensure that the CLB replica captures
+    the correct state information, because CE may not be active during
+    the relocation procedure."
+
+We relocate the same flip-flop twice, on two identical systems:
+
+1. with the **naive copy** (no auxiliary circuit) — state is lost and
+   the lockstep checker catches mismatches and drive conflicts;
+2. with the **auxiliary relocation circuit** (OR gate + 2:1 mux in a
+   nearby free CLB, per Fig. 3) — fully transparent.
+
+Run:  python examples/gated_clock_relocation.py
+"""
+
+from repro.core.relocation import make_lockstep_engine
+from repro.device.devices import device
+from repro.device.fabric import Fabric
+from repro.netlist import library
+from repro.netlist.synth import place
+
+
+def run_case(use_aux: bool) -> None:
+    label = "auxiliary circuit" if use_aux else "naive copy"
+    fabric = Fabric(device("XCV200"))
+    design = place(library.gated_counter(4), fabric, owner=1)
+    engine, checker = make_lockstep_engine(design)
+
+    # Count to 5 with CE active, then freeze CE (the hazardous window).
+    for _ in range(5):
+        checker.step({"en": 1})
+    value_before = library.counter_value(checker.dut.outputs())
+    for _ in range(2):
+        checker.step({"en": 0})
+
+    report = engine.relocate("b1", use_aux=use_aux)
+
+    # Keep CE low a little longer, then resume counting.
+    for _ in range(3):
+        checker.step({"en": 0})
+    for _ in range(8):
+        checker.step({"en": 1})
+    value_after = library.counter_value(checker.dut.outputs())
+    golden_after = library.counter_value(checker.golden.outputs())
+
+    print(f"--- {label} ---")
+    if report.aux is not None:
+        print(f"auxiliary circuit CLB : {report.aux}")
+    print(f"counter before        : {value_before}")
+    print(f"counter after         : {value_after} (golden: {golden_after})")
+    print(f"output mismatches     : {len(checker.mismatches)}")
+    print(f"drive conflicts       : {len(checker.dut.conflicts)}")
+    print(f"transparent           : {'YES' if checker.clean else 'NO'}")
+    print()
+
+
+def main() -> None:
+    print(__doc__)
+    run_case(use_aux=False)
+    run_case(use_aux=True)
+    print("The naive copy loses the state held while CE was inactive;")
+    print("the auxiliary relocation circuit transfers it coherently.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""On-line concurrent self-test via dynamic relocation (extension).
+
+The relocation mechanism was born from the authors' on-line testing work
+(paper reference [8], "Active Replication"): to test a CLB that is in
+use, first relocate its occupants — transparently — then run a built-in
+self-test on the vacated cells, and sweep the whole array this way while
+the application keeps running.
+
+This example places a live counter on the XCV200, injects two stuck-at
+defects (one under the counter itself!), and rotates the test over a
+region of the array.  Both defects are found; the counter never skips a
+beat.
+
+Run:  python examples/online_test_rotation.py
+"""
+
+from repro.core.active_replication import ActiveReplicationTester, StuckAtFault
+from repro.core.relocation import make_lockstep_engine
+from repro.device.devices import device
+from repro.device.fabric import Fabric
+from repro.device.geometry import CellCoord, ClbCoord
+from repro.netlist import library
+from repro.netlist.synth import place
+
+
+def main() -> None:
+    fabric = Fabric(device("XCV200"))
+    design = place(library.counter(8), fabric, owner=1,
+                   origin=ClbCoord(0, 0))
+    engine, checker = make_lockstep_engine(design)
+    tester = ActiveReplicationTester(engine)
+
+    # Two physical defects: one under the running counter, one in a
+    # free area.
+    victim_live = design.site_of("b3")
+    victim_free = CellCoord(4, 4, 2)
+    tester.inject_fault(StuckAtFault(victim_live, 0))
+    tester.inject_fault(StuckAtFault(victim_free, 1))
+    print(f"injected defects: {victim_live} (stuck-at-0, under the "
+          f"counter), {victim_free} (stuck-at-1, free area)")
+
+    for _ in range(5):
+        checker.step()
+    print(f"counter running, value = "
+          f"{library.counter_value(checker.dut.outputs())}")
+
+    region = [ClbCoord(r, c) for r in range(6) for c in range(6)]
+    print(f"\nrotating self-test over {len(region)} CLBs ...")
+    report = tester.rotate(region)
+
+    for _ in range(10):
+        checker.step()
+
+    print(f"\nCLBs tested            : {report.clbs_tested}")
+    print(f"cells tested           : {report.cells_tested}")
+    print(f"live cells relocated   : {len(report.relocations)}")
+    print(f"vacating port time     : "
+          f"{report.relocation_seconds * 1e3:.1f} ms")
+    print(f"defects detected       : {len(report.detected)}")
+    for fault in report.detected:
+        print(f"  stuck-at-{fault.value} at {fault.site}")
+    print(f"array coverage         : {tester.coverage():.1%}")
+    print(f"application disturbed  : "
+          f"{'no' if checker.clean else 'YES'}")
+    assert checker.clean
+    assert len(report.detected) == 2
+    print("\nboth defects found while the counter kept running: OK")
+
+
+if __name__ == "__main__":
+    main()

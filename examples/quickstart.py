@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: relocate a live flip-flop without disturbing the circuit.
+
+This is the paper's experiment in five minutes: a 4-bit counter runs on
+a simulated Virtex XCV200; we relocate one of its flip-flops to another
+CLB using the two-phase dynamic relocation procedure while the counter
+keeps counting, verified cycle-by-cycle against a golden copy.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.relocation import make_lockstep_engine
+from repro.device.devices import device
+from repro.device.fabric import Fabric
+from repro.netlist import library
+from repro.netlist.synth import place
+
+
+def main() -> None:
+    # 1. A device and a live circuit placed on it.
+    dev = device("XCV200")
+    fabric = Fabric(dev)
+    counter = library.counter(4)
+    design = place(counter, fabric, owner=1)
+    print(f"device : {dev}")
+    print(f"circuit: {counter}")
+    print(f"placed : {design.region} "
+          f"(utilization {fabric.utilization():.1%})")
+
+    # 2. An engine whose simulator runs in lockstep with a golden copy.
+    engine, checker = make_lockstep_engine(design)
+
+    # 3. Let the counter count a little.
+    for _ in range(5):
+        checker.step()
+    print(f"\ncounter value before relocation: "
+          f"{library.counter_value(checker.dut.outputs())}")
+
+    # 4. Relocate bit 2's flip-flop while everything keeps running.
+    src = design.site_of("b2")
+    report = engine.relocate("b2")
+    print(f"\nrelocated cell b2: {src} -> {report.dst}")
+    print(f"  mode            : {report.mode.value}")
+    print(f"  steps           : {len(report.steps)}")
+    print(f"  frames written  : {report.total_frames}")
+    print(f"  port time       : {report.total_seconds * 1e3:.2f} ms "
+          f"(Boundary Scan @ 20 MHz)")
+
+    # 5. Keep running and check transparency.
+    for _ in range(10):
+        checker.step()
+    print(f"\ncounter value after relocation : "
+          f"{library.counter_value(checker.dut.outputs())}")
+    print(f"output mismatches vs golden run: {len(checker.mismatches)}")
+    print(f"drive conflicts (glitches)     : {len(checker.dut.conflicts)}")
+    assert checker.clean, "relocation was not transparent!"
+    print("\ntransparent relocation: OK "
+          "(no loss of state, no output glitches)")
+
+
+if __name__ == "__main__":
+    main()

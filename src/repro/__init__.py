@@ -1,0 +1,24 @@
+"""repro — reproduction of "Run-Time Management of Logic Resources on
+Reconfigurable Systems" (Gericota, Alves, Silva, Ferreira — DATE 2003).
+
+The package implements, in pure Python:
+
+* a behavioural Virtex-class device model (``repro.device``): CLB array,
+  configuration memory organised in frames and columns, partial
+  bitstreams, Boundary-Scan port and routing fabric;
+* a LUT/FF netlist substrate with cycle-accurate and timed simulation
+  (``repro.netlist``), including ITC'99-statistics benchmark circuits;
+* the paper's contribution (``repro.core``): the two-phase dynamic CLB
+  relocation procedure, the auxiliary relocation circuit for gated-clock
+  and asynchronous circuits, routing relocation, the reconfiguration cost
+  model, the on-line logic-space manager/defragmenter and the
+  rearrangement-and-programming tool;
+* 2-D placement and free-space management (``repro.placement``) with the
+  Diessel-style rearrangement baselines;
+* a discrete-event on-line scheduling substrate (``repro.sched``).
+
+See README.md and DESIGN.md for the architecture, and EXPERIMENTS.md for
+the paper-versus-measured record.
+"""
+
+__version__ = "1.0.0"

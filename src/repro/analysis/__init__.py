@@ -1,0 +1,28 @@
+"""Analysis helpers: statistics and ASCII reporting for the benches."""
+
+from .reporting import Table, series
+from .stats import (
+    confidence_interval_95,
+    mean,
+    median,
+    percentile,
+    stddev,
+)
+from .visualize import (
+    render_occupancy,
+    render_timeline,
+    timeline_from_application_runs,
+)
+
+__all__ = [
+    "Table",
+    "confidence_interval_95",
+    "mean",
+    "median",
+    "percentile",
+    "render_occupancy",
+    "render_timeline",
+    "series",
+    "stddev",
+    "timeline_from_application_runs",
+]

@@ -1,0 +1,67 @@
+"""ASCII reporting used by the benchmark harness.
+
+Every bench prints the rows/series corresponding to its paper figure in
+a uniform table format, so EXPERIMENTS.md can quote outputs verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Table:
+    """A padded ASCII table with a title."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add(self, *cells: object) -> None:
+        """Append one row (cells are str()-ed; floats get 4 significant
+        digits unless already strings)."""
+        row = []
+        for cell in cells:
+            if isinstance(cell, float):
+                row.append(f"{cell:.4g}")
+            else:
+                row.append(str(cell))
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        """The formatted table."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(
+            " | ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        )
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(
+                " | ".join(c.ljust(w) for c, w in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        """Print the table (benches call this so pytest -s shows it)."""
+        print()
+        print(self.render())
+
+
+def series(title: str, xs: list[object], ys: list[object],
+           x_label: str = "x", y_label: str = "y") -> Table:
+    """A two-column table from parallel lists (a printed 'figure')."""
+    if len(xs) != len(ys):
+        raise ValueError("series lists must have equal length")
+    table = Table(title, [x_label, y_label])
+    for x, y in zip(xs, ys):
+        table.add(x, y)
+    return table

@@ -1,0 +1,58 @@
+"""Small statistics helpers shared by benches and examples."""
+
+from __future__ import annotations
+
+import math
+
+
+def mean(values: list[float]) -> float:
+    """Arithmetic mean (0.0 for empty input)."""
+    return sum(values) / len(values) if values else 0.0
+
+
+def stddev(values: list[float]) -> float:
+    """Sample standard deviation (0.0 for fewer than two values)."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (n - 1))
+
+
+def median(values: list[float]) -> float:
+    """Median (0.0 for empty input)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Linear-interpolation percentile, q in [0, 100]."""
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be within [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = (len(ordered) - 1) * q / 100.0
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    if lo == hi:
+        return ordered[lo]
+    frac = pos - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+def confidence_interval_95(values: list[float]) -> tuple[float, float]:
+    """Normal-approximation 95 % confidence interval of the mean."""
+    mu = mean(values)
+    if len(values) < 2:
+        return (mu, mu)
+    half = 1.96 * stddev(values) / math.sqrt(len(values))
+    return (mu - half, mu + half)

@@ -1,0 +1,96 @@
+"""ASCII visualisation of the logic space and schedules.
+
+Renders the two pictures the paper's figures rely on:
+
+* :func:`render_occupancy` — the CLB array with one character per site
+  (the defragmentation story at a glance);
+* :func:`render_timeline` — a Fig. 1-style Gantt chart of application
+  functions over time, with configuration intervals marked.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Characters for owners 1..35 (0 renders as '.').
+_OWNER_CHARS = "123456789abcdefghijklmnopqrstuvwxyz"
+
+
+def render_occupancy(occupancy: np.ndarray, max_cols: int = 60) -> str:
+    """One character per CLB site; '.' for free, cycling ids otherwise."""
+    lines = []
+    for row in occupancy[:, :max_cols]:
+        chars = []
+        for value in row:
+            if value == 0:
+                chars.append(".")
+            else:
+                chars.append(_OWNER_CHARS[(int(value) - 1) % len(_OWNER_CHARS)])
+        lines.append("".join(chars))
+    return "\n".join(lines)
+
+
+def render_timeline(
+    rows: list[tuple[str, list[tuple[float, float, str]]]],
+    t_end: float | None = None,
+    width: int = 72,
+) -> str:
+    """A Gantt chart: one labelled row per application.
+
+    ``rows`` maps a label to segments ``(start, end, glyph)`` — e.g. one
+    glyph per function, ``#`` for execution and ``~`` for configuration
+    intervals (the paper's *rt*).  Times are scaled to ``width`` columns.
+    """
+    if not rows:
+        return ""
+    horizon = t_end
+    if horizon is None:
+        horizon = max(
+            (end for _, segments in rows for __, end, ___ in segments),
+            default=1.0,
+        )
+    if horizon <= 0:
+        horizon = 1.0
+    label_width = max(len(label) for label, _ in rows)
+    lines = []
+    for label, segments in rows:
+        canvas = [" "] * width
+        for start, end, glyph in segments:
+            lo = int(round(start / horizon * (width - 1)))
+            hi = int(round(end / horizon * (width - 1)))
+            for x in range(max(0, lo), min(width, hi + 1)):
+                canvas[x] = glyph[0] if glyph else "#"
+        lines.append(f"{label.rjust(label_width)} |{''.join(canvas)}|")
+    axis = f"{' ' * label_width} 0{' ' * (width - len(f'{horizon:.2g}') - 1)}{horizon:.2g}"
+    lines.append(axis)
+    return "\n".join(lines)
+
+
+def timeline_from_application_runs(runs) -> list[
+    tuple[str, list[tuple[float, float, str]]]
+]:
+    """Build :func:`render_timeline` rows from
+    :class:`~repro.sched.tasks.ApplicationRun` records: digits mark the
+    executing function index, '~' marks its configuration interval."""
+    rows = []
+    for record in runs:
+        config_segments: list[tuple[float, float, str]] = []
+        exec_segments: list[tuple[float, float, str]] = []
+        for index, fn_run in enumerate(record.runs):
+            glyph = str((index + 1) % 10)
+            if (
+                fn_run.configured_at is not None
+                and fn_run.started_at is not None
+                and fn_run.configured_at < fn_run.started_at
+            ):
+                config_segments.append(
+                    (fn_run.configured_at, fn_run.started_at, "~")
+                )
+            if fn_run.started_at is not None and fn_run.finished_at:
+                exec_segments.append(
+                    (fn_run.started_at, fn_run.finished_at, glyph)
+                )
+        # Configuration intervals first so execution overdraws them:
+        # a '~' then only shows where nothing was executing.
+        rows.append((record.spec.name, config_segments + exec_segments))
+    return rows

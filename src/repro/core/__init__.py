@@ -1,0 +1,114 @@
+"""The paper's contribution: dynamic relocation and on-line management.
+
+* ``procedure`` — the Fig. 2 / Fig. 4 step plans with ordering checks;
+* ``relocation`` — the live-circuit relocation engine (all four
+  implementation cases plus the naive counter-example);
+* ``gated_clock`` — analysis helpers for the auxiliary relocation
+  circuit of Fig. 3;
+* ``routing_relocation`` — duplicate-then-disconnect path moves (Fig. 5);
+* ``cost`` — frames -> Boundary-Scan seconds (the 22.6 ms model);
+* ``manager`` / ``defrag`` — the on-line logic-space manager and its
+  rearrangement planner;
+* ``tool`` — the rearrangement & programming tool of Fig. 7 (API + CLI).
+"""
+
+from .active_replication import (
+    ActiveReplicationTester,
+    CellTestResult,
+    RotationReport,
+    StuckAtFault,
+    TEST_LUTS,
+)
+from .cost import CostModel, CostParameters, PlanCost, StepCost
+from .defrag import DefragPlanner, RearrangementPlan
+from .function_move import FunctionMoveReport, FunctionRelocator
+from .gated_clock import (
+    AuxCircuitState,
+    aux_mux,
+    coherency_after,
+    exhaustive_coherency_check,
+    naive_failure_example,
+    replica_clock_enable,
+    run_aux_sequence,
+    step_aux,
+    step_naive,
+)
+from .manager import (
+    LogicSpaceManager,
+    MoveExecution,
+    PlacementOutcome,
+    RearrangePolicy,
+)
+from .procedure import (
+    MIN_WAIT_CYCLES,
+    ProcedureStep,
+    RelocationPlan,
+    RelocationVeto,
+    StepClass,
+    StepKind,
+    build_plan,
+)
+from .relocation import (
+    RelocationEngine,
+    RelocationReport,
+    StepTrace,
+    make_lockstep_engine,
+)
+from .routing_relocation import (
+    PathPhase,
+    PathRelocationReport,
+    RoutingRelocator,
+)
+from .tool import (
+    ExecutionReport,
+    GeneratedJob,
+    RearrangementTool,
+    RelocationJob,
+)
+
+__all__ = [
+    "ActiveReplicationTester",
+    "AuxCircuitState",
+    "CellTestResult",
+    "CostModel",
+    "CostParameters",
+    "DefragPlanner",
+    "FunctionMoveReport",
+    "FunctionRelocator",
+    "RotationReport",
+    "StuckAtFault",
+    "TEST_LUTS",
+    "aux_mux",
+    "coherency_after",
+    "exhaustive_coherency_check",
+    "naive_failure_example",
+    "replica_clock_enable",
+    "run_aux_sequence",
+    "step_aux",
+    "step_naive",
+    "ExecutionReport",
+    "GeneratedJob",
+    "LogicSpaceManager",
+    "MIN_WAIT_CYCLES",
+    "MoveExecution",
+    "PathPhase",
+    "PathRelocationReport",
+    "PlacementOutcome",
+    "PlanCost",
+    "ProcedureStep",
+    "RearrangePolicy",
+    "RearrangementPlan",
+    "RearrangementTool",
+    "RelocationEngine",
+    "RelocationJob",
+    "RelocationPlan",
+    "RelocationReport",
+    "RelocationVeto",
+    "RoutingRelocator",
+    "StepClass",
+    "StepCost",
+    "StepKind",
+    "StepTrace",
+    "build_plan",
+    "make_lockstep_engine",
+]

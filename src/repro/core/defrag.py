@@ -1,0 +1,212 @@
+"""Rearrangement planning: which running functions move, and where.
+
+The goal, from the paper's section 1:
+
+    "If a new function cannot be allocated immediately due to lack of
+    contiguous free resources, a suitable rearrangement of a subset of
+    the functions currently running may solve the problem."
+
+The planner proposes a move list that releases a contiguous ``height`` x
+``width`` rectangle, preferring plans that disturb the fewest running
+functions (reference [5]'s criterion: "minimising disruptions to running
+functions that are to be relocated").  Three strategies are tried, best
+plan wins:
+
+* **none-needed** — the request already fits (empty move list);
+* **ordered compaction** — slide residents toward an edge (1-D moves);
+* **eviction** — pick a target window and relocate exactly the functions
+  overlapping it into free space elsewhere (the most surgical plan).
+
+Planning happens on scratch grids; execution belongs to the manager,
+which charges reconfiguration time per move and — in the paper's
+contribution — performs the moves *concurrently* with execution via
+dynamic relocation instead of halting the moved functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.device.geometry import Rect
+from repro.placement.compaction import (
+    Move,
+    apply_moves,
+    footprints,
+    ordered_compaction,
+    sequence_moves,
+)
+from repro.placement.fit import best_fit, first_fit
+
+
+@dataclass
+class RearrangementPlan:
+    """A target rectangle plus the moves that make it free."""
+
+    target: Rect
+    moves: list[Move] = field(default_factory=list)
+    method: str = "none-needed"
+
+    @property
+    def moved_area(self) -> int:
+        """Total CLB sites that must be relocated."""
+        return sum(m.src.area for m in self.moves)
+
+    @property
+    def disturbed_functions(self) -> int:
+        """Number of running functions the plan touches."""
+        return len({m.owner for m in self.moves})
+
+    def __str__(self) -> str:
+        return (
+            f"<plan {self.method}: target {self.target}, "
+            f"{len(self.moves)} moves, {self.moved_area} sites>"
+        )
+
+
+class DefragPlanner:
+    """Finds minimal-disturbance rearrangements for a placement request."""
+
+    def __init__(self, max_moves: int = 8, max_candidates: int = 256) -> None:
+        if max_moves < 1:
+            raise ValueError("max_moves must be positive")
+        if max_candidates < 1:
+            raise ValueError("max_candidates must be positive")
+        self.max_moves = max_moves
+        self.max_candidates = max_candidates
+
+    def plan(self, occupancy: np.ndarray, height: int,
+             width: int) -> RearrangementPlan | None:
+        """Best plan freeing a ``height`` x ``width`` rectangle, or None.
+
+        Candidate plans are scored by (functions disturbed, sites moved,
+        total move distance) — fewer and smaller disruptions first.
+        """
+        direct = first_fit(occupancy, height, width)
+        if direct is not None:
+            return RearrangementPlan(direct)
+        # No rearrangement can help when the free *area* is too small:
+        # defragmentation only consolidates, it cannot create sites.
+        if int((occupancy == 0).sum()) < height * width:
+            return None
+        candidates: list[RearrangementPlan] = []
+        candidates.extend(self._compaction_plans(occupancy, height, width))
+        eviction = self._eviction_plan(occupancy, height, width)
+        if eviction is not None:
+            candidates.append(eviction)
+        candidates = [
+            p for p in candidates if len(p.moves) <= self.max_moves
+        ]
+        if not candidates:
+            return None
+        return min(
+            candidates,
+            key=lambda p: (
+                p.disturbed_functions,
+                p.moved_area,
+                sum(m.distance for m in p.moves),
+            ),
+        )
+
+    # -- strategies ---------------------------------------------------------
+
+    def _compaction_plans(self, occupancy: np.ndarray, height: int,
+                          width: int) -> list[RearrangementPlan]:
+        plans: list[RearrangementPlan] = []
+        for toward in ("left", "top"):
+            moves = ordered_compaction(occupancy, toward=toward)
+            if not moves:
+                continue
+            compacted = apply_moves(occupancy, moves)
+            target = first_fit(compacted, height, width)
+            if target is not None:
+                plans.append(
+                    RearrangementPlan(target, moves, f"compaction-{toward}")
+                )
+        return plans
+
+    def _eviction_plan(self, occupancy: np.ndarray, height: int,
+                       width: int) -> RearrangementPlan | None:
+        """Try target windows anchored at 'corner points' (edges of the
+        device and of resident footprints); relocate exactly the
+        overlapping functions into remaining free space."""
+        rows, cols = occupancy.shape
+        if height > rows or width > cols:
+            return None
+        prints = footprints(occupancy)
+        anchor_rows = {0, rows - height}
+        anchor_cols = {0, cols - width}
+        for rect in prints.values():
+            for r in (rect.row - height, rect.row, rect.row_end):
+                if 0 <= r <= rows - height:
+                    anchor_rows.add(r)
+            for c in (rect.col - width, rect.col, rect.col_end):
+                if 0 <= c <= cols - width:
+                    anchor_cols.add(c)
+        rows_sorted = sorted(anchor_rows)
+        cols_sorted = sorted(anchor_cols)
+        # Bound the search (minimising disturbance is a heuristic, not an
+        # exhaustive optimisation): subsample anchors evenly if needed.
+        while len(rows_sorted) * len(cols_sorted) > self.max_candidates:
+            if len(rows_sorted) >= len(cols_sorted):
+                rows_sorted = rows_sorted[::2]
+            else:
+                cols_sorted = cols_sorted[::2]
+        best_plan: RearrangementPlan | None = None
+        best_key: tuple[int, int, int] | None = None
+        for r in rows_sorted:
+            for c in cols_sorted:
+                target = Rect(r, c, height, width)
+                plan = self._evict_into_free(occupancy, prints, target)
+                if plan is None:
+                    continue
+                key = (
+                    plan.disturbed_functions,
+                    plan.moved_area,
+                    sum(m.distance for m in plan.moves),
+                )
+                if best_key is None or key < best_key:
+                    best_plan, best_key = plan, key
+                    if key[0] == 1:
+                        # One disturbed function is already minimal
+                        # non-trivial disruption; stop searching.
+                        return best_plan
+        return best_plan
+
+    def _evict_into_free(
+        self,
+        occupancy: np.ndarray,
+        prints: dict[int, Rect],
+        target: Rect,
+    ) -> RearrangementPlan | None:
+        """Move every function overlapping ``target`` somewhere free."""
+        blockers = [
+            (owner, rect)
+            for owner, rect in prints.items()
+            if rect.overlaps(target)
+        ]
+        if not blockers or len(blockers) > self.max_moves:
+            return None
+        grid = occupancy.copy()
+        # Vacate the blockers, then reserve the target with a sentinel so
+        # relocated functions cannot land inside it.
+        for _, rect in blockers:
+            grid[rect.row : rect.row_end, rect.col : rect.col_end] = 0
+        sentinel = -1
+        grid[target.row : target.row_end, target.col : target.col_end] = sentinel
+        moves: list[Move] = []
+        for owner, rect in sorted(
+            blockers, key=lambda kv: kv[1].area, reverse=True
+        ):
+            spot = first_fit(grid, rect.height, rect.width)
+            if spot is None:
+                return None
+            grid[spot.row : spot.row_end, spot.col : spot.col_end] = owner
+            moves.append(Move(owner, rect, spot))
+        # The plan grid vacated all blockers up front; physically they
+        # move one at a time, so find an executable order.
+        ordered = sequence_moves(occupancy, moves)
+        if ordered is None:
+            return None
+        return RearrangementPlan(target, ordered, "eviction")

@@ -1,0 +1,132 @@
+"""Whole-function relocation: moving a running function's footprint.
+
+Section 3 of the paper scales the per-CLB mechanism up to functions:
+
+    "Therefore, the relocation of the CLBs should be performed to nearby
+    CLBs.  If necessary, the relocation of a complete function may take
+    place in several stages, to avoid an excessive increase in path
+    delays during the relocation interval."
+
+:class:`FunctionRelocator` executes a manager-level move (one function's
+rectangle to a new origin) as a sequence of per-cell dynamic relocations
+on the live design — the physical realisation of the CONCURRENT policy
+in ``repro.core.manager``.  Long moves can be staged into hops so that
+every individual relocation stays nearby.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.device.geometry import CellCoord, ClbCoord, Rect
+
+from .procedure import RelocationVeto
+from .relocation import RelocationEngine, RelocationReport
+
+
+@dataclass
+class FunctionMoveReport:
+    """Record of one whole-function relocation."""
+
+    owner: int
+    src: Rect
+    dst: Rect
+    stages: list[Rect] = field(default_factory=list)
+    cell_reports: list[RelocationReport] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        """Total configuration-port time of all per-cell relocations."""
+        return sum(r.total_seconds for r in self.cell_reports)
+
+    @property
+    def cells_moved(self) -> int:
+        """Number of per-cell relocations executed."""
+        return len(self.cell_reports)
+
+    @property
+    def transparent(self) -> bool:
+        """True when every per-cell relocation was transparent."""
+        return all(r.transparent for r in self.cell_reports)
+
+    def __str__(self) -> str:
+        status = "transparent" if self.transparent else "DISTURBED"
+        return (
+            f"<function move #{self.owner} {self.src}->{self.dst}: "
+            f"{self.cells_moved} cells, {len(self.stages)} stage(s), "
+            f"{self.total_seconds * 1e3:.1f} ms, {status}>"
+        )
+
+
+class FunctionRelocator:
+    """Moves a whole mapped design to a new footprint, live."""
+
+    def __init__(self, engine: RelocationEngine) -> None:
+        self.engine = engine
+        self.design = engine.design
+
+    def relocate_function(self, dst_origin: ClbCoord,
+                          max_hop_columns: int | None = None) -> FunctionMoveReport:
+        """Move the design's footprint so its top-left corner lands on
+        ``dst_origin``.
+
+        With ``max_hop_columns`` the move is staged into column hops of
+        at most that width (the paper's staging advice); each stage is a
+        complete, transparent function move.  Raises
+        :class:`RelocationVeto` when a stage's destination is not free.
+        """
+        src = self.design.region
+        dst = Rect(dst_origin.row, dst_origin.col, src.height, src.width)
+        report = FunctionMoveReport(self.design.owner, src, dst)
+        for stage in self._stages(src, dst, max_hop_columns):
+            self._move_once(stage, report)
+            report.stages.append(stage)
+        return report
+
+    def _stages(self, src: Rect, dst: Rect,
+                max_hop_columns: int | None) -> list[Rect]:
+        """Intermediate footprints between src and dst."""
+        if max_hop_columns is None or max_hop_columns < 1:
+            return [dst]
+        stages: list[Rect] = []
+        at = src
+        while at != dst:
+            dcol = dst.col - at.col
+            drow = dst.row - at.row
+            hop_c = at.col + max(-max_hop_columns, min(max_hop_columns, dcol))
+            hop_r = at.row + max(-max_hop_columns, min(max_hop_columns, drow))
+            at = Rect(hop_r, hop_c, src.height, src.width)
+            stages.append(at)
+        return stages
+
+    def _move_once(self, dst: Rect, report: FunctionMoveReport) -> None:
+        """One stage: relocate every placed cell by the same offset."""
+        design = self.design
+        fabric = design.fabric
+        src = design.region
+        if (src.height, src.width) != (dst.height, dst.width):
+            raise RelocationVeto("function move must preserve the footprint")
+        if not fabric.in_bounds(dst):
+            raise RelocationVeto(f"stage destination {dst} out of bounds")
+        for site in dst.sites():
+            occupant = fabric.occupant(site)
+            if occupant not in (0, design.owner):
+                raise RelocationVeto(
+                    f"stage destination {dst} overlaps function {occupant}"
+                )
+        if dst.overlaps(src):
+            raise RelocationVeto(
+                f"stage {src}->{dst} overlaps itself; use staging hops "
+                "at least the footprint width apart"
+            )
+        drow, dcol = dst.row - src.row, dst.col - src.col
+        fabric.allocate_region(dst, design.owner)
+        for cell_name in sorted(design.placement):
+            site = design.placement[cell_name]
+            if not src.contains(site.clb):
+                continue
+            target = CellCoord(site.row + drow, site.col + dcol, site.cell)
+            cell_report = self.engine.relocate(cell_name, target)
+            report.cell_reports.append(cell_report)
+        fabric.free_region(src, design.owner)
+        design.region = dst

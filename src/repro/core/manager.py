@@ -1,0 +1,227 @@
+"""The on-line logic-space manager.
+
+Ties the pieces of the paper together: placement requests arrive on-line;
+when contiguous space is missing, a rearrangement plan is executed with
+one of three policies:
+
+* :attr:`RearrangePolicy.NONE` — no rearrangement; the request waits
+  (the fragmentation-suffering baseline of section 1);
+* :attr:`RearrangePolicy.HALT` — moved functions are stopped during
+  their move, the state of the art the paper criticises ("no physical
+  execution of these rearrangements is proposed other than halting those
+  functions, stopping the normal system operation");
+* :attr:`RearrangePolicy.CONCURRENT` — the paper's contribution: moves
+  execute through dynamic relocation "concurrently with all applications
+  currently running, without any time overheads" for the moved
+  functions; only the configuration port is busy.
+
+Move timing comes from the relocation cost model: moving a W x H function
+relocates W*H CLBs, each paying the per-CLB plan cost over the move span
+(Boundary Scan, column-granularity writes — the paper's ~22.6 ms per
+gated-clock CLB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.device.clb import CellMode
+from repro.device.fabric import Fabric
+from repro.device.geometry import Rect
+from repro.placement.compaction import Move
+from repro.placement.fit import fitter
+from repro.placement import metrics
+
+from .cost import CostModel
+from .defrag import DefragPlanner, RearrangementPlan
+from .procedure import StepClass, build_plan
+
+
+class RearrangePolicy(Enum):
+    """How rearrangement moves are (not) executed."""
+
+    NONE = "none"
+    HALT = "halt"
+    CONCURRENT = "concurrent"
+
+
+@dataclass
+class MoveExecution:
+    """One executed move with its reconfiguration cost."""
+
+    move: Move
+    seconds: float
+    halted: bool
+
+    @property
+    def halt_seconds(self) -> float:
+        """Time the moved function was stopped (zero when concurrent)."""
+        return self.seconds if self.halted else 0.0
+
+
+@dataclass
+class PlacementOutcome:
+    """Result of one placement request."""
+
+    success: bool
+    owner: int
+    rect: Rect | None = None
+    moves: list[MoveExecution] = field(default_factory=list)
+    config_seconds: float = 0.0
+    method: str = "direct"
+
+    @property
+    def rearrange_seconds(self) -> float:
+        """Configuration-port time spent on rearrangement moves."""
+        return sum(m.seconds for m in self.moves)
+
+    @property
+    def total_port_seconds(self) -> float:
+        """All port time this request consumed (moves + its own config)."""
+        return self.rearrange_seconds + self.config_seconds
+
+    @property
+    def halted_seconds(self) -> float:
+        """Total stopped time inflicted on running functions."""
+        return sum(m.halt_seconds for m in self.moves)
+
+
+class LogicSpaceManager:
+    """On-line allocation with optional transparent rearrangement."""
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        cost_model: CostModel | None = None,
+        policy: RearrangePolicy = RearrangePolicy.CONCURRENT,
+        fit: str = "first",
+        planner: DefragPlanner | None = None,
+        moved_cell_mode: CellMode = CellMode.FF_GATED_CLOCK,
+    ) -> None:
+        self.fabric = fabric
+        self.cost = cost_model or CostModel(fabric.device)
+        self.policy = policy
+        self.fit = fitter(fit)
+        self.planner = planner or DefragPlanner()
+        #: worst-case assumption about moved cells: gated-clock cells pay
+        #: the full Fig. 4 flow; pass FF_FREE_CLOCK for lighter payloads.
+        self.moved_cell_mode = moved_cell_mode
+        self.outcomes: list[PlacementOutcome] = []
+        self._move_cost_cache: dict[tuple[int, int], float] = {}
+        self._config_cost_cache: dict[int, float] = {}
+
+    # -- cost estimates --------------------------------------------------------
+
+    def clb_move_seconds(self, src_col: int, dst_col: int) -> float:
+        """Port time to relocate one CLB between two columns.
+
+        Each CLB relocation follows the full per-cell procedure; the four
+        cells of a CLB share the column writes of one plan ("CLBs
+        relocation is performed individually, even if many of these
+        blocks were replicated simultaneously", section 2).
+        """
+        cached = self._move_cost_cache.get((src_col, dst_col))
+        if cached is not None:
+            return cached
+        cols = self.fabric.device.clb_cols
+        aux_col = min(dst_col + 1, cols - 1)
+        span = set(range(min(src_col, dst_col), max(src_col, dst_col) + 1))
+        plan = build_plan(
+            "move",
+            self.moved_cell_mode,
+            signal_columns=span,
+            src_col=src_col,
+            dst_col=dst_col,
+            aux_col=aux_col if self.moved_cell_mode in
+            (CellMode.FF_GATED_CLOCK, CellMode.LATCH) else None,
+            ce_col=src_col,
+        )
+        seconds = self.cost.plan_cost(plan).total_seconds
+        self._move_cost_cache[(src_col, dst_col)] = seconds
+        return seconds
+
+    def move_seconds(self, move: Move) -> float:
+        """Port time to relocate a whole footprint, CLB by CLB."""
+        per_clb = self.clb_move_seconds(move.src.col, move.dst.col)
+        return per_clb * move.src.area
+
+    def config_seconds(self, rect: Rect) -> float:
+        """Port time to configure an incoming function over ``rect``
+        (every column of the footprint is written once)."""
+        cached = self._config_cost_cache.get(rect.width)
+        if cached is None:
+            cached = self.cost.seconds_for_columns(rect.width, StepClass.LOGIC)
+            self._config_cost_cache[rect.width] = cached
+        return cached
+
+    # -- requests ---------------------------------------------------------------
+
+    def request(self, height: int, width: int, owner: int) -> PlacementOutcome:
+        """Place a ``height`` x ``width`` function for ``owner``.
+
+        Tries a direct fit first; on failure and with rearrangement
+        enabled, plans and executes the cheapest rearrangement.  The
+        outcome carries all reconfiguration costs for the scheduler to
+        charge against the configuration port.
+        """
+        rect = self.fit(self.fabric.occupancy, height, width)
+        if rect is not None:
+            self.fabric.allocate_region(rect, owner)
+            outcome = PlacementOutcome(
+                True, owner, rect, config_seconds=self.config_seconds(rect)
+            )
+            self.outcomes.append(outcome)
+            return outcome
+        if self.policy is RearrangePolicy.NONE:
+            outcome = PlacementOutcome(False, owner)
+            self.outcomes.append(outcome)
+            return outcome
+        plan = self.planner.plan(self.fabric.occupancy, height, width)
+        if plan is None:
+            outcome = PlacementOutcome(False, owner)
+            self.outcomes.append(outcome)
+            return outcome
+        executions = self.execute_plan(plan)
+        self.fabric.allocate_region(plan.target, owner)
+        outcome = PlacementOutcome(
+            True,
+            owner,
+            plan.target,
+            moves=executions,
+            config_seconds=self.config_seconds(plan.target),
+            method=plan.method,
+        )
+        self.outcomes.append(outcome)
+        return outcome
+
+    def execute_plan(self, plan: RearrangementPlan) -> list[MoveExecution]:
+        """Apply a rearrangement plan to the fabric, move by move."""
+        executions: list[MoveExecution] = []
+        for move in plan.moves:
+            self.fabric.move_region(move.src, move.dst, move.owner)
+            executions.append(
+                MoveExecution(
+                    move,
+                    self.move_seconds(move),
+                    halted=self.policy is RearrangePolicy.HALT,
+                )
+            )
+        return executions
+
+    def release(self, owner: int) -> None:
+        """Free a finished function's footprint."""
+        rect = self.fabric.footprint(owner)
+        if rect is None:
+            raise KeyError(f"owner {owner} holds no region")
+        self.fabric.free_region(rect, owner)
+
+    # -- telemetry ----------------------------------------------------------------
+
+    def fragmentation(self) -> float:
+        """Current fragmentation index of the logic space."""
+        return metrics.fragmentation_index(self.fabric.occupancy)
+
+    def utilization(self) -> float:
+        """Current site occupancy."""
+        return metrics.utilization(self.fabric.occupancy)

@@ -1,0 +1,271 @@
+"""The relocation procedure: step plans per the paper's Figs. 2 and 4.
+
+A relocation is a *sequence of partial reconfigurations* interleaved with
+mandatory waits.  This module builds the step plan for a given cell mode:
+
+* **Combinational** cells use the two-phase procedure of Fig. 2: copy the
+  internal configuration and parallel the inputs (phase 1); once the
+  replica outputs are stable, parallel the outputs (phase 2); keep both
+  in parallel at least one clock cycle; detach the original, outputs
+  first.
+* **Free-running-clock** flip-flops use the same two phases — "between
+  the first and the second phase the CLB replica has the same inputs as
+  the original CLB, and all its flip-flops acquire the same state
+  information" — with a two-cycle capture wait.
+* **Gated-clock** flip-flops and **latches** follow the full flow diagram
+  of Fig. 4, routed through the auxiliary relocation circuit (Fig. 3).
+
+Each step records the set of configuration columns it touches, which the
+cost model converts into frame writes and Boundary-Scan time.  The plan
+also enforces the paper's LUT/RAM restriction: distributed-RAM cells can
+neither be relocated nor lie in any column a relocation touches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.device.clb import CellMode
+
+
+class RelocationVeto(RuntimeError):
+    """The relocation is not permitted (LUT/RAM restriction, occupancy)."""
+
+
+class StepKind(Enum):
+    """The reconfiguration/wait steps of the relocation flow (Fig. 4)."""
+
+    COPY_CONFIG = "copy internal CLB configuration to the new location"
+    CONNECT_AUX = "connect signals to the auxiliary relocation circuit"
+    PARALLEL_INPUTS = "place CLB input signals in parallel"
+    ACTIVATE_CONTROLS = "activate relocation and clock enable control"
+    WAIT_CAPTURE = "wait (> 2 CLK pulses) for state capture"
+    DEACTIVATE_CE_CONTROL = "deactivate clock enable control"
+    CONNECT_CE = "connect the clock enable inputs of both CLBs"
+    DEACTIVATE_RELOC_CONTROL = "deactivate relocation control"
+    DISCONNECT_AUX = "disconnect all the auxiliary relocation circuit signals"
+    PARALLEL_OUTPUTS = "place CLB outputs in parallel"
+    WAIT_PARALLEL = "wait (> 1 CLK pulse) with outputs in parallel"
+    DISCONNECT_ORIG_OUTPUTS = "disconnect the original CLB outputs"
+    DISCONNECT_ORIG_INPUTS = "disconnect the original CLB inputs"
+
+    @property
+    def is_wait(self) -> bool:
+        """True for pure wait steps (no configuration traffic)."""
+        return self in (StepKind.WAIT_CAPTURE, StepKind.WAIT_PARALLEL)
+
+
+#: Minimum clock cycles for the wait steps: the flow diagram demands
+#: "> 2 CLK pulse" after activating the controls and "> 1 CLK pulse"
+#: with the outputs paralleled.
+MIN_WAIT_CYCLES = {StepKind.WAIT_CAPTURE: 3, StepKind.WAIT_PARALLEL: 2}
+
+
+class StepClass(Enum):
+    """What a configuration step writes — drives frame accounting."""
+
+    ROUTING = "routing"  # interconnect (PIP) changes across columns
+    LOGIC = "logic"      # CLB internal configuration (LUT, FF mode)
+    CONTROL = "control"  # a control bit driven through the config memory
+    NONE = "none"        # pure wait
+
+
+#: Step kind -> what it writes.
+STEP_CLASSES: dict[StepKind, StepClass] = {
+    StepKind.COPY_CONFIG: StepClass.LOGIC,
+    StepKind.CONNECT_AUX: StepClass.ROUTING,
+    StepKind.PARALLEL_INPUTS: StepClass.ROUTING,
+    StepKind.ACTIVATE_CONTROLS: StepClass.CONTROL,
+    StepKind.WAIT_CAPTURE: StepClass.NONE,
+    StepKind.DEACTIVATE_CE_CONTROL: StepClass.CONTROL,
+    StepKind.CONNECT_CE: StepClass.ROUTING,
+    StepKind.DEACTIVATE_RELOC_CONTROL: StepClass.CONTROL,
+    StepKind.DISCONNECT_AUX: StepClass.ROUTING,
+    StepKind.PARALLEL_OUTPUTS: StepClass.ROUTING,
+    StepKind.WAIT_PARALLEL: StepClass.NONE,
+    StepKind.DISCONNECT_ORIG_OUTPUTS: StepClass.ROUTING,
+    StepKind.DISCONNECT_ORIG_INPUTS: StepClass.ROUTING,
+}
+
+
+@dataclass(frozen=True)
+class ProcedureStep:
+    """One step of a relocation plan."""
+
+    kind: StepKind
+    columns: frozenset[int]
+    min_wait_cycles: int = 0
+
+    @property
+    def step_class(self) -> StepClass:
+        """What this step writes."""
+        return STEP_CLASSES[self.kind]
+
+    @property
+    def is_wait(self) -> bool:
+        """True for pure wait steps."""
+        return self.kind.is_wait
+
+    def __str__(self) -> str:
+        cols = ",".join(str(c) for c in sorted(self.columns)) or "-"
+        return f"[{self.kind.name} cols={cols}]"
+
+
+@dataclass
+class RelocationPlan:
+    """The ordered steps relocating one logic cell."""
+
+    cell: str
+    mode: CellMode
+    steps: list[ProcedureStep] = field(default_factory=list)
+
+    @property
+    def config_steps(self) -> list[ProcedureStep]:
+        """Steps that write configuration frames."""
+        return [s for s in self.steps if not s.is_wait]
+
+    @property
+    def touched_columns(self) -> set[int]:
+        """All configuration columns the relocation writes."""
+        cols: set[int] = set()
+        for step in self.steps:
+            cols.update(step.columns)
+        return cols
+
+    def validate_order(self) -> None:
+        """Check the plan honours the flow diagram's ordering constraints.
+
+        The constraints that guarantee transparency (section 2):
+
+        * signals of the original CLB must not be broken before being
+          re-established from the replica — outputs are paralleled before
+          the original outputs are disconnected, inputs detach last;
+        * the replica's outputs connect only after its configuration was
+          copied (stability before connection);
+        * for gated cells, state capture (controls active + wait) happens
+          before the outputs are paralleled.
+        """
+        order = [s.kind for s in self.steps]
+
+        def pos(kind: StepKind) -> int:
+            try:
+                return order.index(kind)
+            except ValueError:
+                raise RelocationVeto(
+                    f"plan for {self.cell} lacks mandatory step {kind.name}"
+                ) from None
+
+        if pos(StepKind.COPY_CONFIG) > pos(StepKind.PARALLEL_OUTPUTS):
+            raise RelocationVeto("outputs paralleled before config copy")
+        if pos(StepKind.PARALLEL_OUTPUTS) > pos(StepKind.DISCONNECT_ORIG_OUTPUTS):
+            raise RelocationVeto("original outputs broken before replica ready")
+        if pos(StepKind.DISCONNECT_ORIG_OUTPUTS) > pos(
+            StepKind.DISCONNECT_ORIG_INPUTS
+        ):
+            raise RelocationVeto(
+                "inputs must detach after outputs (prevents transients)"
+            )
+        if pos(StepKind.WAIT_PARALLEL) < pos(StepKind.PARALLEL_OUTPUTS):
+            raise RelocationVeto("parallel wait precedes output paralleling")
+        if self.mode in (CellMode.FF_GATED_CLOCK, CellMode.LATCH):
+            if pos(StepKind.WAIT_CAPTURE) > pos(StepKind.PARALLEL_OUTPUTS):
+                raise RelocationVeto("state capture must precede output parallel")
+            if pos(StepKind.ACTIVATE_CONTROLS) > pos(StepKind.WAIT_CAPTURE):
+                raise RelocationVeto("controls must be active during capture")
+
+
+def build_plan(
+    cell: str,
+    mode: CellMode,
+    signal_columns: set[int],
+    src_col: int,
+    dst_col: int,
+    aux_col: int | None = None,
+    ce_col: int | None = None,
+) -> RelocationPlan:
+    """Build the relocation plan for one cell.
+
+    ``signal_columns`` are the columns crossed by the cell's existing
+    signals (from :meth:`repro.netlist.synth.MappedDesign.signal_columns`);
+    ``src_col``/``dst_col``/``aux_col`` locate the original, replica and
+    auxiliary-circuit CLBs; ``ce_col`` the clock-enable driver for gated
+    cells.  Raises :class:`RelocationVeto` for non-relocatable modes.
+    """
+    if not mode.relocatable:
+        raise RelocationVeto(
+            f"cell {cell!r} is configured as distributed RAM; the system "
+            "would have to be stopped to relocate it (paper, section 2)"
+        )
+    lo, hi = min(src_col, dst_col), max(src_col, dst_col)
+    move_span = set(range(lo, hi + 1))
+    io_span = frozenset(signal_columns | move_span)
+    dst_only = frozenset({dst_col})
+    src_span = frozenset(signal_columns | {src_col})
+
+    plan = RelocationPlan(cell, mode)
+    steps = plan.steps
+    needs_aux = mode in (CellMode.FF_GATED_CLOCK, CellMode.LATCH)
+    if needs_aux:
+        if aux_col is None:
+            raise RelocationVeto(
+                f"gated/latch cell {cell!r} needs an auxiliary circuit site"
+            )
+        # The temporary transfer paths connect exactly three CLBs — the
+        # original, the replica and the auxiliary circuit ("the temporary
+        # transfer paths established between the original cells and their
+        # replicas", section 2) — so they span those columns only.
+        lo_aux = min(src_col, dst_col, aux_col)
+        hi_aux = max(src_col, dst_col, aux_col)
+        aux_span = frozenset(range(lo_aux, hi_aux + 1))
+        ce_span = frozenset(
+            {dst_col, src_col}
+            | (set(range(min(ce_col, dst_col), max(ce_col, dst_col) + 1))
+               if ce_col is not None else set())
+        )
+        steps.append(ProcedureStep(StepKind.COPY_CONFIG, dst_only))
+        steps.append(ProcedureStep(StepKind.CONNECT_AUX, aux_span))
+        steps.append(ProcedureStep(StepKind.PARALLEL_INPUTS, io_span))
+        steps.append(
+            ProcedureStep(StepKind.ACTIVATE_CONTROLS, frozenset({aux_col}))
+        )
+        steps.append(
+            ProcedureStep(
+                StepKind.WAIT_CAPTURE,
+                frozenset(),
+                MIN_WAIT_CYCLES[StepKind.WAIT_CAPTURE],
+            )
+        )
+        steps.append(
+            ProcedureStep(StepKind.DEACTIVATE_CE_CONTROL, frozenset({aux_col}))
+        )
+        steps.append(ProcedureStep(StepKind.CONNECT_CE, ce_span))
+        steps.append(
+            ProcedureStep(
+                StepKind.DEACTIVATE_RELOC_CONTROL, frozenset({aux_col})
+            )
+        )
+        steps.append(ProcedureStep(StepKind.DISCONNECT_AUX, aux_span))
+    else:
+        steps.append(ProcedureStep(StepKind.COPY_CONFIG, dst_only))
+        steps.append(ProcedureStep(StepKind.PARALLEL_INPUTS, io_span))
+        if mode is CellMode.FF_FREE_CLOCK:
+            steps.append(
+                ProcedureStep(
+                    StepKind.WAIT_CAPTURE,
+                    frozenset(),
+                    MIN_WAIT_CYCLES[StepKind.WAIT_CAPTURE],
+                )
+            )
+    steps.append(ProcedureStep(StepKind.PARALLEL_OUTPUTS, io_span))
+    steps.append(
+        ProcedureStep(
+            StepKind.WAIT_PARALLEL,
+            frozenset(),
+            MIN_WAIT_CYCLES[StepKind.WAIT_PARALLEL],
+        )
+    )
+    steps.append(ProcedureStep(StepKind.DISCONNECT_ORIG_OUTPUTS, src_span))
+    steps.append(ProcedureStep(StepKind.DISCONNECT_ORIG_INPUTS, src_span))
+    plan.validate_order()
+    return plan

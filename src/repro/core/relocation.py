@@ -1,0 +1,571 @@
+"""The dynamic relocation engine — the paper's central mechanism.
+
+Executes a :class:`~repro.core.procedure.RelocationPlan` against a live,
+simulating design: every step performs the corresponding netlist/fabric
+mutation between clock cycles, the simulator keeps running throughout,
+and a golden reference (never relocated) can run in lockstep to prove
+transparency — the reproduction of the paper's "no loss of information
+or functional disturbance was observed".
+
+The engine covers all of the paper's implementation cases:
+
+* combinational cells — two-phase copy (Fig. 2);
+* synchronous free-running-clock cells — two-phase copy plus a capture
+  wait, during which "all its flip-flops acquire the same state
+  information";
+* synchronous gated-clock cells — the full Fig. 4 flow through the
+  auxiliary relocation circuit of Fig. 3 (one OR gate + one 2:1 mux in a
+  nearby free CLB);
+* asynchronous latch cells — same circuit and sequence, with the latch
+  gate standing in for the clock enable;
+* ``use_aux=False`` runs the *naive* copy on gated cells, demonstrating
+  the state-coherency failure that motivates the auxiliary circuit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.device.clb import CellMode, LogicCellConfig
+from repro.device.geometry import CellCoord, ClbCoord
+from repro.device.routing import RoutingError
+from repro.netlist.cells import Cell, LUT_BUF, LUT_CONST0, LUT_CONST1, mux21, or2
+from repro.netlist.circuit import Circuit
+from repro.netlist.simulator import CycleSimulator, DriveConflict, LockstepChecker
+from repro.netlist.synth import MappedDesign
+
+from .cost import CostModel, PlanCost
+from .procedure import (
+    ProcedureStep,
+    RelocationPlan,
+    RelocationVeto,
+    StepKind,
+    build_plan,
+)
+
+#: Stimulus callback: cycle number -> primary-input values for that cycle.
+Stimulus = Callable[[int], dict[str, int]]
+
+
+@dataclass
+class StepTrace:
+    """Execution record of one plan step."""
+
+    step: ProcedureStep
+    start_cycle: int
+    cycles: int
+    frames: int
+    words: int
+    seconds: float
+
+
+@dataclass
+class RelocationReport:
+    """Everything observed while relocating one cell."""
+
+    cell: str
+    mode: CellMode
+    src: CellCoord
+    dst: CellCoord
+    aux: ClbCoord | None
+    steps: list[StepTrace] = field(default_factory=list)
+    conflicts: list[DriveConflict] = field(default_factory=list)
+    mismatches: list[tuple[int, str, int, int]] = field(default_factory=list)
+    rerouted_delay_before_ns: float = 0.0
+    rerouted_delay_after_ns: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """Reconfiguration-port time of the whole relocation."""
+        return sum(s.seconds for s in self.steps)
+
+    @property
+    def total_cycles(self) -> int:
+        """Application clock cycles elapsed during the relocation."""
+        return sum(s.cycles for s in self.steps)
+
+    @property
+    def total_frames(self) -> int:
+        """Configuration frames written."""
+        return sum(s.frames for s in self.steps)
+
+    @property
+    def transparent(self) -> bool:
+        """True when no glitch (drive conflict) and no output divergence
+        was observed — the paper's success criterion."""
+        return not self.conflicts and not self.mismatches
+
+    def __str__(self) -> str:
+        status = "transparent" if self.transparent else (
+            f"{len(self.conflicts)} conflicts, {len(self.mismatches)} mismatches"
+        )
+        return (
+            f"<relocation {self.cell} {self.src}->{self.dst} "
+            f"({self.mode.value}): {self.total_seconds * 1e3:.2f} ms, {status}>"
+        )
+
+
+class RelocationEngine:
+    """Relocates live logic cells of one mapped design."""
+
+    def __init__(
+        self,
+        design: MappedDesign,
+        sim: CycleSimulator,
+        cost_model: CostModel | None = None,
+        checker: LockstepChecker | None = None,
+        stimulus: Stimulus | None = None,
+        cycles_per_config_step: int = 2,
+        honor_min_waits: bool = True,
+    ) -> None:
+        if checker is not None and checker.dut is not sim:
+            raise ValueError("checker must wrap the engine's simulator")
+        self.design = design
+        self.sim = sim
+        self.cost = cost_model or CostModel(design.fabric.device)
+        self.checker = checker
+        self.stimulus: Stimulus = stimulus or (lambda cycle: {})
+        if cycles_per_config_step < 1:
+            raise ValueError("cycles_per_config_step must be >= 1")
+        self.cycles_per_config_step = cycles_per_config_step
+        #: ablation knob: False ignores the "> 2 CLK" / "> 1 CLK" waits
+        #: of Fig. 4 (and all inter-step clocking), demonstrating that
+        #: the waits are load-bearing for state capture.
+        self.honor_min_waits = honor_min_waits
+
+    # -- site selection ---------------------------------------------------
+
+    def find_destination(self, cell_name: str,
+                         max_distance: int | None = None) -> CellCoord:
+        """A free cell site near the original, per the paper's guidance
+        that "the relocation of the CLBs should be performed to nearby
+        CLBs" (section 3)."""
+        src = self.design.site_of(cell_name)
+        site = self.design.fabric.find_free_cell_near(src.clb, max_distance)
+        if site is None:
+            raise RelocationVeto(f"no free cell near {src} for {cell_name!r}")
+        return site
+
+    def _find_aux_clb(self, dst: CellCoord, src: CellCoord) -> ClbCoord:
+        """A nearby CLB with two free cells for the OR gate and the mux."""
+        fabric = self.design.fabric
+        best: ClbCoord | None = None
+        best_dist = 10 ** 9
+        for row in range(fabric.device.clb_rows):
+            for col in range(fabric.device.clb_cols):
+                coord = ClbCoord(row, col)
+                if coord in (dst.clb, src.clb):
+                    continue
+                clb = fabric._clbs.get(coord)
+                free = 4 if clb is None else len(clb.free_cell_indices())
+                if free >= 2:
+                    dist = coord.manhattan(dst.clb)
+                    if dist < best_dist:
+                        best, best_dist = coord, dist
+        if best is None:
+            raise RelocationVeto(
+                "no free CLB available for the auxiliary relocation circuit"
+            )
+        return best
+
+    # -- execution ----------------------------------------------------------
+
+    def _advance(self, cycles: int) -> None:
+        """Run the application clock while a step's reconfiguration loads."""
+        for _ in range(cycles):
+            inputs = self.stimulus(self.sim.cycle)
+            if self.checker is not None:
+                self.checker.step(inputs)
+            else:
+                self.sim.step(inputs)
+
+    def relocate(self, cell_name: str, dst: CellCoord | None = None,
+                 use_aux: bool = True) -> RelocationReport:
+        """Relocate one live cell; returns the full observation record.
+
+        ``dst=None`` picks the nearest free cell.  ``use_aux=False``
+        applies the naive two-phase copy even to gated-clock/latch cells
+        — the paper's counter-example (state loss whenever CE is inactive
+        during the procedure).
+        """
+        circuit = self.sim.circuit
+        fabric = self.design.fabric
+        if cell_name not in circuit.cells:
+            raise RelocationVeto(f"no cell {cell_name!r} in the live circuit")
+        cell = circuit.cells[cell_name]
+        if not cell.mode.relocatable:
+            raise RelocationVeto(
+                f"{cell_name!r} is a LUT/RAM; on-line relocation would "
+                "require stopping the system (paper, section 2)"
+            )
+        src = self.design.site_of(cell_name)
+        if dst is None:
+            dst = self.find_destination(cell_name)
+        if fabric.cell_config(dst).used:
+            raise RelocationVeto(f"destination cell {dst} is occupied")
+        needs_aux = use_aux and cell.mode in (
+            CellMode.FF_GATED_CLOCK,
+            CellMode.LATCH,
+        )
+        aux_clb = self._find_aux_clb(dst, src) if needs_aux else None
+        ce_col = self._ce_driver_column(cell)
+        plan = build_plan(
+            cell_name,
+            cell.mode if needs_aux else self._naive_mode(cell.mode),
+            signal_columns=self.design.signal_columns(cell_name),
+            src_col=src.col,
+            dst_col=dst.col,
+            aux_col=aux_clb.col if aux_clb else None,
+            ce_col=ce_col,
+        )
+        self._check_lut_ram_columns(plan)
+        plan_cost = self.cost.plan_cost(plan)
+        report = RelocationReport(cell_name, cell.mode, src, dst, aux_clb)
+        ctx = _Context(cell_name, cell, src, dst, aux_clb, needs_aux)
+        conflicts_before = len(self.sim.conflicts)
+        mismatches_before = (
+            len(self.checker.mismatches) if self.checker else 0
+        )
+        for step, step_cost in zip(plan.steps, plan_cost.steps):
+            start = self.sim.cycle
+            self._apply_step(step, ctx)
+            if self.honor_min_waits:
+                cycles = max(step.min_wait_cycles, self.cycles_per_config_step)
+            else:
+                cycles = 0
+            self._advance(cycles)
+            report.steps.append(
+                StepTrace(
+                    step,
+                    start,
+                    cycles,
+                    step_cost.frames,
+                    step_cost.words,
+                    step_cost.seconds,
+                )
+            )
+        self._reroute_cell(cell_name, report)
+        report.conflicts = self.sim.conflicts[conflicts_before:]
+        if self.checker is not None:
+            report.mismatches = self.checker.mismatches[mismatches_before:]
+        return report
+
+    def relocate_halting(self, cell_name: str,
+                         dst: CellCoord | None = None) -> RelocationReport:
+        """Relocate by *stopping the system* — the state of the art the
+        paper improves on ("no physical execution of these
+        rearrangements is proposed other than halting those functions,
+        stopping the normal system operation").
+
+        The circuit's clock is held for the whole procedure (no cycles
+        advance), the flip-flop state is carried over by configuration
+        readback/writeback, and operation resumes afterwards.  The
+        result is functionally correct but the application loses
+        ``report.total_seconds`` of wall-clock time — exactly the cost
+        the concurrent procedure eliminates.
+        """
+        circuit = self.sim.circuit
+        fabric = self.design.fabric
+        if cell_name not in circuit.cells:
+            raise RelocationVeto(f"no cell {cell_name!r} in the live circuit")
+        cell = circuit.cells[cell_name]
+        if not cell.mode.relocatable:
+            raise RelocationVeto(f"{cell_name!r} is a LUT/RAM")
+        src = self.design.site_of(cell_name)
+        if dst is None:
+            dst = self.find_destination(cell_name)
+        if fabric.cell_config(dst).used:
+            raise RelocationVeto(f"destination cell {dst} is occupied")
+        # Halting needs no auxiliary circuit and no parallel phases: one
+        # readback of the source column, one write of the destination
+        # column, plus rerouting of the nets — modelled as the two-phase
+        # plan's configuration traffic without the waits.
+        plan = build_plan(
+            cell_name,
+            self._naive_mode(cell.mode),
+            signal_columns=self.design.signal_columns(cell_name),
+            src_col=src.col,
+            dst_col=dst.col,
+        )
+        plan_cost = self.cost.plan_cost(plan)
+        report = RelocationReport(cell_name, cell.mode, src, dst, None)
+        # System halted: carry state via readback, rebind, resume.
+        state = self.sim.state.get(cell_name, cell.init_state)
+        self.design.unbind_cell(cell_name)
+        fabric.place_cell(dst, LogicCellConfig(mode=cell.mode, lut=cell.lut))
+        self.design.placement[cell_name] = dst
+        if cell.sequential:
+            self.sim.state[cell_name] = state
+        for step, step_cost in zip(plan.steps, plan_cost.steps):
+            report.steps.append(
+                StepTrace(step, self.sim.cycle, 0, step_cost.frames,
+                          step_cost.words, step_cost.seconds)
+            )
+        self._reroute_cell(cell_name, report)
+        return report
+
+    @staticmethod
+    def _naive_mode(mode: CellMode) -> CellMode:
+        """The plan shape used when the aux circuit is (wrongly) skipped."""
+        if mode in (CellMode.FF_GATED_CLOCK, CellMode.LATCH):
+            return CellMode.FF_FREE_CLOCK
+        return mode
+
+    def _ce_driver_column(self, cell: Cell) -> int | None:
+        """Column of the cell driving the CE net (None for primary inputs)."""
+        if cell.ce is None:
+            return None
+        for name, candidate in self.sim.circuit.cells.items():
+            if candidate.output == cell.ce and name in self.design.placement:
+                return self.design.placement[name].col
+        return None
+
+    def _check_lut_ram_columns(self, plan: RelocationPlan) -> None:
+        """Enforce: "LUT/RAMs should not lie in any column that could be
+        affected by the relocation procedure" (section 2)."""
+        ram_columns = self.design.fabric.lut_ram_columns()
+        clash = ram_columns & plan.touched_columns
+        if clash:
+            raise RelocationVeto(
+                f"relocation of {plan.cell!r} touches column(s) "
+                f"{sorted(clash)} holding LUT/RAM cells"
+            )
+
+    # -- step application -----------------------------------------------------
+
+    def _apply_step(self, step: ProcedureStep, ctx: "_Context") -> None:
+        handler = {
+            StepKind.COPY_CONFIG: self._do_copy_config,
+            StepKind.CONNECT_AUX: self._do_connect_aux,
+            StepKind.PARALLEL_INPUTS: self._do_nothing,
+            StepKind.ACTIVATE_CONTROLS: self._do_activate_controls,
+            StepKind.WAIT_CAPTURE: self._do_nothing,
+            StepKind.DEACTIVATE_CE_CONTROL: self._do_deactivate_ce,
+            StepKind.CONNECT_CE: self._do_connect_ce,
+            StepKind.DEACTIVATE_RELOC_CONTROL: self._do_deactivate_reloc,
+            StepKind.DISCONNECT_AUX: self._do_disconnect_aux,
+            StepKind.PARALLEL_OUTPUTS: self._do_parallel_outputs,
+            StepKind.WAIT_PARALLEL: self._do_nothing,
+            StepKind.DISCONNECT_ORIG_OUTPUTS: self._do_disconnect_outputs,
+            StepKind.DISCONNECT_ORIG_INPUTS: self._do_disconnect_inputs,
+        }[step.kind]
+        handler(ctx)
+
+    def _do_nothing(self, ctx: "_Context") -> None:
+        """Wait steps and physical-only steps mutate nothing logical."""
+
+    def _do_copy_config(self, ctx: "_Context") -> None:
+        """Phase 1 of Fig. 2: copy the internal configuration into the new
+        location; the replica's inputs observe the same nets (paralleled).
+        """
+        circuit = self.sim.circuit
+        fabric = self.design.fabric
+        cell = ctx.cell
+        if ctx.use_aux:
+            # Decomposed replica: its own LUT (rcomb) plus a storage
+            # element whose D path the aux circuit will steer.
+            cectl = Cell(ctx.cectl, LUT_CONST0, ())
+            circuit.add_cell(cectl)
+            rcomb = Cell(ctx.rcomb, cell.lut, cell.inputs)
+            circuit.add_cell(rcomb)
+            replica = Cell(
+                ctx.replica,
+                LUT_BUF,
+                (ctx.rcomb,),
+                mode=cell.mode,
+                ce=ctx.cectl,
+                init_state=0,
+            )
+            circuit.add_cell(replica)
+        else:
+            replica = cell.renamed(ctx.replica)
+            circuit.add_cell(replica)
+        if replica.sequential:
+            self.sim.state.setdefault(ctx.replica, replica.init_state)
+        fabric.place_cell(
+            ctx.dst, LogicCellConfig(mode=cell.mode, lut=cell.lut)
+        )
+        self.design.placement[ctx.replica] = ctx.dst
+
+    def _do_connect_aux(self, ctx: "_Context") -> None:
+        """Wire the OR gate and 2:1 mux of Fig. 3 (in a nearby free CLB)
+        using only free routing resources."""
+        circuit = self.sim.circuit
+        fabric = self.design.fabric
+        cell = ctx.cell
+        assert cell.ce is not None and ctx.aux is not None
+        circuit.add_cell(or2(ctx.aor, cell.ce, ctx.cectl))
+        circuit.add_cell(mux21(ctx.amux, cell.output, ctx.rcomb, cell.ce))
+        replica = circuit.cells[ctx.replica]
+        circuit.replace_cell(replica.rewired(ce=ctx.aor))
+        clb = fabric.clb(ctx.aux)
+        free = clb.free_cell_indices()
+        clb.place_cell(free[0], LogicCellConfig(mode=CellMode.COMBINATIONAL))
+        clb.place_cell(free[1], LogicCellConfig(mode=CellMode.COMBINATIONAL))
+        ctx.aux_cells = (free[0], free[1])
+
+    def _do_activate_controls(self, ctx: "_Context") -> None:
+        """Drive relocation control and clock-enable control active —
+        both "driven through the reconfiguration memory" (section 2)."""
+        circuit = self.sim.circuit
+        circuit.replace_cell(circuit.cells[ctx.cectl].rewired(lut=LUT_CONST1))
+        replica = circuit.cells[ctx.replica]
+        circuit.replace_cell(replica.rewired(inputs=(ctx.amux,)))
+
+    def _do_deactivate_ce(self, ctx: "_Context") -> None:
+        circuit = self.sim.circuit
+        circuit.replace_cell(circuit.cells[ctx.cectl].rewired(lut=LUT_CONST0))
+
+    def _do_connect_ce(self, ctx: "_Context") -> None:
+        circuit = self.sim.circuit
+        replica = circuit.cells[ctx.replica]
+        circuit.replace_cell(replica.rewired(ce=ctx.cell.ce))
+
+    def _do_deactivate_reloc(self, ctx: "_Context") -> None:
+        circuit = self.sim.circuit
+        replica = circuit.cells[ctx.replica]
+        circuit.replace_cell(replica.rewired(inputs=(ctx.rcomb,)))
+
+    def _do_disconnect_aux(self, ctx: "_Context") -> None:
+        circuit = self.sim.circuit
+        fabric = self.design.fabric
+        for name in (ctx.amux, ctx.aor, ctx.cectl):
+            circuit.remove_cell(name)
+            self.sim.forget_cell(name)
+        assert ctx.aux is not None and ctx.aux_cells is not None
+        clb = fabric.clb(ctx.aux)
+        for index in ctx.aux_cells:
+            clb.vacate_cell(index)
+        ctx.aux_cells = None
+
+    def _do_parallel_outputs(self, ctx: "_Context") -> None:
+        """Phase 2 of Fig. 2: with the replica stable, drive the output
+        net from both CLBs."""
+        self.sim.circuit.add_parallel_driver(ctx.cell.output, ctx.replica)
+
+    def _do_disconnect_outputs(self, ctx: "_Context") -> None:
+        self.sim.circuit.promote_parallel_driver(ctx.cell.output, ctx.replica)
+
+    def _do_disconnect_inputs(self, ctx: "_Context") -> None:
+        """Final step: the original CLB "becomes part of the pool of free
+        resources"; the replica is recomposed under the original name."""
+        circuit = self.sim.circuit
+        cell = ctx.cell
+        circuit.remove_cell(ctx.name)
+        self.sim.forget_cell(ctx.name)
+        self.design.unbind_cell(ctx.name)
+        if ctx.use_aux:
+            state = self.sim.state.get(ctx.replica, 0)
+            circuit.remove_cell(ctx.rcomb)
+            self.sim.forget_cell(ctx.rcomb)
+            circuit.remove_cell(ctx.replica)
+            self.sim.forget_cell(ctx.replica)
+            circuit.add_cell(
+                Cell(
+                    ctx.name,
+                    cell.lut,
+                    cell.inputs,
+                    mode=cell.mode,
+                    ce=cell.ce,
+                    output=cell.output,
+                    init_state=state,
+                )
+            )
+            self.sim.state[ctx.name] = state
+        else:
+            replica = circuit.remove_cell(ctx.replica)
+            circuit.add_cell(replica.rewired(name=ctx.name))
+            self.sim.rename_state(ctx.replica, ctx.name)
+        self.design.placement.pop(ctx.replica, None)
+        self.design.placement[ctx.name] = ctx.dst
+
+    # -- rerouting -----------------------------------------------------------
+
+    def _reroute_cell(self, cell_name: str, report: RelocationReport) -> None:
+        """Re-route any pre-routed nets touching the moved cell.
+
+        The paper notes the relocation "might imply a longer path,
+        therefore decreasing the maximum frequency of operation"
+        (section 3); the report records the before/after delays.
+        """
+        routing = self.design.fabric.routing
+        stale = [
+            key for key in self.design.routes if cell_name in key
+        ]
+        for key in stale:
+            path = self.design.routes.pop(key)
+            report.rerouted_delay_before_ns += path.delay_ns
+            routing.release(path)
+            driver, sink = key
+            try:
+                a = self.design.site_of(driver).clb
+                b = self.design.site_of(sink).clb
+            except Exception:
+                continue
+            if a == b:
+                continue
+            try:
+                new_path = routing.route_and_allocate(a, b)
+            except RoutingError:
+                continue
+            self.design.routes[key] = new_path
+            report.rerouted_delay_after_ns += new_path.delay_ns
+
+
+@dataclass
+class _Context:
+    """Per-relocation naming and site context."""
+
+    name: str
+    cell: Cell
+    src: CellCoord
+    dst: CellCoord
+    aux: ClbCoord | None
+    use_aux: bool
+    aux_cells: tuple[int, int] | None = None
+
+    @property
+    def replica(self) -> str:
+        return f"{self.name}~replica"
+
+    @property
+    def rcomb(self) -> str:
+        return f"{self.name}~rcomb"
+
+    @property
+    def amux(self) -> str:
+        return f"{self.name}~amux"
+
+    @property
+    def aor(self) -> str:
+        return f"{self.name}~aor"
+
+    @property
+    def cectl(self) -> str:
+        return f"{self.name}~cectl"
+
+
+def make_lockstep_engine(
+    design: MappedDesign,
+    stimulus: Stimulus | None = None,
+    cost_model: CostModel | None = None,
+    cycles_per_config_step: int = 2,
+) -> tuple[RelocationEngine, LockstepChecker]:
+    """Build an engine whose simulator runs against a golden copy.
+
+    The golden circuit is cloned before any relocation; both receive the
+    same stimulus, so ``checker.clean`` is the transparency verdict.
+    """
+    golden = CycleSimulator(design.circuit.clone(f"{design.circuit.name}~golden"))
+    dut = CycleSimulator(design.circuit)
+    checker = LockstepChecker(dut, golden)
+    engine = RelocationEngine(
+        design,
+        dut,
+        cost_model=cost_model,
+        checker=checker,
+        stimulus=stimulus,
+        cycles_per_config_step=cycles_per_config_step,
+    )
+    return engine, checker

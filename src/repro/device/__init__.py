@@ -1,0 +1,100 @@
+"""Behavioural model of the Virtex-class reconfigurable device.
+
+This subpackage is the hardware substrate of the reproduction: CLB array
+geometry, configuration memory (frames/columns), partial bitstreams, the
+Boundary-Scan configuration port, and the routing fabric.  See DESIGN.md
+section 3 for the inventory.
+"""
+
+from .clb import CellMode, ClbConfig, LogicCellConfig
+from .config_memory import (
+    ColumnKind,
+    ConfigMemory,
+    FrameAddress,
+    LOGIC_MINORS,
+    ROUTING_MINORS,
+    STATE_MINORS,
+    WriteStats,
+)
+from .bitstream import (
+    ConfigurationController,
+    FrameWrite,
+    Packet,
+    PacketOp,
+    PartialBitstream,
+    decode_far,
+    encode_far,
+)
+from .devices import (
+    DEVICE_TABLE,
+    VirtexDevice,
+    XCV200,
+    device,
+    synthetic_device,
+)
+from .fabric import FREE, Fabric, FabricError
+from .geometry import (
+    CELLS_PER_CLB,
+    CellCoord,
+    ClbCoord,
+    Rect,
+    SLICES_PER_CLB,
+    span_columns,
+)
+from .jtag import BoundaryScanPort, SelectMapPort, TapController, TapState
+from .readback import StateBitLocation, StateCapture, capture_hazard_window
+from .routing import (
+    RoutePath,
+    RoutingError,
+    RoutingGraph,
+    Segment,
+    WireKind,
+    path_channels,
+)
+
+__all__ = [
+    "BoundaryScanPort",
+    "CELLS_PER_CLB",
+    "CellCoord",
+    "CellMode",
+    "ClbConfig",
+    "ClbCoord",
+    "ColumnKind",
+    "ConfigMemory",
+    "ConfigurationController",
+    "DEVICE_TABLE",
+    "FREE",
+    "Fabric",
+    "FabricError",
+    "FrameAddress",
+    "FrameWrite",
+    "LOGIC_MINORS",
+    "LogicCellConfig",
+    "Packet",
+    "PacketOp",
+    "PartialBitstream",
+    "ROUTING_MINORS",
+    "Rect",
+    "RoutePath",
+    "RoutingError",
+    "RoutingGraph",
+    "STATE_MINORS",
+    "SLICES_PER_CLB",
+    "Segment",
+    "SelectMapPort",
+    "StateBitLocation",
+    "StateCapture",
+    "TapController",
+    "TapState",
+    "VirtexDevice",
+    "WireKind",
+    "WriteStats",
+    "XCV200",
+    "capture_hazard_window",
+    "decode_far",
+    "device",
+    "encode_far",
+    "path_channels",
+    "span_columns",
+    "synthetic_device",
+]

@@ -1,0 +1,295 @@
+"""Partial-bitstream packet model and configuration controller.
+
+The paper's tool "is responsible by the creation of the partial
+configuration files and carries out the partial and dynamic
+reconfiguration of the FPGA through the Boundary Scan interface"
+(section 4).  This module supplies both halves against the simulated
+device:
+
+* :class:`PartialBitstream` — a Virtex-style packet stream (sync word,
+  ``CMD WCFG``, ``FAR``, ``FDRI`` bursts including the mandatory pad
+  frame, trailing CRC and ``DESYNC``) whose exact 32-bit word count feeds
+  the Boundary-Scan timing model.
+* :class:`ConfigurationController` — the device-side packet processor
+  that applies a stream to a :class:`~repro.device.config_memory.ConfigMemory`,
+  mimicking the auto-incrementing frame address behaviour of the silicon.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from enum import Enum
+
+from .config_memory import ColumnKind, ConfigMemory, FrameAddress
+
+#: Virtex synchronisation word.
+SYNC_WORD = 0xAA995566
+
+#: Configuration register addresses (subset used by partial flows).
+REGISTERS = {
+    "CRC": 0,
+    "FAR": 1,
+    "FDRI": 2,
+    "FDRO": 3,
+    "CMD": 4,
+    "CTL": 5,
+    "MASK": 6,
+    "STAT": 7,
+    "COR": 9,
+    "FLR": 11,
+}
+
+#: CMD register command codes (subset).
+COMMANDS = {
+    "NULL": 0,
+    "WCFG": 1,
+    "LFRM": 3,
+    "RCFG": 4,
+    "START": 5,
+    "RCRC": 7,
+    "AGHIGH": 8,
+    "DESYNC": 13,
+}
+
+#: Encoding of column kinds into FAR block-type / column-offset space.
+_KIND_CODES = {
+    ColumnKind.CLOCK: 0,
+    ColumnKind.CLB: 1,
+    ColumnKind.IOB: 2,
+    ColumnKind.BRAM_INTERCONNECT: 3,
+    ColumnKind.BRAM_CONTENT: 4,
+}
+_CODE_KINDS = {v: k for k, v in _KIND_CODES.items()}
+
+
+def encode_far(addr: FrameAddress) -> int:
+    """Pack a frame address into a 32-bit FAR word."""
+    return (
+        (_KIND_CODES[addr.kind] << 25)
+        | ((addr.major & 0xFF) << 9)
+        | (addr.minor & 0x1FF)
+    )
+
+
+def decode_far(word: int) -> FrameAddress:
+    """Unpack a 32-bit FAR word into a frame address."""
+    kind = _CODE_KINDS[(word >> 25) & 0x7]
+    return FrameAddress(kind, (word >> 9) & 0xFF, word & 0x1FF)
+
+
+class PacketOp(Enum):
+    """Packet operations (type-1 header opcodes)."""
+
+    NOP = "nop"
+    WRITE = "write"
+    READ = "read"
+
+
+@dataclass
+class Packet:
+    """One configuration packet: header word + payload words."""
+
+    op: PacketOp
+    register: str
+    payload: list[int] = field(default_factory=list)
+
+    @property
+    def word_count(self) -> int:
+        """Total 32-bit words on the wire (1 header + payload)."""
+        return 1 + len(self.payload)
+
+    def __str__(self) -> str:
+        return f"{self.op.value} {self.register}[{len(self.payload)}]"
+
+
+@dataclass
+class FrameWrite:
+    """A planned frame write: address plus payload bytes."""
+
+    addr: FrameAddress
+    data: bytes
+
+
+class PartialBitstream:
+    """A partial configuration file: an ordered packet stream.
+
+    Build with :meth:`add_column_write` / :meth:`add_frame_writes`, then
+    :meth:`finalize`.  ``word_count`` is what the Boundary-Scan port
+    shifts.  Every FDRI burst carries one extra *pad frame*, as the Virtex
+    configuration logic requires; this is part of why relocation over a
+    serial port costs milliseconds.
+    """
+
+    def __init__(self, memory: ConfigMemory, label: str = "") -> None:
+        self.memory = memory
+        self.label = label
+        self.packets: list[Packet] = [
+            Packet(PacketOp.WRITE, "CMD", [COMMANDS["RCRC"]]),
+        ]
+        self._finalized = False
+
+    @property
+    def frame_words(self) -> int:
+        """Words per frame for the target device."""
+        return self.memory.device.frame_words
+
+    def _require_open(self) -> None:
+        if self._finalized:
+            raise RuntimeError("bitstream already finalized")
+
+    def add_frame_writes(self, writes: list[FrameWrite]) -> None:
+        """Append FAR+FDRI bursts covering ``writes``.
+
+        Consecutive writes to the same column with consecutive minors are
+        merged into one burst, exactly as the tool groups them into a
+        single partial configuration sequence.
+        """
+        self._require_open()
+        if not writes:
+            return
+        i = 0
+        while i < len(writes):
+            j = i + 1
+            while (
+                j < len(writes)
+                and writes[j].addr.kind is writes[i].addr.kind
+                and writes[j].addr.major == writes[i].addr.major
+                and writes[j].addr.minor == writes[j - 1].addr.minor + 1
+            ):
+                j += 1
+            burst = writes[i:j]
+            payload: list[int] = []
+            for w in burst:
+                if len(w.data) != self.memory.frame_bytes:
+                    raise ValueError(
+                        f"frame payload for {w.addr} must be "
+                        f"{self.memory.frame_bytes} bytes"
+                    )
+                payload.extend(
+                    int.from_bytes(w.data[k : k + 4], "big")
+                    for k in range(0, len(w.data), 4)
+                )
+            # One pad frame of zeros flushes the frame data register.
+            payload.extend([0] * self.frame_words)
+            self.packets.append(
+                Packet(PacketOp.WRITE, "CMD", [COMMANDS["WCFG"]])
+            )
+            self.packets.append(
+                Packet(PacketOp.WRITE, "FAR", [encode_far(burst[0].addr)])
+            )
+            self.packets.append(Packet(PacketOp.WRITE, "FDRI", payload))
+            i = j
+
+    def add_column_write(self, kind: ColumnKind, major: int,
+                         frames: list[bytes]) -> None:
+        """Append a whole-column rewrite (the Boundary-Scan flow's write
+        granularity; see DESIGN.md section 5)."""
+        self.add_frame_writes(
+            [
+                FrameWrite(FrameAddress(kind, major, minor), data)
+                for minor, data in enumerate(frames)
+            ]
+        )
+
+    def finalize(self) -> "PartialBitstream":
+        """Append the CRC/DESYNC trailer and freeze the stream."""
+        self._require_open()
+        self.packets.append(Packet(PacketOp.WRITE, "CRC", [self.crc()]))
+        self.packets.append(
+            Packet(PacketOp.WRITE, "CMD", [COMMANDS["DESYNC"]])
+        )
+        self.packets.append(Packet(PacketOp.NOP, "CRC", []))
+        self._finalized = True
+        return self
+
+    def crc(self) -> int:
+        """CRC over all payload words appended so far (zlib.crc32 stands in
+        for the silicon's 16-bit register CRC; only consistency matters)."""
+        acc = 0
+        for pkt in self.packets:
+            for word in pkt.payload:
+                acc = zlib.crc32(word.to_bytes(4, "big"), acc)
+        return acc & 0xFFFFFFFF
+
+    @property
+    def word_count(self) -> int:
+        """Total 32-bit words on the wire, including the sync word."""
+        return 1 + sum(p.word_count for p in self.packets)
+
+    @property
+    def bit_count(self) -> int:
+        """Total bits on the wire."""
+        return 32 * self.word_count
+
+    def describe(self) -> str:
+        """One-line summary used in traces and the tool's logs."""
+        fdri_words = sum(
+            len(p.payload) for p in self.packets if p.register == "FDRI"
+        )
+        return (
+            f"<partial {self.label or 'config'}: {self.word_count} words, "
+            f"{fdri_words} FDRI words, {len(self.packets)} packets>"
+        )
+
+
+class ConfigurationController:
+    """Device-side packet processor.
+
+    Applies a :class:`PartialBitstream` to the configuration memory,
+    reproducing the silicon behaviour that matters to the paper: frames
+    are written through an auto-incrementing address, a whole burst forms
+    one transaction, and a CRC mismatch aborts the load (the tool then
+    restores its recovery copy).
+    """
+
+    def __init__(self, memory: ConfigMemory) -> None:
+        self.memory = memory
+        self.loads = 0
+
+    def apply(self, bitstream: PartialBitstream, check_crc: bool = True) -> None:
+        """Process every packet of ``bitstream`` in order."""
+        if not bitstream._finalized:
+            raise RuntimeError("apply() requires a finalized bitstream")
+        if bitstream.memory.device.name != self.memory.device.name:
+            raise ValueError(
+                "bitstream targets device "
+                f"{bitstream.memory.device.name}, controller drives "
+                f"{self.memory.device.name}"
+            )
+        if check_crc:
+            expected = None
+            check = 0
+            for pkt in bitstream.packets:
+                if pkt.register == "CRC" and pkt.op is PacketOp.WRITE:
+                    expected = pkt.payload[0]
+                    break
+                for word in pkt.payload:
+                    check = zlib.crc32(word.to_bytes(4, "big"), check)
+            if expected is not None and check & 0xFFFFFFFF != expected:
+                raise ValueError("configuration CRC mismatch; load aborted")
+        far: FrameAddress | None = None
+        fb = self.memory.frame_bytes
+        fw = self.memory.device.frame_words
+        for pkt in bitstream.packets:
+            if pkt.op is not PacketOp.WRITE:
+                continue
+            if pkt.register == "FAR":
+                far = decode_far(pkt.payload[0])
+            elif pkt.register == "FDRI":
+                if far is None:
+                    raise ValueError("FDRI packet before any FAR packet")
+                payload = b"".join(w.to_bytes(4, "big") for w in pkt.payload)
+                # Strip the trailing pad frame.
+                payload = payload[: len(payload) - fw * 4]
+                if len(payload) % fb:
+                    raise ValueError("FDRI payload is not a whole number of frames")
+                writes: list[tuple[FrameAddress, bytes]] = []
+                addr = far
+                for k in range(0, len(payload), fb):
+                    writes.append((addr, payload[k : k + fb]))
+                    addr = FrameAddress(addr.kind, addr.major, addr.minor + 1)
+                # One FDRI burst is one write transaction on the device.
+                self.memory.write_frames(writes)
+                far = None
+        self.loads += 1

@@ -1,0 +1,134 @@
+"""Configuration model of a Virtex CLB and its four logic cells.
+
+Each Virtex CLB holds two slices of two logic cells each; every cell is a
+4-input LUT feeding an optional storage element that can act as an
+edge-triggered flip-flop or a transparent latch, with a clock-enable (CE)
+input (paper, section 2).  LUTs can also be configured as distributed RAM
+— which the paper explicitly excludes from relocation:
+
+    "it is not feasible to extend this on-line relocation concept to the
+    relocation of those LUT/RAMs ... Even not being relocated, LUT/RAMs
+    should not lie in any column that could be affected by the relocation
+    procedure."
+
+The :class:`CellMode` taxonomy mirrors the paper's three implementation
+cases: combinational, synchronous free-running clock, synchronous
+gated-clock, and asynchronous (latch-based).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+
+from .geometry import CELLS_PER_CLB
+
+#: Number of configuration bits in a 4-input LUT.
+LUT_BITS = 16
+
+
+class CellMode(Enum):
+    """How a logic cell's storage element is used — the paper's taxonomy.
+
+    The relocation procedure differs per mode: combinational cells need
+    only the two-phase copy; free-running-clock FFs acquire state while
+    the inputs are paralleled; gated-clock FFs need the auxiliary
+    relocation circuit; latches use the same circuit with the latch gate
+    standing in for CE.
+    """
+
+    COMBINATIONAL = "combinational"
+    FF_FREE_CLOCK = "ff-free-clock"
+    FF_GATED_CLOCK = "ff-gated-clock"
+    LATCH = "latch"
+    LUT_RAM = "lut-ram"
+
+    @property
+    def sequential(self) -> bool:
+        """True when the cell holds state that relocation must preserve."""
+        return self in (
+            CellMode.FF_FREE_CLOCK,
+            CellMode.FF_GATED_CLOCK,
+            CellMode.LATCH,
+        )
+
+    @property
+    def relocatable(self) -> bool:
+        """LUT/RAM cells cannot be relocated on-line (paper, section 2)."""
+        return self is not CellMode.LUT_RAM
+
+
+@dataclass(frozen=True)
+class LogicCellConfig:
+    """Static configuration of one logic cell.
+
+    ``lut`` is the 16-entry truth table packed LSB-first: bit ``i`` is the
+    output for input vector ``i`` (input 0 is the LSB of the address).
+    """
+
+    mode: CellMode = CellMode.COMBINATIONAL
+    lut: int = 0
+    used: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.lut < (1 << LUT_BITS):
+            raise ValueError(f"LUT truth table {self.lut:#x} exceeds 16 bits")
+
+    def lut_output(self, inputs: tuple[int, ...]) -> int:
+        """Evaluate the LUT for a 4-bit input vector (missing inputs 0)."""
+        address = 0
+        for i, bit in enumerate(inputs[:4]):
+            address |= (bit & 1) << i
+        return (self.lut >> address) & 1
+
+    def vacated(self) -> "LogicCellConfig":
+        """The configuration after the cell returns to the free pool."""
+        return LogicCellConfig()
+
+
+@dataclass
+class ClbConfig:
+    """Configuration of one CLB site: four logic cells.
+
+    Mutable: relocation copies cell configurations between sites, and the
+    resource manager vacates whole CLBs when a function is swapped out.
+    """
+
+    cells: list[LogicCellConfig] = field(
+        default_factory=lambda: [LogicCellConfig() for _ in range(CELLS_PER_CLB)]
+    )
+
+    def __post_init__(self) -> None:
+        if len(self.cells) != CELLS_PER_CLB:
+            raise ValueError(f"a CLB has exactly {CELLS_PER_CLB} cells")
+
+    @property
+    def used_cells(self) -> int:
+        """Number of occupied logic cells."""
+        return sum(1 for c in self.cells if c.used)
+
+    @property
+    def is_free(self) -> bool:
+        """True when no cell of this CLB is in use."""
+        return self.used_cells == 0
+
+    @property
+    def has_lut_ram(self) -> bool:
+        """True when any cell is configured as distributed RAM."""
+        return any(c.mode is CellMode.LUT_RAM for c in self.cells)
+
+    def free_cell_indices(self) -> list[int]:
+        """Indices of unoccupied cells (candidates for the auxiliary
+        relocation circuit, which "must be implemented during the
+        relocation process in a nearby (free) CLB")."""
+        return [i for i, c in enumerate(self.cells) if not c.used]
+
+    def place_cell(self, index: int, config: LogicCellConfig) -> None:
+        """Occupy cell ``index`` with ``config`` (marked used)."""
+        if self.cells[index].used:
+            raise ValueError(f"cell {index} already occupied")
+        self.cells[index] = replace(config, used=True)
+
+    def vacate_cell(self, index: int) -> None:
+        """Return cell ``index`` to the free pool."""
+        self.cells[index] = self.cells[index].vacated()

@@ -1,0 +1,259 @@
+"""Behavioural model of the Virtex configuration memory.
+
+Section 2 of the paper describes the organisation this module reproduces:
+
+    "The configuration memory can be visualised as a rectangular array of
+    bits, which are grouped into one-bit wide vertical frames extending
+    from the top to the bottom of the array.  A frame is the smallest unit
+    of configuration that can be written to or read from the configuration
+    memory.  Frames are grouped together into larger units called columns.
+    Each CLB column corresponds to a configuration column with multiple
+    frames, mixing internal CLB configuration and state information, and
+    column routing and interconnect information."
+
+The model stores every frame as a byte buffer, addressed by
+(:class:`ColumnKind`, major, minor) in the style of the Virtex frame
+address register (FAR).  It keeps write statistics that the reconfiguration
+cost model (``repro.core.cost``) converts into Boundary-Scan shift time.
+
+Within a CLB column the 48 frames mix routing and logic configuration; we
+adopt the documented approximation (see DESIGN.md section 5):
+
+* minors 0..23  — routing / interconnect configuration,
+* minors 24..41 — CLB internal (LUT/FF mode) configuration,
+* minors 42..47 — state capture and miscellaneous control.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable
+
+from .devices import (
+    FRAMES_PER_BRAM_CONTENT_COLUMN,
+    FRAMES_PER_BRAM_INTERCONNECT_COLUMN,
+    FRAMES_PER_CLB_COLUMN,
+    FRAMES_PER_CLOCK_COLUMN,
+    FRAMES_PER_IOB_COLUMN,
+    VirtexDevice,
+)
+
+#: Minor frame indices holding routing/interconnect bits of a CLB column.
+ROUTING_MINORS = range(0, 24)
+#: Minor frame indices holding CLB internal configuration.
+LOGIC_MINORS = range(24, 42)
+#: Minor frame indices holding state capture / control bits.
+STATE_MINORS = range(42, 48)
+
+
+class ColumnKind(Enum):
+    """The kinds of configuration column in a Virtex device."""
+
+    CLOCK = "clock"
+    CLB = "clb"
+    IOB = "iob"
+    BRAM_INTERCONNECT = "bram_interconnect"
+    BRAM_CONTENT = "bram_content"
+
+
+#: Frames per column for each column kind.
+FRAMES_PER_COLUMN: dict[ColumnKind, int] = {
+    ColumnKind.CLOCK: FRAMES_PER_CLOCK_COLUMN,
+    ColumnKind.CLB: FRAMES_PER_CLB_COLUMN,
+    ColumnKind.IOB: FRAMES_PER_IOB_COLUMN,
+    ColumnKind.BRAM_INTERCONNECT: FRAMES_PER_BRAM_INTERCONNECT_COLUMN,
+    ColumnKind.BRAM_CONTENT: FRAMES_PER_BRAM_CONTENT_COLUMN,
+}
+
+
+@dataclass(frozen=True, order=True)
+class FrameAddress:
+    """Address of one frame: column kind, major (column), minor (frame)."""
+
+    kind: ColumnKind
+    major: int
+    minor: int
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}[{self.major}].{self.minor}"
+
+
+@dataclass
+class WriteStats:
+    """Accumulated configuration-port activity.
+
+    ``transactions`` counts distinct write bursts (one FAR + FDRI packet
+    pair each); the cost model adds per-transaction protocol overhead on
+    top of the per-frame payload bits.
+    """
+
+    frames_written: int = 0
+    frames_read: int = 0
+    transactions: int = 0
+
+    def copy(self) -> "WriteStats":
+        return WriteStats(self.frames_written, self.frames_read, self.transactions)
+
+    def __sub__(self, other: "WriteStats") -> "WriteStats":
+        return WriteStats(
+            self.frames_written - other.frames_written,
+            self.frames_read - other.frames_read,
+            self.transactions - other.transactions,
+        )
+
+
+class ConfigMemory:
+    """The full configuration memory of one device.
+
+    Columns are laid out left-to-right: the centre clock column, one CLB
+    column per CLB array column, two IOB columns, then the block-RAM
+    columns.  (The silicon interleaves majors centre-out; the simplified
+    left-to-right major numbering changes nothing observable at the level
+    of frame counts and write times, which is what the cost model needs.)
+    """
+
+    def __init__(self, dev: VirtexDevice) -> None:
+        self.device = dev
+        self.frame_bytes = dev.frame_bits // 8
+        self.stats = WriteStats()
+        self._columns: dict[tuple[ColumnKind, int], list[bytearray]] = {}
+        self._add_columns(ColumnKind.CLOCK, 1)
+        self._add_columns(ColumnKind.CLB, dev.clb_cols)
+        self._add_columns(ColumnKind.IOB, 2)
+        self._add_columns(ColumnKind.BRAM_INTERCONNECT, dev.bram_cols)
+        self._add_columns(ColumnKind.BRAM_CONTENT, dev.bram_cols)
+
+    def _add_columns(self, kind: ColumnKind, count: int) -> None:
+        for major in range(count):
+            frames = [
+                bytearray(self.frame_bytes) for _ in range(FRAMES_PER_COLUMN[kind])
+            ]
+            self._columns[(kind, major)] = frames
+
+    # -- addressing ------------------------------------------------------
+
+    def column_count(self, kind: ColumnKind) -> int:
+        """Number of columns of the given kind."""
+        return sum(1 for k, _ in self._columns if k is kind)
+
+    def frames_in_column(self, kind: ColumnKind) -> int:
+        """Number of frames in a column of the given kind."""
+        return FRAMES_PER_COLUMN[kind]
+
+    def clb_major(self, clb_col: int) -> int:
+        """Major address of the configuration column for a CLB column."""
+        if not 0 <= clb_col < self.device.clb_cols:
+            raise IndexError(
+                f"CLB column {clb_col} outside device {self.device.name}"
+            )
+        return clb_col
+
+    def _frames(self, kind: ColumnKind, major: int) -> list[bytearray]:
+        try:
+            return self._columns[(kind, major)]
+        except KeyError:
+            raise IndexError(f"no column {kind.value}[{major}]") from None
+
+    def validate(self, addr: FrameAddress) -> None:
+        """Raise ``IndexError`` if ``addr`` does not exist in this device."""
+        frames = self._frames(addr.kind, addr.major)
+        if not 0 <= addr.minor < len(frames):
+            raise IndexError(f"minor {addr.minor} outside column {addr}")
+
+    # -- frame I/O ---------------------------------------------------------
+
+    def read_frame(self, addr: FrameAddress) -> bytes:
+        """Read one frame (counts toward readback statistics)."""
+        self.validate(addr)
+        self.stats.frames_read += 1
+        return bytes(self._frames(addr.kind, addr.major)[addr.minor])
+
+    def peek_frame(self, addr: FrameAddress) -> bytes:
+        """Read one frame without touching the statistics (model-internal)."""
+        self.validate(addr)
+        return bytes(self._frames(addr.kind, addr.major)[addr.minor])
+
+    def write_frame(self, addr: FrameAddress, data: bytes) -> None:
+        """Write one frame as a standalone transaction."""
+        self.write_frames([(addr, data)])
+
+    def write_frames(self, writes: Iterable[tuple[FrameAddress, bytes]]) -> None:
+        """Write a burst of frames as a single transaction.
+
+        The paper's tool groups the frame updates of one relocation step
+        into one partial configuration file; modelling the burst as one
+        transaction charges the protocol overhead once, as the hardware
+        does.
+        """
+        burst = list(writes)
+        if not burst:
+            return
+        for addr, data in burst:
+            self.validate(addr)
+            if len(data) != self.frame_bytes:
+                raise ValueError(
+                    f"frame payload must be {self.frame_bytes} bytes, "
+                    f"got {len(data)} for {addr}"
+                )
+            self._frames(addr.kind, addr.major)[addr.minor][:] = data
+        self.stats.frames_written += len(burst)
+        self.stats.transactions += 1
+
+    def write_column(self, kind: ColumnKind, major: int,
+                     frames: list[bytes] | None = None) -> None:
+        """Rewrite an entire column as one transaction.
+
+        With ``frames=None`` the current contents are rewritten in place —
+        the paper relies on the fact that "rewriting the same configuration
+        data does not generate any transient signals" (section 2).
+        """
+        current = self._frames(kind, major)
+        if frames is None:
+            frames = [bytes(f) for f in current]
+        if len(frames) != len(current):
+            raise ValueError(
+                f"column {kind.value}[{major}] has {len(current)} frames, "
+                f"got {len(frames)}"
+            )
+        self.write_frames(
+            (FrameAddress(kind, major, minor), payload)
+            for minor, payload in enumerate(frames)
+        )
+
+    def read_column(self, kind: ColumnKind, major: int) -> list[bytes]:
+        """Read back an entire column (counts as one read transaction)."""
+        frames = self._frames(kind, major)
+        self.stats.frames_read += len(frames)
+        self.stats.transactions += 1
+        return [bytes(f) for f in frames]
+
+    # -- recovery ----------------------------------------------------------
+
+    def snapshot(self) -> dict[tuple[ColumnKind, int], list[bytes]]:
+        """Deep copy of the configuration, for the tool's recovery feature
+        ("the program always keeps a complete copy of the current
+        configuration, enabling system recovery in case of failure",
+        section 4)."""
+        return {
+            key: [bytes(f) for f in frames]
+            for key, frames in self._columns.items()
+        }
+
+    def restore(self, snap: dict[tuple[ColumnKind, int], list[bytes]]) -> None:
+        """Restore a snapshot taken with :meth:`snapshot`."""
+        for key, frames in snap.items():
+            current = self._columns[key]
+            if len(frames) != len(current):
+                raise ValueError(f"snapshot shape mismatch for column {key}")
+            for minor, payload in enumerate(frames):
+                current[minor][:] = payload
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConfigMemory):
+            return NotImplemented
+        return (
+            self.device.name == other.device.name
+            and self._columns == other._columns
+        )

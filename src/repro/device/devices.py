@@ -1,0 +1,147 @@
+"""Device table for the Virtex and Spartan-II families.
+
+The paper validates dynamic relocation on a Xilinx Virtex XCV200 and notes
+that the Virtex and Spartan families are the targets of the work
+(section 1).  This module captures the architectural parameters that the
+relocation procedure and its cost model depend on:
+
+* the CLB array dimensions (rows x columns),
+* the configuration-memory geometry: number of frames per column kind and
+  the frame length in bits (XAPP151, "Virtex Series Configuration
+  Architecture User Guide"),
+* the number of block-RAM columns.
+
+Frame lengths are stored per device (XAPP151 table values); for synthetic
+devices a fallback formula pads ``18 * rows + 36`` up to a 32-bit multiple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Frames in one CLB configuration column (XAPP151).
+FRAMES_PER_CLB_COLUMN = 48
+#: Frames in the centre clock column.
+FRAMES_PER_CLOCK_COLUMN = 8
+#: Frames in each IOB configuration column (two per device: left, right).
+FRAMES_PER_IOB_COLUMN = 54
+#: Frames in each block-RAM interconnect column.
+FRAMES_PER_BRAM_INTERCONNECT_COLUMN = 27
+#: Frames in each block-RAM content column.
+FRAMES_PER_BRAM_CONTENT_COLUMN = 64
+
+
+def fallback_frame_bits(clb_rows: int) -> int:
+    """Approximate frame length for a device with ``clb_rows`` CLB rows.
+
+    Each CLB row contributes 18 bits to a frame, plus top/bottom IOB and
+    pad overhead; the result is padded to a 32-bit word boundary.  This
+    matches the XAPP151 values to within one word and is used only for
+    synthetic devices absent from :data:`DEVICE_TABLE`.
+    """
+    raw = 18 * clb_rows + 36
+    return ((raw + 31) // 32) * 32
+
+
+@dataclass(frozen=True)
+class VirtexDevice:
+    """Architectural description of one Virtex/Spartan-II device."""
+
+    name: str
+    clb_rows: int
+    clb_cols: int
+    frame_bits: int
+    bram_cols: int = 2
+    family: str = "virtex"
+
+    @property
+    def clb_count(self) -> int:
+        """Total number of CLB sites."""
+        return self.clb_rows * self.clb_cols
+
+    @property
+    def logic_cell_count(self) -> int:
+        """Total number of logic cells (4 per CLB)."""
+        return 4 * self.clb_count
+
+    @property
+    def frame_words(self) -> int:
+        """Frame length in 32-bit configuration words."""
+        return self.frame_bits // 32
+
+    @property
+    def total_frames(self) -> int:
+        """Total number of configuration frames in the device."""
+        return (
+            FRAMES_PER_CLOCK_COLUMN
+            + self.clb_cols * FRAMES_PER_CLB_COLUMN
+            + 2 * FRAMES_PER_IOB_COLUMN
+            + self.bram_cols
+            * (FRAMES_PER_BRAM_INTERCONNECT_COLUMN + FRAMES_PER_BRAM_CONTENT_COLUMN)
+        )
+
+    @property
+    def configuration_bits(self) -> int:
+        """Total size of the configuration memory in bits."""
+        return self.total_frames * self.frame_bits
+
+    def __str__(self) -> str:
+        return f"{self.name} ({self.clb_rows}x{self.clb_cols} CLBs)"
+
+
+def _dev(name: str, rows: int, cols: int, frame_bits: int, **kw) -> VirtexDevice:
+    return VirtexDevice(name, rows, cols, frame_bits, **kw)
+
+
+#: Known devices.  CLB array sizes and frame lengths follow the Virtex
+#: data sheet and XAPP151; Spartan-II mirrors Virtex at smaller sizes.
+DEVICE_TABLE: dict[str, VirtexDevice] = {
+    d.name: d
+    for d in (
+        _dev("XCV50", 16, 24, 384),
+        _dev("XCV100", 20, 30, 448),
+        _dev("XCV150", 24, 36, 512),
+        _dev("XCV200", 28, 42, 576),
+        _dev("XCV300", 32, 48, 672),
+        _dev("XCV400", 40, 60, 800),
+        _dev("XCV600", 48, 72, 960),
+        _dev("XCV800", 56, 84, 1088),
+        _dev("XCV1000", 64, 96, 1248),
+        _dev("XC2S15", 8, 12, 224, family="spartan2"),
+        _dev("XC2S30", 12, 18, 288, family="spartan2"),
+        _dev("XC2S50", 16, 24, 384, family="spartan2"),
+        _dev("XC2S100", 20, 30, 448, family="spartan2"),
+        _dev("XC2S150", 24, 36, 512, family="spartan2"),
+        _dev("XC2S200", 28, 42, 576, family="spartan2"),
+    )
+}
+
+
+def device(name: str) -> VirtexDevice:
+    """Look up a device by name (case-insensitive).
+
+    Raises ``KeyError`` with the list of known devices when unknown.
+    """
+    key = name.upper()
+    if key not in DEVICE_TABLE:
+        known = ", ".join(sorted(DEVICE_TABLE))
+        raise KeyError(f"unknown device {name!r}; known devices: {known}")
+    return DEVICE_TABLE[key]
+
+
+def synthetic_device(rows: int, cols: int, name: str | None = None) -> VirtexDevice:
+    """Build an ad-hoc device, e.g. for tests needing tiny arrays."""
+    if rows <= 0 or cols <= 0:
+        raise ValueError("device must have positive CLB array dimensions")
+    return VirtexDevice(
+        name or f"SYN{rows}X{cols}",
+        rows,
+        cols,
+        fallback_frame_bits(rows),
+        bram_cols=0,
+        family="synthetic",
+    )
+
+
+#: The device used throughout the paper's experiments.
+XCV200 = DEVICE_TABLE["XCV200"]

@@ -1,0 +1,223 @@
+"""The fabric: CLB site occupancy, logic-cell configuration and routing.
+
+:class:`Fabric` ties together the pieces the on-line manager operates on:
+
+* a 2-D occupancy grid of CLB sites (which function owns which region),
+* per-site :class:`~repro.device.clb.ClbConfig` records,
+* the :class:`~repro.device.routing.RoutingGraph` of the device,
+* optionally a :class:`~repro.device.config_memory.ConfigMemory`, so that
+  logical operations (place, vacate, relocate) can be mirrored into frame
+  writes by the tool layer.
+
+The paper's problem statement lives at exactly this level: "many small
+pools of resources are created as they are released ... leading to a
+fragmentation of the FPGA logic space" (section 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .clb import ClbConfig, LogicCellConfig
+from .config_memory import ConfigMemory
+from .devices import VirtexDevice
+from .geometry import CellCoord, ClbCoord, Rect
+from .routing import RoutingGraph
+
+#: Occupancy value of a free CLB site.
+FREE = 0
+
+
+class FabricError(RuntimeError):
+    """Raised on illegal fabric operations (double allocation, etc.)."""
+
+
+class Fabric:
+    """Run-time state of one device's logic space."""
+
+    def __init__(self, device: VirtexDevice,
+                 with_config_memory: bool = False) -> None:
+        self.device = device
+        self.occupancy = np.zeros((device.clb_rows, device.clb_cols), dtype=np.int32)
+        self.routing = RoutingGraph(device)
+        self.config_memory = ConfigMemory(device) if with_config_memory else None
+        self._clbs: dict[ClbCoord, ClbConfig] = {}
+
+    # -- geometry helpers ----------------------------------------------------
+
+    @property
+    def bounds(self) -> Rect:
+        """The whole CLB array as a rectangle."""
+        return Rect(0, 0, self.device.clb_rows, self.device.clb_cols)
+
+    def in_bounds(self, rect: Rect) -> bool:
+        """True if ``rect`` fits inside the CLB array."""
+        return self.bounds.contains_rect(rect)
+
+    # -- occupancy -------------------------------------------------------------
+
+    def occupant(self, coord: ClbCoord) -> int:
+        """Owner id of a site (:data:`FREE` when unoccupied)."""
+        return int(self.occupancy[coord.row, coord.col])
+
+    def is_free(self, coord: ClbCoord) -> bool:
+        """True when the site belongs to no function."""
+        return self.occupant(coord) == FREE
+
+    def region_is_free(self, rect: Rect) -> bool:
+        """True when every site of ``rect`` is free (and in bounds)."""
+        if not self.in_bounds(rect):
+            return False
+        view = self.occupancy[rect.row : rect.row_end, rect.col : rect.col_end]
+        return bool((view == FREE).all())
+
+    def allocate_region(self, rect: Rect, owner: int) -> None:
+        """Claim ``rect`` for function ``owner`` (a positive id)."""
+        if owner <= FREE:
+            raise ValueError(f"owner id must be positive, got {owner}")
+        if not self.region_is_free(rect):
+            raise FabricError(f"region {rect} is not entirely free")
+        self.occupancy[rect.row : rect.row_end, rect.col : rect.col_end] = owner
+
+    def free_region(self, rect: Rect, owner: int | None = None) -> None:
+        """Return ``rect`` to the free pool, vacating its cells.
+
+        With ``owner`` given, verifies every site belonged to that owner —
+        catching manager bookkeeping bugs early.
+        """
+        view = self.occupancy[rect.row : rect.row_end, rect.col : rect.col_end]
+        if owner is not None and not bool((view == owner).all()):
+            raise FabricError(f"region {rect} is not wholly owned by {owner}")
+        view[...] = FREE
+        for site in rect.sites():
+            self._clbs.pop(site, None)
+
+    def move_region(self, src: Rect, dst: Rect, owner: int) -> None:
+        """Relocate a whole function footprint from ``src`` to ``dst``.
+
+        Carries the CLB configurations across.  ``dst`` must be free
+        except where it overlaps ``src`` (the paper's staged nearby moves
+        may slide a function onto partially overlapping space).
+        """
+        if not self.in_bounds(dst):
+            raise FabricError(f"destination {dst} out of bounds")
+        if (src.height, src.width) != (dst.height, dst.width):
+            raise FabricError("move must preserve the footprint shape")
+        for site in dst.sites():
+            occ = self.occupant(site)
+            if occ != FREE and not (src.contains(site) and occ == owner):
+                raise FabricError(f"destination site {site} busy (owner {occ})")
+        moved: dict[ClbCoord, ClbConfig] = {}
+        for site in src.sites():
+            if self.occupant(site) != owner:
+                raise FabricError(f"source site {site} not owned by {owner}")
+            cfg = self._clbs.pop(site, None)
+            if cfg is not None:
+                target = ClbCoord(
+                    site.row - src.row + dst.row, site.col - src.col + dst.col
+                )
+                moved[target] = cfg
+        self.occupancy[src.row : src.row_end, src.col : src.col_end] = FREE
+        self.occupancy[dst.row : dst.row_end, dst.col : dst.col_end] = owner
+        self._clbs.update(moved)
+
+    # -- logic cells -------------------------------------------------------------
+
+    def clb(self, coord: ClbCoord) -> ClbConfig:
+        """The (lazily created) configuration record of a CLB site."""
+        if not self.bounds.contains(coord):
+            raise FabricError(f"CLB {coord} out of bounds")
+        if coord not in self._clbs:
+            self._clbs[coord] = ClbConfig()
+        return self._clbs[coord]
+
+    def place_cell(self, site: CellCoord, config: LogicCellConfig) -> None:
+        """Configure one logic cell at ``site``."""
+        self.clb(site.clb).place_cell(site.cell, config)
+
+    def vacate_cell(self, site: CellCoord) -> None:
+        """Return one logic cell to the free pool."""
+        self.clb(site.clb).vacate_cell(site.cell)
+
+    def cell_config(self, site: CellCoord) -> LogicCellConfig:
+        """Current configuration of one logic cell."""
+        return self.clb(site.clb).cells[site.cell]
+
+    def find_free_cell_near(self, near: ClbCoord,
+                            max_distance: int | None = None) -> CellCoord | None:
+        """Nearest free logic cell to ``near`` (for the auxiliary
+        relocation circuit, which lives "in a nearby (free) CLB").
+
+        Searches sites in increasing Manhattan distance; a site qualifies
+        if it is unowned or its CLB still has a free cell.  Returns
+        ``None`` when nothing is available within ``max_distance``.
+        """
+        limit = max_distance
+        if limit is None:
+            limit = self.device.clb_rows + self.device.clb_cols
+        for dist in range(0, limit + 1):
+            for dr in range(-dist, dist + 1):
+                dc = dist - abs(dr)
+                for signed_dc in {dc, -dc}:
+                    coord = ClbCoord(near.row + dr, near.col + signed_dc)
+                    if not self.bounds.contains(coord):
+                        continue
+                    clb = self._clbs.get(coord)
+                    if clb is None:
+                        if self.is_free(coord):
+                            return CellCoord(coord.row, coord.col, 0)
+                        continue
+                    free = clb.free_cell_indices()
+                    if free:
+                        return CellCoord(coord.row, coord.col, free[0])
+        return None
+
+    def lut_ram_columns(self) -> set[int]:
+        """CLB columns containing at least one distributed-RAM cell.
+
+        The paper forbids relocations whose frames touch such columns:
+        rewriting a frame that crosses a LUT/RAM would race its runtime
+        contents (section 2, after [12]).
+        """
+        return {
+            coord.col
+            for coord, clb in self._clbs.items()
+            if clb.has_lut_ram
+        }
+
+    # -- statistics -----------------------------------------------------------
+
+    def free_site_count(self) -> int:
+        """Number of free CLB sites."""
+        return int((self.occupancy == FREE).sum())
+
+    def utilization(self) -> float:
+        """Fraction of CLB sites currently owned by functions."""
+        return 1.0 - self.free_site_count() / self.device.clb_count
+
+    def owners(self) -> set[int]:
+        """All function ids currently resident."""
+        ids = np.unique(self.occupancy)
+        return {int(i) for i in ids if i != FREE}
+
+    def footprint(self, owner: int) -> Rect | None:
+        """Bounding rectangle of an owner's sites (None if absent).
+
+        Functions are placed as solid rectangles by the manager, so the
+        bounding box *is* the footprint; an assertion guards that.
+        """
+        rows, cols = np.nonzero(self.occupancy == owner)
+        if rows.size == 0:
+            return None
+        rect = Rect(
+            int(rows.min()),
+            int(cols.min()),
+            int(rows.max() - rows.min() + 1),
+            int(cols.max() - cols.min() + 1),
+        )
+        view = self.occupancy[rect.row : rect.row_end, rect.col : rect.col_end]
+        if not bool((view == owner).all()):
+            raise FabricError(f"owner {owner} footprint is not rectangular")
+        return rect

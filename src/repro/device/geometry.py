@@ -1,0 +1,180 @@
+"""Geometric primitives for the FPGA logic space.
+
+The paper models the FPGA as a rectangular array of uncommitted CLBs
+(Configurable Logic Blocks) surrounded by IOBs, interconnected by
+configurable routing resources (Gericota et al., DATE 2003, section 2).
+This module provides the coordinate types used everywhere else:
+
+* :class:`ClbCoord` — a CLB site addressed by (row, col).
+* :class:`CellCoord` — one of the four logic cells inside a CLB
+  ("each CLB comprises four of these cells", section 2).
+* :class:`Rect` — a rectangular region of CLBs, used for function
+  footprints and free-space bookkeeping.
+
+Rows run top-to-bottom, columns left-to-right, both 0-based, matching the
+frame orientation of the Virtex configuration memory (frames are vertical,
+one CLB column wide).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+#: Number of slices in a Virtex CLB.
+SLICES_PER_CLB = 2
+#: Number of logic cells (LUT + FF pairs) in a Virtex CLB.
+CELLS_PER_CLB = 4
+#: Number of logic cells in each slice.
+CELLS_PER_SLICE = CELLS_PER_CLB // SLICES_PER_CLB
+
+
+@dataclass(frozen=True, order=True)
+class ClbCoord:
+    """Coordinate of a CLB site in the array (0-based row and column)."""
+
+    row: int
+    col: int
+
+    def neighbours(self) -> tuple["ClbCoord", ...]:
+        """Return the 4-neighbourhood of this site (may include
+        out-of-array coordinates; callers clip against the device)."""
+        return (
+            ClbCoord(self.row - 1, self.col),
+            ClbCoord(self.row + 1, self.col),
+            ClbCoord(self.row, self.col - 1),
+            ClbCoord(self.row, self.col + 1),
+        )
+
+    def manhattan(self, other: "ClbCoord") -> int:
+        """Manhattan distance to ``other`` in CLB units."""
+        return abs(self.row - other.row) + abs(self.col - other.col)
+
+    def __str__(self) -> str:  # e.g. R3C17
+        return f"R{self.row}C{self.col}"
+
+
+@dataclass(frozen=True, order=True)
+class CellCoord:
+    """Coordinate of a single logic cell: a CLB site plus cell index 0-3.
+
+    Cells 0 and 1 live in slice 0, cells 2 and 3 in slice 1.  The paper's
+    relocation procedure operates on individual cells ("each CLB cell can
+    be considered individually", section 2).
+    """
+
+    row: int
+    col: int
+    cell: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.cell < CELLS_PER_CLB:
+            raise ValueError(f"cell index {self.cell} outside 0..{CELLS_PER_CLB - 1}")
+
+    @property
+    def clb(self) -> ClbCoord:
+        """The CLB site containing this cell."""
+        return ClbCoord(self.row, self.col)
+
+    @property
+    def slice_index(self) -> int:
+        """Slice (0 or 1) containing this cell."""
+        return self.cell // CELLS_PER_SLICE
+
+    def __str__(self) -> str:  # e.g. R3C17.2
+        return f"R{self.row}C{self.col}.{self.cell}"
+
+
+@dataclass(frozen=True, order=True)
+class Rect:
+    """A rectangle of CLBs: origin (row, col), extent (height, width).
+
+    Rectangles are half-open neither-way: they cover rows
+    ``row .. row + height - 1`` and columns ``col .. col + width - 1``.
+    """
+
+    row: int
+    col: int
+    height: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.height <= 0 or self.width <= 0:
+            raise ValueError(f"degenerate rectangle {self!r}")
+
+    @property
+    def area(self) -> int:
+        """Number of CLB sites covered."""
+        return self.height * self.width
+
+    @property
+    def row_end(self) -> int:
+        """One past the last covered row."""
+        return self.row + self.height
+
+    @property
+    def col_end(self) -> int:
+        """One past the last covered column."""
+        return self.col + self.width
+
+    def contains(self, coord: ClbCoord) -> bool:
+        """True if ``coord`` lies inside this rectangle."""
+        return (
+            self.row <= coord.row < self.row_end
+            and self.col <= coord.col < self.col_end
+        )
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True if ``other`` lies entirely inside this rectangle."""
+        return (
+            self.row <= other.row
+            and self.col <= other.col
+            and other.row_end <= self.row_end
+            and other.col_end <= self.col_end
+        )
+
+    def overlaps(self, other: "Rect") -> bool:
+        """True if the two rectangles share at least one CLB site."""
+        return (
+            self.row < other.row_end
+            and other.row < self.row_end
+            and self.col < other.col_end
+            and other.col < self.col_end
+        )
+
+    def sites(self) -> Iterator[ClbCoord]:
+        """Iterate over every CLB site covered, row-major order."""
+        for r in range(self.row, self.row_end):
+            for c in range(self.col, self.col_end):
+                yield ClbCoord(r, c)
+
+    def columns(self) -> range:
+        """The CLB columns spanned (useful for frame accounting: any
+        reconfiguration of this region touches exactly these columns)."""
+        return range(self.col, self.col_end)
+
+    def translated(self, drow: int, dcol: int) -> "Rect":
+        """A copy of this rectangle moved by (drow, dcol)."""
+        return Rect(self.row + drow, self.col + dcol, self.height, self.width)
+
+    def center(self) -> ClbCoord:
+        """The CLB site nearest the rectangle's centroid."""
+        return ClbCoord(self.row + self.height // 2, self.col + self.width // 2)
+
+    def __str__(self) -> str:  # e.g. 4x6@R2C10
+        return f"{self.height}x{self.width}@R{self.row}C{self.col}"
+
+
+def span_columns(*rects: Rect) -> range:
+    """Smallest contiguous range of CLB columns covering all ``rects``.
+
+    The relocation of a CLB affects every configuration column its signals
+    cross ("more than one column may be affected, since its input and
+    output signals ... may cross several columns", section 2); this helper
+    computes that span.
+    """
+    if not rects:
+        raise ValueError("span_columns() needs at least one rectangle")
+    lo = min(r.col for r in rects)
+    hi = max(r.col_end for r in rects)
+    return range(lo, hi)

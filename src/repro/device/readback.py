@@ -1,0 +1,118 @@
+"""Configuration readback and flip-flop state capture.
+
+Section 2 of the paper notes that each CLB configuration column mixes
+"internal CLB configuration and state information": the Virtex readback
+path can capture the current flip-flop states into the configuration
+memory's state frames (the GCAPTURE mechanism) and read them out.  The
+paper's *concurrent* procedure deliberately avoids relying on capture —
+a captured snapshot goes stale if CE fires between capture and rewrite —
+but the *halting* baseline uses exactly this path, and the tool reads
+back columns to build its recovery copy.
+
+This module models both:
+
+* :class:`StateCapture` — maps each logic cell site to a (frame, bit)
+  position inside its column's state frames, captures a simulator's
+  flip-flop states into the configuration memory, and restores them;
+* :func:`capture_hazard_window` — the coherency analysis: the number of
+  enabled clock edges between capture and rewrite is exactly the number
+  of lost updates (why capture-based transfer needs the system halted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config_memory import ColumnKind, ConfigMemory, FrameAddress, STATE_MINORS
+from .geometry import CELLS_PER_CLB, CellCoord
+
+
+@dataclass(frozen=True)
+class StateBitLocation:
+    """Where one cell's FF state lives in the configuration memory."""
+
+    address: FrameAddress
+    bit: int
+
+
+class StateCapture:
+    """Capture/restore of flip-flop state through the state frames."""
+
+    def __init__(self, memory: ConfigMemory) -> None:
+        self.memory = memory
+        self.captures = 0
+
+    def location(self, site: CellCoord) -> StateBitLocation:
+        """The state-frame bit holding ``site``'s flip-flop state.
+
+        Layout: state frames of the cell's column; one bit per cell,
+        packed row-major (row * cells-per-CLB + cell index), spilling
+        across the column's state minors.
+        """
+        if not 0 <= site.col < self.memory.device.clb_cols:
+            raise IndexError(f"site {site} outside device")
+        if not 0 <= site.row < self.memory.device.clb_rows:
+            raise IndexError(f"site {site} outside device")
+        index = site.row * CELLS_PER_CLB + site.cell
+        bits_per_frame = self.memory.device.frame_bits
+        minor_offset, bit = divmod(index, bits_per_frame)
+        minors = list(STATE_MINORS)
+        if minor_offset >= len(minors):
+            raise IndexError(f"state bit of {site} exceeds state frames")
+        address = FrameAddress(
+            ColumnKind.CLB,
+            self.memory.clb_major(site.col),
+            minors[minor_offset],
+        )
+        return StateBitLocation(address, bit)
+
+    def capture(self, states: dict[CellCoord, int]) -> int:
+        """Snapshot flip-flop states into the state frames (GCAPTURE).
+
+        ``states`` maps sites to current FF values (from the simulator —
+        the model's stand-in for the capture trigger).  Returns the
+        number of frames written.
+        """
+        by_frame: dict[FrameAddress, list[tuple[int, int]]] = {}
+        for site, value in states.items():
+            loc = self.location(site)
+            by_frame.setdefault(loc.address, []).append((loc.bit, value & 1))
+        writes = []
+        for address, bits in by_frame.items():
+            frame = bytearray(self.memory.peek_frame(address))
+            for bit, value in bits:
+                byte, offset = divmod(bit, 8)
+                if value:
+                    frame[byte] |= 1 << offset
+                else:
+                    frame[byte] &= ~(1 << offset)
+            writes.append((address, bytes(frame)))
+        self.memory.write_frames(writes)
+        self.captures += 1
+        return len(writes)
+
+    def read_state(self, site: CellCoord) -> int:
+        """Read one captured flip-flop state back out."""
+        loc = self.location(site)
+        frame = self.memory.peek_frame(loc.address)
+        byte, offset = divmod(loc.bit, 8)
+        return (frame[byte] >> offset) & 1
+
+    def read_states(self, sites: list[CellCoord]) -> dict[CellCoord, int]:
+        """Read several captured states (one readback transaction each
+        distinct frame)."""
+        return {site: self.read_state(site) for site in sites}
+
+
+def capture_hazard_window(enabled_edges_between: int) -> int:
+    """Updates lost by capture-based state transfer on a *running* system.
+
+    If the flip-flop's clock enable fires ``enabled_edges_between`` times
+    between the capture and the moment the captured value is written
+    into the replica, the replica is exactly that many updates behind.
+    Zero only when the system is halted — the paper's reason for
+    rejecting capture-based transfer for concurrent relocation.
+    """
+    if enabled_edges_between < 0:
+        raise ValueError("edge count cannot be negative")
+    return enabled_edges_between

@@ -1,0 +1,98 @@
+"""Netlist substrate: cells, circuits, simulation, benchmarks, mapping.
+
+The live payloads of every relocation experiment come from here: small
+canonical circuits (``repro.netlist.library``), ITC'99-statistics
+benchmarks (``repro.netlist.itc99``), the cycle-accurate simulator with
+drive-conflict detection (``repro.netlist.simulator``) and the timed
+parallel-path analysis of Fig. 6 (``repro.netlist.timing``).
+"""
+
+from .cells import (
+    Cell,
+    LUT_AND2,
+    LUT_AND3,
+    LUT_BUF,
+    LUT_CONST0,
+    LUT_CONST1,
+    LUT_MAJ3,
+    LUT_MUX21,
+    LUT_NAND2,
+    LUT_NOR2,
+    LUT_NOT,
+    LUT_OR2,
+    LUT_OR3,
+    LUT_XNOR2,
+    LUT_XOR2,
+    LUT_XOR3,
+    lut_eval,
+    mux21,
+    or2,
+)
+from .circuit import Circuit, CircuitStats, NetlistError
+from .io import NetlistFormatError, dumps, load, loads, save
+from .itc99 import ITC99_STATS, Itc99Spec, generate, generate_suite, spec
+from .simulator import (
+    CycleSimulator,
+    DriveConflict,
+    LockstepChecker,
+    SimulationError,
+)
+from .synth import MappedDesign, MappingError, footprint_shape, pack, place
+from .timing import (
+    FuzzInterval,
+    ParallelPathReport,
+    Transition,
+    Waveform,
+    merge_parallel_paths,
+    square_wave,
+)
+
+__all__ = [
+    "Cell",
+    "Circuit",
+    "CircuitStats",
+    "CycleSimulator",
+    "DriveConflict",
+    "FuzzInterval",
+    "ITC99_STATS",
+    "Itc99Spec",
+    "LUT_AND2",
+    "LUT_AND3",
+    "LUT_BUF",
+    "LUT_CONST0",
+    "LUT_CONST1",
+    "LUT_MAJ3",
+    "LUT_MUX21",
+    "LUT_NAND2",
+    "LUT_NOR2",
+    "LUT_NOT",
+    "LUT_OR2",
+    "LUT_OR3",
+    "LUT_XNOR2",
+    "LUT_XOR2",
+    "LUT_XOR3",
+    "LockstepChecker",
+    "MappedDesign",
+    "MappingError",
+    "NetlistError",
+    "NetlistFormatError",
+    "ParallelPathReport",
+    "SimulationError",
+    "Transition",
+    "Waveform",
+    "dumps",
+    "footprint_shape",
+    "generate",
+    "generate_suite",
+    "load",
+    "loads",
+    "lut_eval",
+    "save",
+    "merge_parallel_paths",
+    "mux21",
+    "or2",
+    "pack",
+    "place",
+    "spec",
+    "square_wave",
+]

@@ -1,0 +1,116 @@
+"""Logic-cell primitives for the netlist substrate.
+
+A cell mirrors the Virtex logic cell the paper relocates: a 4-input LUT
+feeding an optional storage element (edge-triggered FF with clock enable,
+or a transparent latch).  Cells drive exactly one net; by default the net
+carries the cell's name.  During a relocation the engine may register a
+*second* driver on a net ("the outputs of both CLBs are also placed in
+parallel") — the simulator then checks both drivers agree, which is the
+machine-checkable version of the paper's glitch-free observation.
+
+Truth tables are 16-bit integers, LSB-first: bit ``i`` holds the output
+for the input vector whose bit 0 is input 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.device.clb import CellMode
+
+#: Common truth tables (input 0 is the LSB of the LUT address).
+LUT_BUF = 0xAAAA       # out = i0
+LUT_NOT = 0x5555       # out = !i0
+LUT_AND2 = 0x8888      # out = i0 & i1
+LUT_OR2 = 0xEEEE       # out = i0 | i1
+LUT_XOR2 = 0x6666      # out = i0 ^ i1
+LUT_NAND2 = 0x7777     # out = !(i0 & i1)
+LUT_NOR2 = 0x1111      # out = !(i0 | i1)
+LUT_XNOR2 = 0x9999     # out = !(i0 ^ i1)
+LUT_MUX21 = 0xCACA     # out = i2 ? i1 : i0
+LUT_AND3 = 0x8080      # out = i0 & i1 & i2
+LUT_OR3 = 0xFEFE       # out = i0 | i1 | i2
+LUT_XOR3 = 0x9696      # out = i0 ^ i1 ^ i2
+LUT_MAJ3 = 0xE8E8      # out = majority(i0, i1, i2)
+LUT_CONST0 = 0x0000
+LUT_CONST1 = 0xFFFF
+
+
+def lut_eval(table: int, inputs: tuple[int, ...]) -> int:
+    """Evaluate a LUT truth table for an input vector (missing inputs 0)."""
+    address = 0
+    for i, bit in enumerate(inputs[:4]):
+        address |= (bit & 1) << i
+    return (table >> address) & 1
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One logic cell of a netlist.
+
+    ``inputs`` name the nets feeding the LUT (up to 4).  For sequential
+    modes the LUT output feeds the storage element; the cell's output net
+    then carries the *registered* value.  ``ce`` names the clock-enable
+    net for :attr:`CellMode.FF_GATED_CLOCK` cells and the latch gate for
+    :attr:`CellMode.LATCH` cells; it must be ``None`` otherwise.
+    """
+
+    name: str
+    lut: int
+    inputs: tuple[str, ...]
+    mode: CellMode = CellMode.COMBINATIONAL
+    ce: str | None = None
+    output: str = ""
+    init_state: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("cell needs a non-empty name")
+        if not 0 <= self.lut <= 0xFFFF:
+            raise ValueError(f"{self.name}: LUT table out of 16-bit range")
+        if len(self.inputs) > 4:
+            raise ValueError(f"{self.name}: a logic cell has at most 4 inputs")
+        needs_ce = self.mode in (CellMode.FF_GATED_CLOCK, CellMode.LATCH)
+        if needs_ce and self.ce is None:
+            raise ValueError(f"{self.name}: mode {self.mode.value} needs a ce net")
+        if not needs_ce and self.ce is not None:
+            raise ValueError(f"{self.name}: mode {self.mode.value} takes no ce net")
+        if self.init_state not in (0, 1):
+            raise ValueError(f"{self.name}: init_state must be 0 or 1")
+        if not self.output:
+            object.__setattr__(self, "output", self.name)
+
+    @property
+    def sequential(self) -> bool:
+        """True when the cell holds state across clock edges."""
+        return self.mode.sequential
+
+    @property
+    def fanin(self) -> tuple[str, ...]:
+        """All nets this cell observes (LUT inputs plus CE)."""
+        if self.ce is None:
+            return self.inputs
+        return self.inputs + (self.ce,)
+
+    def evaluate_lut(self, values: tuple[int, ...]) -> int:
+        """Combinational output of the LUT for the given input values."""
+        return lut_eval(self.lut, values)
+
+    def renamed(self, name: str, output: str | None = None) -> "Cell":
+        """A copy with a new name (used to create replica cells)."""
+        return replace(self, name=name, output=output or name)
+
+    def rewired(self, **changes: object) -> "Cell":
+        """A copy with selected fields replaced (relocation rewiring)."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+
+def mux21(name: str, a: str, b: str, sel: str, output: str = "") -> Cell:
+    """The 2:1 multiplexer of the auxiliary relocation circuit:
+    ``out = sel ? b : a`` (paper, Fig. 3)."""
+    return Cell(name, LUT_MUX21, (a, b, sel), output=output or name)
+
+
+def or2(name: str, a: str, b: str, output: str = "") -> Cell:
+    """The OR gate of the auxiliary relocation circuit (paper, Fig. 3)."""
+    return Cell(name, LUT_OR2, (a, b), output=output or name)

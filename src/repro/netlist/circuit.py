@@ -1,0 +1,295 @@
+"""Netlist container: cells, nets, primary I/O, structural validation.
+
+A :class:`Circuit` is deliberately mutable — the whole point of the paper
+is that the *live* netlist changes while the system runs (replica cells
+appear, nets gain a second parallel driver, the original is detached).
+The invariants that must hold at rest (single driver per net, no
+combinational loops) are checked by :meth:`validate`; the relocation
+engine is allowed to create transient multi-driver nets through the
+explicit parallel-driver API, which the simulator monitors for conflicts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.device.clb import CellMode
+
+from .cells import Cell
+
+
+class NetlistError(RuntimeError):
+    """Raised on structural violations (unknown nets, loops, duplicates)."""
+
+
+@dataclass
+class CircuitStats:
+    """Size statistics of a circuit, in the shape ITC'99 tables use."""
+
+    inputs: int
+    outputs: int
+    cells: int
+    flip_flops: int
+    latches: int
+    gated_flip_flops: int
+    combinational: int
+
+    @property
+    def sequential(self) -> int:
+        """All state-holding cells."""
+        return self.flip_flops + self.latches
+
+
+class Circuit:
+    """A flat LUT/FF netlist with single-clock synchronous semantics."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.inputs: list[str] = []
+        self.outputs: list[str] = []
+        self.cells: dict[str, Cell] = {}
+        #: nets with deliberately paralleled drivers, in driver order —
+        #: the first driver is the "original", later ones are replicas.
+        self.parallel_drivers: dict[str, list[str]] = {}
+        self._topo_cache: list[str] | None = None
+
+    # -- construction -----------------------------------------------------
+
+    def add_input(self, name: str) -> str:
+        """Declare a primary input net."""
+        if name in self.inputs:
+            raise NetlistError(f"duplicate primary input {name!r}")
+        if name in self.cells:
+            raise NetlistError(f"net {name!r} already driven by a cell")
+        self.inputs.append(name)
+        self._topo_cache = None
+        return name
+
+    def add_cell(self, cell: Cell) -> Cell:
+        """Add a cell; its output net must not collide with another driver."""
+        if cell.name in self.cells:
+            raise NetlistError(f"duplicate cell {cell.name!r}")
+        current = self.net_driver_map().get(cell.output)
+        if current is not None or cell.output in self.inputs:
+            raise NetlistError(
+                f"net {cell.output!r} already driven "
+                f"(by {current or 'a primary input'!r})"
+            )
+        self.cells[cell.name] = cell
+        self._topo_cache = None
+        return cell
+
+    def remove_cell(self, name: str) -> Cell:
+        """Remove a cell (relocation detaches the original CLB)."""
+        try:
+            cell = self.cells.pop(name)
+        except KeyError:
+            raise NetlistError(f"no cell {name!r}") from None
+        for net, drivers in list(self.parallel_drivers.items()):
+            if name in drivers:
+                drivers.remove(name)
+                if len(drivers) <= 1:
+                    del self.parallel_drivers[net]
+        self._topo_cache = None
+        return cell
+
+    def replace_cell(self, cell: Cell) -> Cell:
+        """Swap in a rewired version of an existing cell (same name)."""
+        if cell.name not in self.cells:
+            raise NetlistError(f"no cell {cell.name!r} to replace")
+        old = self.cells[cell.name]
+        if cell.output != old.output and cell.output in self.net_driver_map():
+            raise NetlistError(f"net {cell.output!r} already driven")
+        self.cells[cell.name] = cell
+        self._topo_cache = None
+        return cell
+
+    def set_outputs(self, nets: list[str]) -> None:
+        """Declare the primary output nets."""
+        self.outputs = list(nets)
+
+    # -- parallel drivers (relocation window) --------------------------------
+
+    def add_parallel_driver(self, net: str, replica_cell: str) -> None:
+        """Register ``replica_cell`` as an additional driver of ``net``.
+
+        Models the second phase of the relocation procedure: "the outputs
+        of both CLBs are also placed in parallel".  The replica cell keeps
+        its private output net; evaluation of ``net`` consults all
+        registered drivers and flags any disagreement as a drive conflict.
+        """
+        if replica_cell not in self.cells:
+            raise NetlistError(f"no cell {replica_cell!r}")
+        primary = self.net_driver_map().get(net)
+        if primary is None:
+            raise NetlistError(f"net {net!r} has no primary driver")
+        group = self.parallel_drivers.setdefault(net, [primary])
+        if replica_cell in group:
+            raise NetlistError(f"{replica_cell!r} already parallel on {net!r}")
+        group.append(replica_cell)
+
+    def promote_parallel_driver(self, net: str, new_primary: str) -> None:
+        """Make ``new_primary`` the sole driver of ``net``.
+
+        Models "disconnect the original CLB outputs": the replica's output
+        is renamed onto ``net`` and every other driver in the group is
+        detached onto a private dangling net.  The detached cells stay in
+        the netlist (their inputs are still paralleled) until the engine
+        removes them in the final step.
+        """
+        group = self.parallel_drivers.get(net)
+        if not group or new_primary not in group:
+            raise NetlistError(f"{new_primary!r} is not parallel on {net!r}")
+        for driver in group:
+            if driver == new_primary:
+                continue
+            old = self.cells[driver]
+            if old.output == net:
+                self.cells[driver] = old.rewired(output=f"{driver}~detached")
+        del self.parallel_drivers[net]
+        replica = self.cells[new_primary]
+        self.cells[new_primary] = replica.rewired(output=net)
+        self._topo_cache = None
+
+    # -- queries ---------------------------------------------------------------
+
+    def net_driver_map(self) -> dict[str, str]:
+        """Map of net name to primary driving cell name."""
+        drivers: dict[str, str] = {}
+        for cell in self.cells.values():
+            if cell.output in self.parallel_drivers:
+                drivers[cell.output] = self.parallel_drivers[cell.output][0]
+            else:
+                drivers.setdefault(cell.output, cell.name)
+        return drivers
+
+    def all_nets(self) -> set[str]:
+        """Every net name referenced anywhere in the circuit."""
+        nets: set[str] = set(self.inputs) | set(self.outputs)
+        for cell in self.cells.values():
+            nets.add(cell.output)
+            nets.update(cell.fanin)
+        return nets
+
+    def fanout(self, net: str) -> list[str]:
+        """Cells that observe ``net`` on any input."""
+        return [c.name for c in self.cells.values() if net in c.fanin]
+
+    def stats(self) -> CircuitStats:
+        """Size statistics in the ITC'99 table shape."""
+        ff = sum(
+            1 for c in self.cells.values() if c.mode is CellMode.FF_FREE_CLOCK
+        )
+        gated = sum(
+            1 for c in self.cells.values() if c.mode is CellMode.FF_GATED_CLOCK
+        )
+        latches = sum(1 for c in self.cells.values() if c.mode is CellMode.LATCH)
+        comb = sum(1 for c in self.cells.values() if not c.sequential)
+        return CircuitStats(
+            inputs=len(self.inputs),
+            outputs=len(self.outputs),
+            cells=len(self.cells),
+            flip_flops=ff + gated,
+            latches=latches,
+            gated_flip_flops=gated,
+            combinational=comb,
+        )
+
+    # -- validation ----------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`NetlistError`.
+
+        * every net referenced by a cell or output has a driver,
+        * no net has two drivers outside a declared parallel group,
+        * the combinational subgraph is acyclic.
+        """
+        driven: dict[str, str] = {}
+        for name in self.inputs:
+            driven[name] = "<input>"
+        for cell in self.cells.values():
+            group = self.parallel_drivers.get(cell.output)
+            if cell.output in driven and (group is None or cell.name not in group):
+                raise NetlistError(
+                    f"net {cell.output!r} multiply driven by "
+                    f"{driven[cell.output]!r} and {cell.name!r}"
+                )
+            driven.setdefault(cell.output, cell.name)
+        for cell in self.cells.values():
+            for net in cell.fanin:
+                if net not in driven:
+                    raise NetlistError(
+                        f"cell {cell.name!r} reads undriven net {net!r}"
+                    )
+        for net in self.outputs:
+            if net not in driven:
+                raise NetlistError(f"primary output {net!r} is undriven")
+        self.topo_order()  # raises on combinational loops
+
+    def topo_order(self) -> list[str]:
+        """Topological order of the *combinational* cells.
+
+        Sequential cells act as sources (their outputs are registered) and
+        sinks (their D/CE inputs are consumed at the clock edge), so they
+        never participate in a combinational cycle by construction; a
+        cycle through combinational cells only is an error.  Transparent
+        latches are treated as combinational for ordering purposes but may
+        legally form cycles *through* their hold state; the simulator
+        relaxes them iteratively, so latches are excluded from the
+        acyclicity check as well.
+        """
+        if self._topo_cache is not None:
+            return self._topo_cache
+        comb = {
+            name: cell
+            for name, cell in self.cells.items()
+            if cell.mode is CellMode.COMBINATIONAL
+            or cell.mode is CellMode.LUT_RAM
+        }
+        producers: dict[str, list[str]] = {}
+        for name, cell in comb.items():
+            producers.setdefault(cell.output, []).append(name)
+        indegree = {name: 0 for name in comb}
+        consumers: dict[str, list[str]] = {name: [] for name in comb}
+        for name, cell in comb.items():
+            for net in cell.fanin:
+                for producer in producers.get(net, ()):
+                    indegree[name] += 1
+                    consumers[producer].append(name)
+        queue = deque(sorted(n for n, d in indegree.items() if d == 0))
+        order: list[str] = []
+        while queue:
+            node = queue.popleft()
+            order.append(node)
+            for nxt in consumers[node]:
+                indegree[nxt] -= 1
+                if indegree[nxt] == 0:
+                    queue.append(nxt)
+        if len(order) != len(comb):
+            stuck = sorted(n for n, d in indegree.items() if d > 0)
+            raise NetlistError(f"combinational loop through {stuck[:6]} ...")
+        self._topo_cache = order
+        return order
+
+    def clone(self, name: str | None = None) -> "Circuit":
+        """A structurally identical copy (cells are immutable and shared).
+
+        Used to build the golden reference for lockstep transparency
+        checking: the copy is never relocated while the original mutates.
+        """
+        other = Circuit(name or self.name)
+        other.inputs = list(self.inputs)
+        other.outputs = list(self.outputs)
+        other.cells = dict(self.cells)
+        other.parallel_drivers = {
+            net: list(drivers) for net, drivers in self.parallel_drivers.items()
+        }
+        return other
+
+    def __str__(self) -> str:
+        s = self.stats()
+        return (
+            f"<circuit {self.name}: {s.inputs} in, {s.outputs} out, "
+            f"{s.cells} cells ({s.flip_flops} FF, {s.latches} latch)>"
+        )

@@ -1,0 +1,162 @@
+"""Plain-text netlist serialisation (the ``.rnl`` format).
+
+A downstream user of the library needs to move circuits in and out of
+it; this module defines a minimal line-oriented format in the spirit of
+BLIF, covering exactly the cell model of ``repro.netlist``:
+
+    # comment
+    .circuit NAME
+    .inputs a b c
+    .outputs q
+    .cell NAME lut=0xCAFE inputs=a,b mode=ff-gated-clock ce=en init=1 [out=NET]
+    .end
+
+Round-trip fidelity is exact: ``loads(dumps(circuit))`` reproduces every
+cell field, the I/O lists and the declaration order.
+"""
+
+from __future__ import annotations
+
+from repro.device.clb import CellMode
+
+from .cells import Cell
+from .circuit import Circuit, NetlistError
+
+
+class NetlistFormatError(ValueError):
+    """Raised on malformed ``.rnl`` input."""
+
+
+def dumps(circuit: Circuit) -> str:
+    """Serialise a circuit to the ``.rnl`` text format."""
+    lines = [f".circuit {circuit.name}"]
+    if circuit.inputs:
+        lines.append(".inputs " + " ".join(circuit.inputs))
+    if circuit.outputs:
+        lines.append(".outputs " + " ".join(circuit.outputs))
+    for cell in circuit.cells.values():
+        parts = [
+            f".cell {cell.name}",
+            f"lut=0x{cell.lut:04X}",
+            "inputs=" + ",".join(cell.inputs),
+            f"mode={cell.mode.value}",
+        ]
+        if cell.ce is not None:
+            parts.append(f"ce={cell.ce}")
+        if cell.init_state:
+            parts.append(f"init={cell.init_state}")
+        if cell.output != cell.name:
+            parts.append(f"out={cell.output}")
+        lines.append(" ".join(parts))
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def loads(text: str) -> Circuit:
+    """Parse a circuit from the ``.rnl`` text format."""
+    circuit: Circuit | None = None
+    ended = False
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if ended:
+            raise NetlistFormatError(
+                f"line {lineno}: content after .end"
+            )
+        tokens = line.split()
+        keyword = tokens[0]
+        if keyword == ".circuit":
+            if circuit is not None:
+                raise NetlistFormatError(f"line {lineno}: duplicate .circuit")
+            if len(tokens) != 2:
+                raise NetlistFormatError(f"line {lineno}: .circuit NAME")
+            circuit = Circuit(tokens[1])
+            continue
+        if circuit is None:
+            raise NetlistFormatError(
+                f"line {lineno}: {keyword} before .circuit"
+            )
+        if keyword == ".inputs":
+            for name in tokens[1:]:
+                circuit.add_input(name)
+        elif keyword == ".outputs":
+            circuit.set_outputs(tokens[1:])
+        elif keyword == ".cell":
+            circuit.add_cell(_parse_cell(tokens, lineno))
+        elif keyword == ".end":
+            ended = True
+        else:
+            raise NetlistFormatError(
+                f"line {lineno}: unknown directive {keyword!r}"
+            )
+    if circuit is None:
+        raise NetlistFormatError("no .circuit directive found")
+    if not ended:
+        raise NetlistFormatError("missing .end directive")
+    try:
+        circuit.validate()
+    except NetlistError as exc:
+        raise NetlistFormatError(f"invalid netlist: {exc}") from exc
+    return circuit
+
+
+def _parse_cell(tokens: list[str], lineno: int) -> Cell:
+    if len(tokens) < 3:
+        raise NetlistFormatError(f"line {lineno}: .cell NAME key=value ...")
+    name = tokens[1]
+    fields: dict[str, str] = {}
+    for token in tokens[2:]:
+        if "=" not in token:
+            raise NetlistFormatError(
+                f"line {lineno}: expected key=value, got {token!r}"
+            )
+        key, value = token.split("=", 1)
+        if key in fields:
+            raise NetlistFormatError(f"line {lineno}: duplicate key {key!r}")
+        fields[key] = value
+    try:
+        lut = int(fields.pop("lut"), 0)
+    except (KeyError, ValueError):
+        raise NetlistFormatError(f"line {lineno}: bad or missing lut=") from None
+    inputs_text = fields.pop("inputs", "")
+    inputs = tuple(n for n in inputs_text.split(",") if n)
+    mode_text = fields.pop("mode", CellMode.COMBINATIONAL.value)
+    try:
+        mode = CellMode(mode_text)
+    except ValueError:
+        raise NetlistFormatError(
+            f"line {lineno}: unknown mode {mode_text!r}"
+        ) from None
+    ce = fields.pop("ce", None)
+    init_text = fields.pop("init", "0")
+    if init_text not in ("0", "1"):
+        raise NetlistFormatError(f"line {lineno}: init must be 0 or 1")
+    output = fields.pop("out", "")
+    if fields:
+        extra = ", ".join(sorted(fields))
+        raise NetlistFormatError(f"line {lineno}: unknown keys {extra}")
+    try:
+        return Cell(
+            name,
+            lut,
+            inputs,
+            mode=mode,
+            ce=ce,
+            output=output,
+            init_state=int(init_text),
+        )
+    except ValueError as exc:
+        raise NetlistFormatError(f"line {lineno}: {exc}") from exc
+
+
+def save(circuit: Circuit, path: str) -> None:
+    """Write a circuit to a ``.rnl`` file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(circuit))
+
+
+def load(path: str) -> Circuit:
+    """Read a circuit from a ``.rnl`` file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())

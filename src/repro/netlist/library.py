@@ -1,0 +1,297 @@
+"""A library of small canonical circuits used by tests and examples.
+
+These are the controlled payloads for relocation experiments: their
+behaviour is predictable in closed form, so any disturbance introduced by
+a relocation is immediately visible.  All are single-clock synchronous
+(or latch-based for the asynchronous case), like the paper's test
+circuits.
+"""
+
+from __future__ import annotations
+
+from repro.device.clb import CellMode
+
+from .cells import (
+    Cell,
+    LUT_AND2,
+    LUT_AND3,
+    LUT_BUF,
+    LUT_NOT,
+    LUT_XOR2,
+)
+from .circuit import Circuit
+
+
+def toggle(name: str = "toggle") -> Circuit:
+    """A single free-running toggle flip-flop: q <= not q."""
+    circuit = Circuit(name)
+    circuit.add_cell(
+        Cell("q", LUT_NOT, ("q",), mode=CellMode.FF_FREE_CLOCK)
+    )
+    circuit.set_outputs(["q"])
+    circuit.validate()
+    return circuit
+
+
+def counter(bits: int, name: str = "counter") -> Circuit:
+    """A free-running binary counter.
+
+    Bit 0 toggles every cycle; bit *i* toggles when all lower bits are 1,
+    via an AND-carry chain of combinational cells.
+    """
+    if not 1 <= bits <= 16:
+        raise ValueError("counter supports 1..16 bits")
+    circuit = Circuit(name)
+    circuit.add_cell(Cell("b0", LUT_NOT, ("b0",), mode=CellMode.FF_FREE_CLOCK))
+    carry = "b0"
+    for i in range(1, bits):
+        if i >= 2:
+            and_cell = Cell(f"c{i}", LUT_AND2, (carry, f"b{i - 1}"))
+            circuit.add_cell(and_cell)
+            carry = and_cell.output
+        circuit.add_cell(
+            Cell(f"b{i}", LUT_XOR2, (f"b{i}", carry), mode=CellMode.FF_FREE_CLOCK)
+        )
+    circuit.set_outputs([f"b{i}" for i in range(bits)])
+    circuit.validate()
+    return circuit
+
+
+def counter_value(sim_outputs: dict[str, int]) -> int:
+    """Decode a counter's output dict into its integer value."""
+    value = 0
+    for net, bit in sim_outputs.items():
+        if net.startswith("b") and net[1:].isdigit():
+            value |= (bit & 1) << int(net[1:])
+    return value
+
+
+def gated_counter(bits: int, name: str = "gated_counter") -> Circuit:
+    """A counter whose flip-flops are clock-enabled by input ``en``.
+
+    This is the paper's problem case: "input acquisition by the FFs is
+    controlled by the state of the clock enable signal (CE)" — a naive
+    relocation copy loses state whenever CE is low (section 2).
+    """
+    if not 1 <= bits <= 16:
+        raise ValueError("gated_counter supports 1..16 bits")
+    circuit = Circuit(name)
+    en = circuit.add_input("en")
+    circuit.add_cell(
+        Cell("b0", LUT_NOT, ("b0",), mode=CellMode.FF_GATED_CLOCK, ce=en)
+    )
+    carry = "b0"
+    for i in range(1, bits):
+        if i >= 2:
+            and_cell = Cell(f"c{i}", LUT_AND2, (carry, f"b{i - 1}"))
+            circuit.add_cell(and_cell)
+            carry = and_cell.output
+        circuit.add_cell(
+            Cell(
+                f"b{i}",
+                LUT_XOR2,
+                (f"b{i}", carry),
+                mode=CellMode.FF_GATED_CLOCK,
+                ce=en,
+            )
+        )
+    circuit.set_outputs([f"b{i}" for i in range(bits)])
+    circuit.validate()
+    return circuit
+
+
+def shift_register(stages: int, name: str = "shift",
+                   gated: bool = False) -> Circuit:
+    """A serial shift register with input ``din`` (and ``en`` if gated)."""
+    if stages < 1:
+        raise ValueError("shift register needs at least one stage")
+    circuit = Circuit(name)
+    din = circuit.add_input("din")
+    en = circuit.add_input("en") if gated else None
+    mode = CellMode.FF_GATED_CLOCK if gated else CellMode.FF_FREE_CLOCK
+    previous = din
+    for i in range(stages):
+        cell = Cell(f"s{i}", LUT_BUF, (previous,), mode=mode, ce=en)
+        circuit.add_cell(cell)
+        previous = cell.output
+    circuit.set_outputs([previous])
+    circuit.validate()
+    return circuit
+
+
+def lfsr4(name: str = "lfsr4") -> Circuit:
+    """A 4-bit maximal-length LFSR (taps 4,3), seeded non-zero.
+
+    Period 15; a strong state-coherency canary because one lost update
+    desynchronises the whole remaining sequence.
+    """
+    circuit = Circuit(name)
+    circuit.add_cell(
+        Cell("fb", LUT_XOR2, ("r3", "r2"))
+    )
+    taps = ["fb", "r0", "r1", "r2"]
+    for i in range(4):
+        circuit.add_cell(
+            Cell(
+                f"r{i}",
+                LUT_BUF,
+                (taps[i],),
+                mode=CellMode.FF_FREE_CLOCK,
+                init_state=1 if i == 0 else 0,
+            )
+        )
+    circuit.set_outputs(["r3"])
+    circuit.validate()
+    return circuit
+
+
+def latch_pipeline(stages: int, name: str = "latch_pipe") -> Circuit:
+    """A chain of transparent latches sharing gate ``g`` — the paper's
+    asynchronous implementation case (section 2, last paragraph)."""
+    if stages < 1:
+        raise ValueError("latch pipeline needs at least one stage")
+    circuit = Circuit(name)
+    din = circuit.add_input("din")
+    gate = circuit.add_input("g")
+    previous = din
+    for i in range(stages):
+        cell = Cell(f"l{i}", LUT_BUF, (previous,), mode=CellMode.LATCH, ce=gate)
+        circuit.add_cell(cell)
+        previous = cell.output
+    circuit.set_outputs([previous])
+    circuit.validate()
+    return circuit
+
+
+def majority_voter(name: str = "voter") -> Circuit:
+    """A purely combinational 3-input majority voter."""
+    circuit = Circuit(name)
+    a = circuit.add_input("a")
+    b = circuit.add_input("b")
+    c = circuit.add_input("c")
+    circuit.add_cell(Cell("ab", LUT_AND2, (a, b)))
+    circuit.add_cell(Cell("bc", LUT_AND2, (b, c)))
+    circuit.add_cell(Cell("ac", LUT_AND2, (a, c)))
+    circuit.add_cell(
+        Cell("vote", 0xFEFE, ("ab", "bc", "ac"))  # 3-input OR
+    )
+    circuit.set_outputs(["vote"])
+    circuit.validate()
+    return circuit
+
+
+def johnson_counter(stages: int, name: str = "johnson") -> Circuit:
+    """A Johnson (twisted-ring) counter: period 2*stages, free-running."""
+    if stages < 2:
+        raise ValueError("johnson counter needs at least two stages")
+    circuit = Circuit(name)
+    circuit.add_cell(
+        Cell("j0", LUT_NOT, (f"j{stages - 1}",), mode=CellMode.FF_FREE_CLOCK)
+    )
+    for i in range(1, stages):
+        circuit.add_cell(
+            Cell(f"j{i}", LUT_BUF, (f"j{i - 1}",),
+                 mode=CellMode.FF_FREE_CLOCK)
+        )
+    circuit.set_outputs([f"j{i}" for i in range(stages)])
+    circuit.validate()
+    return circuit
+
+
+def parity_chain(width: int, name: str = "parity") -> Circuit:
+    """A purely combinational XOR reduction over ``width`` inputs."""
+    if width < 2:
+        raise ValueError("parity chain needs at least two inputs")
+    circuit = Circuit(name)
+    inputs = [circuit.add_input(f"x{i}") for i in range(width)]
+    previous = inputs[0]
+    for i in range(1, width):
+        cell = Cell(f"p{i}", LUT_XOR2, (previous, inputs[i]))
+        circuit.add_cell(cell)
+        previous = cell.output
+    circuit.set_outputs([previous])
+    circuit.validate()
+    return circuit
+
+
+def accumulator(bits: int, name: str = "accum") -> Circuit:
+    """A gated accumulator: adds input ``d<i>`` into a register when
+    ``en`` is high (ripple-carry built from XOR/AND cells)."""
+    if not 1 <= bits <= 8:
+        raise ValueError("accumulator supports 1..8 bits")
+    circuit = Circuit(name)
+    en = circuit.add_input("en")
+    data = [circuit.add_input(f"d{i}") for i in range(bits)]
+    carry: str | None = None
+    for i in range(bits):
+        if carry is None:
+            # sum0 = a0 ^ d0; carry1 = a0 & d0
+            circuit.add_cell(
+                Cell(
+                    f"a{i}",
+                    LUT_XOR2,
+                    (f"a{i}", data[i]),
+                    mode=CellMode.FF_GATED_CLOCK,
+                    ce=en,
+                )
+            )
+            carry_cell = Cell(f"cy{i}", LUT_AND2, (f"a{i}", data[i]))
+        else:
+            # sum = a ^ d ^ carry; next carry = majority(a, d, carry)
+            circuit.add_cell(
+                Cell(
+                    f"a{i}",
+                    0x9696,  # 3-input XOR
+                    (f"a{i}", data[i], carry),
+                    mode=CellMode.FF_GATED_CLOCK,
+                    ce=en,
+                )
+            )
+            carry_cell = Cell(
+                f"cy{i}", 0xE8E8, (f"a{i}", data[i], carry)  # majority
+            )
+        if i < bits - 1:
+            circuit.add_cell(carry_cell)
+            carry = carry_cell.output
+    circuit.set_outputs([f"a{i}" for i in range(bits)])
+    circuit.validate()
+    return circuit
+
+
+def accumulator_value(outputs: dict[str, int]) -> int:
+    """Decode an accumulator's register outputs into an integer."""
+    value = 0
+    for net, bit in outputs.items():
+        if net.startswith("a") and net[1:].isdigit():
+            value |= (bit & 1) << int(net[1:])
+    return value
+
+
+def moore_fsm(name: str = "fsm") -> Circuit:
+    """A 2-bit Moore FSM (gray-coded cycle 00 -> 01 -> 11 -> 10) with an
+    ``advance`` input gating the transitions via clock enable."""
+    circuit = Circuit(name)
+    adv = circuit.add_input("advance")
+    # Next-state logic for gray cycle: s1' = s0, s0' = not s1.
+    circuit.add_cell(
+        Cell(
+            "s0",
+            LUT_NOT,
+            ("s1",),
+            mode=CellMode.FF_GATED_CLOCK,
+            ce=adv,
+        )
+    )
+    circuit.add_cell(
+        Cell(
+            "s1",
+            LUT_BUF,
+            ("s0",),
+            mode=CellMode.FF_GATED_CLOCK,
+            ce=adv,
+        )
+    )
+    circuit.add_cell(Cell("in_state3", LUT_AND2, ("s0", "s1")))
+    circuit.set_outputs(["s0", "s1", "in_state3"])
+    circuit.validate()
+    return circuit

@@ -1,0 +1,175 @@
+"""Timed waveform analysis for paralleled interconnections (Fig. 6).
+
+Section 3 of the paper analyses what happens while an original path and
+its replica are paralleled during routing relocation:
+
+    "Since different paths are used while paralleling the original and
+    replica interconnections, each of them will have a different
+    propagation delay.  This means that if the signal level at the output
+    of the CLB source changes, the signal at the input of the CLB
+    destination will show an interval of fuzziness ... Nevertheless, and
+    for transient analysis, the propagation delay associated to the
+    parallel interconnections shall be the longer of the two paths."
+
+This module reproduces that analysis exactly: a source waveform is
+propagated down both paths; whenever the two arrivals disagree, the sink
+sees an undefined ("fuzzy") interval; the effective propagation delay of
+the paralleled pair is ``max(d_original, d_replica)``.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+#: Value used for intervals where paralleled arrivals disagree.
+FUZZY = "X"
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One signal edge: the value that holds from ``time`` onwards."""
+
+    time: float
+    value: int
+
+
+class Waveform:
+    """A piecewise-constant binary signal.
+
+    Built from an initial value and a chronologically sorted list of
+    transitions; redundant transitions (to the current value) are dropped.
+    """
+
+    def __init__(self, initial: int = 0,
+                 transitions: list[Transition] | None = None) -> None:
+        self.initial = initial & 1
+        self.transitions: list[Transition] = []
+        self._times: list[float] = []
+        last = self.initial
+        for tr in sorted(transitions or [], key=lambda t: t.time):
+            value = tr.value & 1
+            if value != last:
+                self.transitions.append(Transition(tr.time, value))
+                self._times.append(tr.time)
+                last = value
+
+    def value_at(self, time: float) -> int:
+        """Signal value at ``time`` (transitions take effect at their time)."""
+        idx = bisect_right(self._times, time)
+        if idx == 0:
+            return self.initial
+        return self.transitions[idx - 1].value
+
+    def delayed(self, delay: float) -> "Waveform":
+        """The same signal after a pure transport delay."""
+        if delay < 0:
+            raise ValueError("propagation delay cannot be negative")
+        return Waveform(
+            self.initial,
+            [Transition(t.time + delay, t.value) for t in self.transitions],
+        )
+
+    def edge_times(self) -> list[float]:
+        """Times of all transitions."""
+        return list(self._times)
+
+    def __len__(self) -> int:
+        return len(self.transitions)
+
+
+@dataclass
+class FuzzInterval:
+    """A time span during which the sink value is undefined."""
+
+    start: float
+    end: float
+
+    @property
+    def length(self) -> float:
+        """Duration of the undefined span."""
+        return self.end - self.start
+
+
+@dataclass
+class ParallelPathReport:
+    """Result of merging the original and replica path arrivals."""
+
+    delay_original: float
+    delay_replica: float
+    fuzz_intervals: list[FuzzInterval] = field(default_factory=list)
+    sink_waveform: Waveform | None = None
+
+    @property
+    def effective_delay(self) -> float:
+        """The delay to use for transient analysis: the longer path."""
+        return max(self.delay_original, self.delay_replica)
+
+    @property
+    def fuzz_per_edge(self) -> float:
+        """The fuzziness each source edge contributes: the delay mismatch."""
+        return abs(self.delay_original - self.delay_replica)
+
+    @property
+    def total_fuzz(self) -> float:
+        """Accumulated undefined time at the sink."""
+        return sum(i.length for i in self.fuzz_intervals)
+
+    def max_safe_clock_hz(self, setup: float = 0.0) -> float:
+        """Highest clock whose period covers the effective delay + setup.
+
+        During the parallel interval the design must be timed against the
+        longer path; this is the frequency ceiling that implies.
+        """
+        period = self.effective_delay + setup
+        if period <= 0:
+            return math.inf
+        return 1.0 / period
+
+
+def merge_parallel_paths(source: Waveform, delay_original: float,
+                         delay_replica: float) -> ParallelPathReport:
+    """Compute the sink view of a source driven through two paralleled paths.
+
+    The sink sees each arrival; where they disagree the value is fuzzy.
+    Returns the fuzz intervals and the resolved sink waveform (which
+    changes value only once both arrivals agree — the conservative read).
+    """
+    a = source.delayed(delay_original)
+    b = source.delayed(delay_replica)
+    events = sorted(set(a.edge_times()) | set(b.edge_times()))
+    report = ParallelPathReport(delay_original, delay_replica)
+    resolved: list[Transition] = []
+    fuzz_start: float | None = None
+    initial = a.value_at(-math.inf) & b.value_at(-math.inf)
+    for t in events:
+        va, vb = a.value_at(t), b.value_at(t)
+        if va == vb:
+            if fuzz_start is not None:
+                report.fuzz_intervals.append(FuzzInterval(fuzz_start, t))
+                fuzz_start = None
+            resolved.append(Transition(t, va))
+        else:
+            if fuzz_start is None:
+                fuzz_start = t
+    if fuzz_start is not None:
+        # The source never settled; close the interval at the last event.
+        report.fuzz_intervals.append(
+            FuzzInterval(fuzz_start, events[-1] if events else fuzz_start)
+        )
+    report.sink_waveform = Waveform(initial, resolved)
+    return report
+
+
+def square_wave(period: float, edges: int, initial: int = 0) -> Waveform:
+    """A square wave with ``edges`` transitions, half-period spacing."""
+    if period <= 0:
+        raise ValueError("period must be positive")
+    half = period / 2.0
+    value = initial
+    transitions = []
+    for k in range(1, edges + 1):
+        value ^= 1
+        transitions.append(Transition(k * half, value))
+    return Waveform(initial, transitions)

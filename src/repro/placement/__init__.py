@@ -1,0 +1,63 @@
+"""2-D placement substrate: free space, fit heuristics, rearrangement
+planners and fragmentation metrics (DESIGN.md, section 3)."""
+
+from .compaction import (
+    Move,
+    apply_moves,
+    footprints,
+    local_repacking,
+    moves_feasible,
+    ordered_compaction,
+)
+from .compaction import sequence_moves
+from .fit import (
+    FIT_ALGORITHMS,
+    best_fit,
+    bottom_left,
+    first_fit,
+    fitter,
+    free_anchor_mask,
+)
+from .free_space import (
+    FreeSpaceManager,
+    free_mask,
+    largest_empty_rectangle,
+    maximal_empty_rectangles,
+    rectangles_fitting,
+)
+from .one_dim import OneDimAllocator, Strip
+from .metrics import (
+    average_free_rectangle,
+    fragmentation_index,
+    free_region_count,
+    satisfiable_fraction,
+    utilization,
+)
+
+__all__ = [
+    "FIT_ALGORITHMS",
+    "FreeSpaceManager",
+    "Move",
+    "OneDimAllocator",
+    "Strip",
+    "apply_moves",
+    "average_free_rectangle",
+    "best_fit",
+    "bottom_left",
+    "first_fit",
+    "fitter",
+    "footprints",
+    "free_anchor_mask",
+    "sequence_moves",
+    "fragmentation_index",
+    "free_mask",
+    "free_region_count",
+    "largest_empty_rectangle",
+    "local_repacking",
+    "maximal_empty_rectangles",
+    "moves_feasible",
+    "ordered_compaction",
+    "rectangles_fitting",
+    "satisfiable_fraction",
+    "utilization",
+]

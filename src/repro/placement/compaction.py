@@ -1,0 +1,204 @@
+"""Partial rearrangement planners: the Diessel et al. baselines.
+
+The paper's section 1 leans on reference [5] (Diessel, El Gindy,
+Middendorf, Schmeck, Schmidt — "Dynamic scheduling of tasks on partially
+reconfigurable FPGAs"): methods to find *partial rearrangements* that
+release enough contiguous space for a waiting function, "while minimising
+disruptions to running functions that are to be relocated".  Two of those
+methods are implemented here as planners over an occupancy grid:
+
+* :func:`ordered_compaction` — slide every resident function as far as
+  possible toward one edge, in edge-distance order (1-D compaction);
+* :func:`local_repacking` — remove the functions intersecting a window
+  and re-pack them (largest first, best-fit) within it.
+
+Planners *propose* moves on a scratch copy; they never touch the real
+fabric.  The paper's contribution enters afterwards: reference [5] had
+"no physical execution of these rearrangements ... other than halting
+those functions", whereas dynamic relocation executes the same move list
+concurrently with execution (see ``repro.core.manager``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.device.geometry import Rect
+
+from .fit import best_fit
+
+
+@dataclass(frozen=True)
+class Move:
+    """Relocate one resident function's footprint."""
+
+    owner: int
+    src: Rect
+    dst: Rect
+
+    @property
+    def distance(self) -> int:
+        """Manhattan distance of the move (CLB units)."""
+        return abs(self.src.row - self.dst.row) + abs(self.src.col - self.dst.col)
+
+    @property
+    def columns_touched(self) -> int:
+        """Configuration columns involved in moving this footprint."""
+        lo = min(self.src.col, self.dst.col)
+        hi = max(self.src.col_end, self.dst.col_end)
+        return hi - lo
+
+    def __str__(self) -> str:
+        return f"move #{self.owner} {self.src} -> {self.dst}"
+
+
+def footprints(occupancy: np.ndarray) -> dict[int, Rect]:
+    """Owner id -> rectangular footprint, from an occupancy grid."""
+    result: dict[int, Rect] = {}
+    for owner in np.unique(occupancy):
+        if owner == 0:
+            continue
+        rows, cols = np.nonzero(occupancy == owner)
+        result[int(owner)] = Rect(
+            int(rows.min()),
+            int(cols.min()),
+            int(rows.max() - rows.min() + 1),
+            int(cols.max() - cols.min() + 1),
+        )
+    return result
+
+
+def apply_moves(occupancy: np.ndarray, moves: list[Move]) -> np.ndarray:
+    """Return a copy of ``occupancy`` with the moves applied in order."""
+    grid = occupancy.copy()
+    for m in moves:
+        grid[m.src.row : m.src.row_end, m.src.col : m.src.col_end] = 0
+        view = grid[m.dst.row : m.dst.row_end, m.dst.col : m.dst.col_end]
+        if (view != 0).any():
+            raise ValueError(f"{m} lands on occupied sites")
+        view[...] = m.owner
+    return grid
+
+
+def ordered_compaction(occupancy: np.ndarray,
+                       toward: str = "left") -> list[Move]:
+    """Slide every function as far as possible toward one edge.
+
+    Functions are processed in order of distance to the target edge, so
+    each slides into space vacated by its predecessors; rows are
+    preserved (1-D moves only), which keeps every move executable by a
+    sequence of single-column relocation steps.
+    """
+    if toward not in ("left", "top"):
+        raise ValueError("toward must be 'left' or 'top'")
+    grid = occupancy.copy()
+    prints = footprints(grid)
+    moves: list[Move] = []
+    if toward == "left":
+        order = sorted(prints, key=lambda o: prints[o].col)
+    else:
+        order = sorted(prints, key=lambda o: prints[o].row)
+    for owner in order:
+        rect = prints[owner]
+        grid[rect.row : rect.row_end, rect.col : rect.col_end] = 0
+        best = rect
+        if toward == "left":
+            for col in range(rect.col):
+                cand = Rect(rect.row, col, rect.height, rect.width)
+                view = grid[cand.row : cand.row_end, cand.col : cand.col_end]
+                if (view == 0).all():
+                    best = cand
+                    break
+        else:
+            for row in range(rect.row):
+                cand = Rect(row, rect.col, rect.height, rect.width)
+                view = grid[cand.row : cand.row_end, cand.col : cand.col_end]
+                if (view == 0).all():
+                    best = cand
+                    break
+        grid[best.row : best.row_end, best.col : best.col_end] = owner
+        if best != rect:
+            moves.append(Move(owner, rect, best))
+    return moves
+
+
+def local_repacking(occupancy: np.ndarray, window: Rect) -> list[Move] | None:
+    """Re-pack the functions wholly inside ``window`` with best-fit.
+
+    Functions are removed and re-placed largest-first inside the window.
+    Returns ``None`` when the repacking fails (some function no longer
+    fits) — in that case nothing should be executed.  Functions that
+    merely straddle the window's border are left untouched.
+    """
+    grid = occupancy.copy()
+    prints = footprints(grid)
+    inside = {
+        owner: rect
+        for owner, rect in prints.items()
+        if window.contains_rect(rect)
+    }
+    for rect in inside.values():
+        grid[rect.row : rect.row_end, rect.col : rect.col_end] = 0
+    moves: list[Move] = []
+    sub = grid[window.row : window.row_end, window.col : window.col_end]
+    for owner, rect in sorted(
+        inside.items(), key=lambda kv: kv[1].area, reverse=True
+    ):
+        spot = best_fit(sub, rect.height, rect.width)
+        if spot is None:
+            return None
+        dst = Rect(
+            window.row + spot.row, window.col + spot.col, rect.height, rect.width
+        )
+        sub[spot.row : spot.row_end, spot.col : spot.col_end] = owner
+        if dst != rect:
+            moves.append(Move(owner, rect, dst))
+    return moves
+
+
+def moves_feasible(occupancy: np.ndarray, moves: list[Move]) -> bool:
+    """True when the move list applies cleanly in order."""
+    try:
+        apply_moves(occupancy, moves)
+    except ValueError:
+        return False
+    return True
+
+
+def sequence_moves(occupancy: np.ndarray,
+                   moves: list[Move]) -> list[Move] | None:
+    """Order ``moves`` so each lands on space free at execution time.
+
+    Planners choose destinations on a grid where all movers are already
+    vacated; physically the moves run one at a time, so a destination may
+    still be covered by a *pending* mover's source.  Greedy scheduling:
+    repeatedly execute any move whose destination is currently free
+    (ignoring its own source overlap).  Returns ``None`` for circular
+    dependencies — the plan is then not executable as-is.
+    """
+    grid = occupancy.copy()
+    pending = list(moves)
+    ordered: list[Move] = []
+    while pending:
+        progressed = False
+        for move in list(pending):
+            view = grid[
+                move.dst.row : move.dst.row_end, move.dst.col : move.dst.col_end
+            ]
+            blockers = set(int(v) for v in np.unique(view)) - {0, move.owner}
+            if blockers:
+                continue
+            grid[
+                move.src.row : move.src.row_end, move.src.col : move.src.col_end
+            ] = 0
+            grid[
+                move.dst.row : move.dst.row_end, move.dst.col : move.dst.col_end
+            ] = move.owner
+            ordered.append(move)
+            pending.remove(move)
+            progressed = True
+        if not progressed:
+            return None
+    return ordered

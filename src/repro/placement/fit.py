@@ -1,0 +1,107 @@
+"""On-line placement heuristics for incoming functions.
+
+When a new function arrives, the manager must pick a free rectangle for
+it ("placement decisions have to be made on-line", section 1).  These are
+the standard choices evaluated by the on-line placement literature the
+paper builds on (Diessel et al. [5]):
+
+* :func:`first_fit` — row-major scan, first position whose rectangle is
+  free;
+* :func:`best_fit` — the maximal empty rectangle with the least leftover
+  area, anchored at its corner;
+* :func:`bottom_left` — the feasible position closest to the top-left
+  corner (classic on-line bin-packing heuristic).
+
+All return a :class:`~repro.device.geometry.Rect` or ``None`` without
+modifying the grid; the caller allocates.  Feasibility testing uses an
+integral image over the occupancy grid, so each query is O(rows x cols)
+in vectorised numpy — fast enough for the planner's inner loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.device.geometry import Rect
+
+from .free_space import rectangles_fitting
+
+
+def free_anchor_mask(occupancy: np.ndarray, height: int,
+                     width: int) -> np.ndarray:
+    """Boolean mask of anchors where a ``height`` x ``width`` rectangle
+    is entirely free.  Shape: (rows-height+1, cols-width+1); empty when
+    the request exceeds the grid."""
+    rows, cols = occupancy.shape
+    if height > rows or width > cols or height < 1 or width < 1:
+        return np.zeros((0, 0), dtype=bool)
+    occupied = (occupancy != 0).astype(np.int32)
+    integral = np.zeros((rows + 1, cols + 1), dtype=np.int64)
+    integral[1:, 1:] = occupied.cumsum(0).cumsum(1)
+    window = (
+        integral[height:, width:]
+        - integral[:-height, width:]
+        - integral[height:, :-width]
+        + integral[:-height, :-width]
+    )
+    return window == 0
+
+
+def first_fit(occupancy: np.ndarray, height: int, width: int) -> Rect | None:
+    """First free position in row-major order."""
+    mask = free_anchor_mask(occupancy, height, width)
+    if mask.size == 0 or not mask.any():
+        return None
+    flat = int(np.flatnonzero(mask)[0])
+    r, c = divmod(flat, mask.shape[1])
+    return Rect(r, c, height, width)
+
+
+def best_fit(occupancy: np.ndarray, height: int, width: int) -> Rect | None:
+    """Anchor in the maximal empty rectangle with least leftover area.
+
+    Leftover ties break toward the smaller rectangle perimeter and then
+    toward the top-left, keeping the packing deterministic.
+    """
+    fitting = rectangles_fitting(occupancy, height, width)
+    if not fitting:
+        return None
+
+    def key(r: Rect) -> tuple[int, int, int, int]:
+        leftover = r.area - height * width
+        return (leftover, 2 * (r.height + r.width), r.row, r.col)
+
+    host = min(fitting, key=key)
+    return Rect(host.row, host.col, height, width)
+
+
+def bottom_left(occupancy: np.ndarray, height: int, width: int) -> Rect | None:
+    """The feasible position minimising (row + col), then row.
+
+    Packs functions toward one corner, which empirically preserves large
+    free rectangles on the opposite side.
+    """
+    mask = free_anchor_mask(occupancy, height, width)
+    if mask.size == 0 or not mask.any():
+        return None
+    rs, cs = np.nonzero(mask)
+    keys = rs + cs
+    best = int(np.lexsort((rs, keys))[0])
+    return Rect(int(rs[best]), int(cs[best]), height, width)
+
+
+#: Registry used by the manager/scheduler configuration surface.
+FIT_ALGORITHMS = {
+    "first": first_fit,
+    "best": best_fit,
+    "bottom-left": bottom_left,
+}
+
+
+def fitter(name: str):
+    """Look up a placement heuristic by name."""
+    try:
+        return FIT_ALGORITHMS[name]
+    except KeyError:
+        known = ", ".join(sorted(FIT_ALGORITHMS))
+        raise KeyError(f"unknown fit algorithm {name!r}; known: {known}") from None

@@ -1,0 +1,118 @@
+"""Free-space management: maximal empty rectangles over the CLB grid.
+
+The fragmentation problem the paper sets out to solve (section 1):
+
+    "Since each of the multiple independent functions sharing the logic
+    space occupies a different amount of resources, many small pools of
+    resources are created as they are released.  These unallocated areas
+    tend to become so small that they fail to satisfy any request and for
+    that reason remain unused, leading to a fragmentation of the FPGA
+    logic space."
+
+The manager keeps all maximal empty rectangles (the KAMER approach of the
+on-line placement literature): a rectangle of free sites is *maximal*
+when no strictly larger free rectangle contains it.  Allocation decisions
+and the fragmentation metrics both derive from this set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.device.geometry import Rect
+
+
+def free_mask(occupancy: np.ndarray) -> np.ndarray:
+    """Boolean mask of free sites from an occupancy grid (0 = free)."""
+    return occupancy == 0
+
+
+def maximal_empty_rectangles(occupancy: np.ndarray) -> list[Rect]:
+    """All maximal empty rectangles of the occupancy grid.
+
+    Histogram sweep: for every row, the stack-based largest-rectangle
+    algorithm emits each rectangle that cannot be widened at its height;
+    a containment pass then removes rectangles nested in larger ones.
+    Complexity O(R*C + K^2) with K maximal rectangles — ample for
+    device-scale grids (the XCV200 is 28x42).
+    """
+    rows, cols = occupancy.shape
+    free = free_mask(occupancy)
+    heights = np.zeros(cols, dtype=np.int64)
+    candidates: set[tuple[int, int, int, int]] = set()
+    for r in range(rows):
+        heights = np.where(free[r], heights + 1, 0)
+        # Stack sweep over the histogram of this row.
+        stack: list[tuple[int, int]] = []  # (start_col, height)
+        for c in range(cols + 1):
+            h = int(heights[c]) if c < cols else 0
+            start = c
+            while stack and stack[-1][1] >= h:
+                s, sh = stack.pop()
+                # Rectangle of height sh spanning columns s..c-1,
+                # rows r-sh+1..r; maximal downwards at this row only if
+                # the row below is blocked or we are at the bottom.
+                bottom_blocked = r == rows - 1 or not bool(
+                    free[r + 1, s : c].all()
+                )
+                if sh > 0 and bottom_blocked:
+                    candidates.add((r - sh + 1, s, sh, c - s))
+                start = s
+            if h > 0 and (not stack or stack[-1][1] < h):
+                stack.append((start, h))
+    rects = [Rect(*c) for c in candidates]
+    # Drop rectangles contained in another candidate.
+    rects.sort(key=lambda x: x.area, reverse=True)
+    maximal: list[Rect] = []
+    for rect in rects:
+        if not any(other.contains_rect(rect) for other in maximal):
+            maximal.append(rect)
+    return maximal
+
+
+def largest_empty_rectangle(occupancy: np.ndarray) -> Rect | None:
+    """The largest free rectangle (None when the grid is full)."""
+    mers = maximal_empty_rectangles(occupancy)
+    if not mers:
+        return None
+    return max(mers, key=lambda r: r.area)
+
+
+def rectangles_fitting(occupancy: np.ndarray, height: int,
+                       width: int) -> list[Rect]:
+    """Maximal empty rectangles that can host a ``height`` x ``width``
+    request (no rotation: functions are placed as designed)."""
+    return [
+        r
+        for r in maximal_empty_rectangles(occupancy)
+        if r.height >= height and r.width >= width
+    ]
+
+
+class FreeSpaceManager:
+    """Incremental wrapper caching the MER list between mutations."""
+
+    def __init__(self, occupancy: np.ndarray) -> None:
+        self._occupancy = occupancy
+        self._cache: list[Rect] | None = None
+
+    def invalidate(self) -> None:
+        """Call after any occupancy change."""
+        self._cache = None
+
+    @property
+    def mers(self) -> list[Rect]:
+        """Current maximal empty rectangles."""
+        if self._cache is None:
+            self._cache = maximal_empty_rectangles(self._occupancy)
+        return self._cache
+
+    def fits(self, height: int, width: int) -> bool:
+        """True when some free rectangle can host the request."""
+        return any(
+            r.height >= height and r.width >= width for r in self.mers
+        )
+
+    def free_area(self) -> int:
+        """Total free sites."""
+        return int(free_mask(self._occupancy).sum())

@@ -1,0 +1,91 @@
+"""Fragmentation metrics for the FPGA logic space.
+
+Quantifies the paper's core observation: free areas "tend to become so
+small that they fail to satisfy any request and for that reason remain
+unused" (section 1).  Metrics:
+
+* :func:`fragmentation_index` — 1 minus the largest-free-rectangle share
+  of the total free area: 0 when all free space is one rectangle, tending
+  to 1 as the space shatters;
+* :func:`satisfiable_fraction` — the share of a request distribution that
+  the current free space can host; the operational meaning of
+  fragmentation for an on-line scheduler;
+* :func:`free_region_count` — number of 4-connected free regions;
+* :func:`average_free_rectangle` — mean area of the maximal empty
+  rectangles.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from .free_space import free_mask, maximal_empty_rectangles
+
+
+def fragmentation_index(occupancy: np.ndarray) -> float:
+    """1 - (largest free rectangle area / free area); 0.0 when empty of
+    fragmentation (or when there is no free space at all)."""
+    free = int(free_mask(occupancy).sum())
+    if free == 0:
+        return 0.0
+    mers = maximal_empty_rectangles(occupancy)
+    largest = max((r.area for r in mers), default=0)
+    return 1.0 - largest / free
+
+
+def satisfiable_fraction(
+    occupancy: np.ndarray, requests: list[tuple[int, int]]
+) -> float:
+    """Fraction of (height, width) requests the free space can host."""
+    if not requests:
+        return 1.0
+    mers = maximal_empty_rectangles(occupancy)
+    satisfied = 0
+    for height, width in requests:
+        if any(r.height >= height and r.width >= width for r in mers):
+            satisfied += 1
+    return satisfied / len(requests)
+
+
+def free_region_count(occupancy: np.ndarray) -> int:
+    """Number of 4-connected free regions ("small pools of resources")."""
+    free = free_mask(occupancy)
+    seen = np.zeros_like(free, dtype=bool)
+    rows, cols = free.shape
+    regions = 0
+    for r in range(rows):
+        for c in range(cols):
+            if not free[r, c] or seen[r, c]:
+                continue
+            regions += 1
+            queue = deque([(r, c)])
+            seen[r, c] = True
+            while queue:
+                y, x = queue.popleft()
+                for dy, dx in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                    ny, nx = y + dy, x + dx
+                    if (
+                        0 <= ny < rows
+                        and 0 <= nx < cols
+                        and free[ny, nx]
+                        and not seen[ny, nx]
+                    ):
+                        seen[ny, nx] = True
+                        queue.append((ny, nx))
+    return regions
+
+
+def average_free_rectangle(occupancy: np.ndarray) -> float:
+    """Mean area of the maximal empty rectangles (0.0 when full)."""
+    mers = maximal_empty_rectangles(occupancy)
+    if not mers:
+        return 0.0
+    return sum(r.area for r in mers) / len(mers)
+
+
+def utilization(occupancy: np.ndarray) -> float:
+    """Fraction of sites occupied."""
+    total = occupancy.size
+    return float((occupancy != 0).sum()) / total if total else 0.0

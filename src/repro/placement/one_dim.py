@@ -1,0 +1,127 @@
+"""One-dimensional (column-aligned) allocation — the Virtex-native model.
+
+The Virtex configuration architecture reconfigures *whole columns*
+(frames span the full device height), so early run-time systems often
+constrained functions to full-height column strips: allocation becomes a
+1-D interval problem.  The paper's 2-D CLB-level management is strictly
+more general; this module provides the 1-D baseline so the benchmarks
+can quantify what the generality buys (an ablation DESIGN.md calls out).
+
+A function of area ``a`` CLBs needs ``ceil(a / rows)`` full columns in
+the 1-D model; fragmentation happens in one dimension only.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.device.geometry import Rect
+
+
+@dataclass(frozen=True)
+class Strip:
+    """A contiguous run of full-height columns."""
+
+    col: int
+    width: int
+
+    @property
+    def col_end(self) -> int:
+        """One past the last column."""
+        return self.col + self.width
+
+    def to_rect(self, rows: int) -> Rect:
+        """The strip as a full-height rectangle."""
+        return Rect(0, self.col, rows, self.width)
+
+
+class OneDimAllocator:
+    """Interval allocation of full-height column strips."""
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows < 1 or cols < 1:
+            raise ValueError("device must have positive dimensions")
+        self.rows = rows
+        self.cols = cols
+        #: owner id per column, 0 = free.
+        self.columns = np.zeros(cols, dtype=np.int64)
+
+    def columns_needed(self, height: int, width: int) -> int:
+        """Columns a (height x width) request consumes in 1-D."""
+        return math.ceil(height * width / self.rows)
+
+    def free_runs(self) -> list[Strip]:
+        """Maximal runs of free columns."""
+        runs: list[Strip] = []
+        start = None
+        for c in range(self.cols):
+            if self.columns[c] == 0:
+                if start is None:
+                    start = c
+            elif start is not None:
+                runs.append(Strip(start, c - start))
+                start = None
+        if start is not None:
+            runs.append(Strip(start, self.cols - start))
+        return runs
+
+    def first_fit(self, width: int) -> Strip | None:
+        """Leftmost free run able to host ``width`` columns."""
+        for run in self.free_runs():
+            if run.width >= width:
+                return Strip(run.col, width)
+        return None
+
+    def allocate(self, height: int, width: int, owner: int) -> Strip | None:
+        """Place a request; returns its strip or None."""
+        if owner <= 0:
+            raise ValueError("owner id must be positive")
+        needed = self.columns_needed(height, width)
+        strip = self.first_fit(needed)
+        if strip is None:
+            return None
+        self.columns[strip.col : strip.col_end] = owner
+        return strip
+
+    def release(self, owner: int) -> None:
+        """Free every column owned by ``owner``."""
+        if not (self.columns == owner).any():
+            raise KeyError(f"owner {owner} holds no columns")
+        self.columns[self.columns == owner] = 0
+
+    def utilization(self) -> float:
+        """Fraction of columns in use."""
+        return float((self.columns != 0).sum()) / self.cols
+
+    def fragmentation_index(self) -> float:
+        """1 - largest free run / total free columns (0 when none free)."""
+        free = int((self.columns == 0).sum())
+        if free == 0:
+            return 0.0
+        largest = max((r.width for r in self.free_runs()), default=0)
+        return 1.0 - largest / free
+
+    def compact(self) -> int:
+        """Slide every allocation leftward (1-D ordered compaction);
+        returns the number of owners that moved."""
+        owners: list[tuple[int, int]] = []  # (first col, owner)
+        seen: set[int] = set()
+        for c in range(self.cols):
+            owner = int(self.columns[c])
+            if owner and owner not in seen:
+                owners.append((c, owner))
+                seen.add(owner)
+        moved = 0
+        cursor = 0
+        new = np.zeros_like(self.columns)
+        for first, owner in owners:
+            width = int((self.columns == owner).sum())
+            new[cursor : cursor + width] = owner
+            if cursor != first:
+                moved += 1
+            cursor += width
+        self.columns = new
+        return moved

@@ -1,0 +1,36 @@
+"""On-line scheduling substrate: event kernel, tasks, workloads,
+schedulers (DESIGN.md, section 3)."""
+
+from .events import EventHandle, EventQueue, SequentialResource
+from .scheduler import (
+    ApplicationFlowScheduler,
+    OnlineTaskScheduler,
+    ScheduleMetrics,
+)
+from .tasks import (
+    ApplicationRun,
+    ApplicationSpec,
+    FunctionRun,
+    FunctionSpec,
+    Task,
+    TaskState,
+)
+from .workload import fig1_applications, random_tasks, uniform_requests
+
+__all__ = [
+    "ApplicationFlowScheduler",
+    "ApplicationRun",
+    "ApplicationSpec",
+    "EventHandle",
+    "EventQueue",
+    "FunctionRun",
+    "FunctionSpec",
+    "OnlineTaskScheduler",
+    "ScheduleMetrics",
+    "SequentialResource",
+    "Task",
+    "TaskState",
+    "fig1_applications",
+    "random_tasks",
+    "uniform_requests",
+]

@@ -1,0 +1,122 @@
+"""A minimal discrete-event simulation kernel.
+
+Drives the on-line scheduling experiments (Fig. 1 and the
+defragmentation study): task arrivals, completions and reconfiguration
+port activity are events on a single timeline measured in seconds.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle allowing a scheduled event to be cancelled."""
+
+    def __init__(self, entry: _Entry) -> None:
+        self._entry = entry
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if already fired)."""
+        self._entry.cancelled = True
+
+    @property
+    def time(self) -> float:
+        """The scheduled firing time."""
+        return self._entry.time
+
+    @property
+    def cancelled(self) -> bool:
+        """True when the event will not fire."""
+        return self._entry.cancelled
+
+
+class EventQueue:
+    """Priority queue of timed callbacks with a monotonic clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[_Entry] = []
+        self._seq = 0
+        self.processed = 0
+
+    def at(self, time: float, action: Callable[[], None]) -> EventHandle:
+        """Schedule ``action`` at absolute ``time`` (>= now)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        entry = _Entry(time, self._seq, action)
+        self._seq += 1
+        heapq.heappush(self._heap, entry)
+        return EventHandle(entry)
+
+    def after(self, delay: float, action: Callable[[], None]) -> EventHandle:
+        """Schedule ``action`` after ``delay`` seconds."""
+        if delay < 0:
+            raise ValueError("delay cannot be negative")
+        return self.at(self.now + delay, action)
+
+    def run(self, until: float | None = None,
+            max_events: int = 1_000_000) -> None:
+        """Process events in order until the queue drains (or ``until``).
+
+        ``max_events`` guards against runaway feedback loops.
+        """
+        count = 0
+        while self._heap:
+            if until is not None and self._heap[0].time > until:
+                self.now = until
+                return
+            entry = heapq.heappop(self._heap)
+            if entry.cancelled:
+                continue
+            self.now = entry.time
+            entry.action()
+            self.processed += 1
+            count += 1
+            if count >= max_events:
+                raise RuntimeError(
+                    f"event budget exhausted ({max_events} events)"
+                )
+        if until is not None:
+            self.now = max(self.now, until)
+
+    @property
+    def pending(self) -> int:
+        """Events still queued (including cancelled placeholders)."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+
+class SequentialResource:
+    """A serially shared resource — the reconfiguration port.
+
+    The paper's whole cost structure hangs on the configuration port
+    being one serial channel: moves and incoming-function configurations
+    queue behind each other.  :meth:`acquire` returns the interval
+    [start, end) granted to the request.
+    """
+
+    def __init__(self, queue: EventQueue) -> None:
+        self._queue = queue
+        self.free_at = 0.0
+        self.busy_seconds = 0.0
+
+    def acquire(self, duration: float) -> tuple[float, float]:
+        """Reserve the resource for ``duration`` seconds at the earliest
+        opportunity; returns (start, end)."""
+        if duration < 0:
+            raise ValueError("duration cannot be negative")
+        start = max(self._queue.now, self.free_at)
+        end = start + duration
+        self.free_at = end
+        self.busy_seconds += duration
+        return start, end

@@ -1,0 +1,302 @@
+"""On-line schedulers over the logic-space manager.
+
+Two experiment drivers:
+
+* :class:`OnlineTaskScheduler` — independent task stream (the
+  defragmentation study): tasks arrive, are placed (possibly after a
+  rearrangement), configured through the serial port, run, and release
+  their region; unplaceable tasks wait in FIFO order.
+* :class:`ApplicationFlowScheduler` — the Fig. 1 scenario: applications
+  execute function chains; the successor of a running function is
+  configured *in advance* during the reconfiguration interval ``rt``
+  whenever space and the port allow, hiding reconfiguration time; when
+  prefetching fails (parallelism took the space), the application
+  stalls, which is exactly the effect Fig. 1 illustrates.
+
+Both charge every configuration and every rearrangement move to the
+single reconfiguration port (:class:`~repro.sched.events.SequentialResource`),
+and apply the halting penalty to moved tasks under the HALT policy.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.manager import LogicSpaceManager, PlacementOutcome
+from repro.placement import metrics
+
+from .events import EventHandle, EventQueue, SequentialResource
+from .tasks import (
+    ApplicationRun,
+    ApplicationSpec,
+    FunctionRun,
+    Task,
+    TaskState,
+)
+
+
+@dataclass
+class ScheduleMetrics:
+    """Aggregated outcome of one scheduling run."""
+
+    finished: int = 0
+    rejected: int = 0
+    waiting_seconds: list[float] = field(default_factory=list)
+    turnaround_seconds: list[float] = field(default_factory=list)
+    halted_seconds: float = 0.0
+    port_busy_seconds: float = 0.0
+    makespan: float = 0.0
+    rearrangements: int = 0
+    moves: int = 0
+    fragmentation_samples: list[float] = field(default_factory=list)
+    utilization_samples: list[float] = field(default_factory=list)
+
+    @property
+    def mean_waiting(self) -> float:
+        """Mean task waiting time (0 when nothing finished)."""
+        return (
+            sum(self.waiting_seconds) / len(self.waiting_seconds)
+            if self.waiting_seconds
+            else 0.0
+        )
+
+    @property
+    def mean_fragmentation(self) -> float:
+        """Mean sampled fragmentation index."""
+        return (
+            sum(self.fragmentation_samples) / len(self.fragmentation_samples)
+            if self.fragmentation_samples
+            else 0.0
+        )
+
+
+class OnlineTaskScheduler:
+    """FIFO on-line scheduler for independent tasks."""
+
+    def __init__(self, manager: LogicSpaceManager) -> None:
+        self.manager = manager
+        self.events = EventQueue()
+        self.port = SequentialResource(self.events)
+        self.waiting: deque[Task] = deque()
+        self.running: dict[int, tuple[Task, EventHandle]] = {}
+        self.metrics = ScheduleMetrics()
+        #: occupancy version counter: a failed head-of-queue placement is
+        #: only retried after the logic space actually changed.
+        self._space_version = 0
+        self._failed_at_version: int | None = None
+
+    def run(self, tasks: list[Task]) -> ScheduleMetrics:
+        """Simulate the whole stream; returns the aggregated metrics."""
+        for task in tasks:
+            self.events.at(task.arrival, lambda t=task: self._on_arrival(t))
+        self.events.run()
+        self.metrics.makespan = self.events.now
+        self.metrics.port_busy_seconds = self.port.busy_seconds
+        return self.metrics
+
+    # -- event handlers -----------------------------------------------------
+
+    def _on_arrival(self, task: Task) -> None:
+        task.state = TaskState.QUEUED
+        self.waiting.append(task)
+        if task.max_wait is not None:
+            self.events.after(task.max_wait, lambda: self._on_timeout(task))
+        self._drain_queue()
+
+    def _on_timeout(self, task: Task) -> None:
+        """The task's patience ran out while still queued: reject it."""
+        if task.state is not TaskState.QUEUED:
+            return
+        task.state = TaskState.REJECTED
+        try:
+            self.waiting.remove(task)
+        except ValueError:
+            return
+        self.metrics.rejected += 1
+        # The head of the queue changed: give the next task a chance.
+        self._failed_at_version = None
+        self._drain_queue()
+
+    def _drain_queue(self) -> None:
+        """Place waiting tasks in FIFO order; stop at the first failure
+        (strict FIFO avoids starving large tasks)."""
+        while self.waiting:
+            if self._failed_at_version == self._space_version:
+                return  # nothing changed since the head last failed
+            task = self.waiting[0]
+            outcome = self.manager.request(task.height, task.width, task.task_id)
+            if not outcome.success:
+                self._failed_at_version = self._space_version
+                return
+            self.waiting.popleft()
+            self._space_version += 1
+            self._commit_placement(task, outcome)
+
+    def _commit_placement(self, task: Task, outcome: PlacementOutcome) -> None:
+        if outcome.moves:
+            self.metrics.rearrangements += 1
+            self.metrics.moves += len(outcome.moves)
+            self._apply_halts(outcome)
+        __, config_done = self.port.acquire(outcome.total_port_seconds)
+        task.rect = outcome.rect
+        task.state = TaskState.CONFIGURING
+        task.configured_at = config_done
+        task.started_at = config_done
+        finish_time = config_done + task.exec_seconds
+        handle = self.events.at(finish_time, lambda t=task: self._on_finish(t))
+        self.running[task.task_id] = (task, handle)
+        self._sample()
+
+    def _apply_halts(self, outcome: PlacementOutcome) -> None:
+        """Under the HALT policy, extend each moved task's finish time by
+        its stopped interval — the cost the paper's concurrent relocation
+        eliminates."""
+        for execution in outcome.moves:
+            if not execution.halted:
+                continue
+            owner = execution.move.owner
+            entry = self.running.get(owner)
+            if entry is None:
+                continue
+            moved_task, handle = entry
+            moved_task.halted_seconds += execution.seconds
+            self.metrics.halted_seconds += execution.seconds
+            new_time = handle.time + execution.seconds
+            handle.cancel()
+            new_handle = self.events.at(
+                new_time, lambda t=moved_task: self._on_finish(t)
+            )
+            self.running[owner] = (moved_task, new_handle)
+
+    def _on_finish(self, task: Task) -> None:
+        task.state = TaskState.FINISHED
+        task.finished_at = self.events.now
+        self.running.pop(task.task_id, None)
+        self.manager.release(task.task_id)
+        self._space_version += 1
+        self.metrics.finished += 1
+        self.metrics.waiting_seconds.append(task.waiting_seconds)
+        self.metrics.turnaround_seconds.append(task.turnaround_seconds)
+        self._sample()
+        self._drain_queue()
+
+    def _sample(self) -> None:
+        occ = self.manager.fabric.occupancy
+        self.metrics.fragmentation_samples.append(
+            metrics.fragmentation_index(occ)
+        )
+        self.metrics.utilization_samples.append(metrics.utilization(occ))
+
+
+class ApplicationFlowScheduler:
+    """Fig. 1: applications sharing the device in space and time."""
+
+    def __init__(self, manager: LogicSpaceManager,
+                 prefetch: bool = True) -> None:
+        self.manager = manager
+        self.prefetch = prefetch
+        self.events = EventQueue()
+        self.port = SequentialResource(self.events)
+        self._owner_seq = 1000
+        self._stalled: deque[tuple["_AppState", int]] = deque()
+
+    def run(self, apps: list[ApplicationSpec]) -> list[ApplicationRun]:
+        """Run every application to completion; returns their records."""
+        states = [_AppState(ApplicationRun(app)) for app in apps]
+        for state in states:
+            self.events.at(0.0, lambda s=state: self._start_function(s, 0))
+        self.events.run()
+        return [s.record for s in states]
+
+    # -- internals ----------------------------------------------------------
+
+    def _next_owner(self) -> int:
+        self._owner_seq += 1
+        return self._owner_seq
+
+    def _start_function(self, state: "_AppState", index: int) -> None:
+        """Begin function ``index``: it must be placed and configured."""
+        run = state.ensure_run(index)
+        if run.rect is None and not self._place_function(state, index):
+            # No space: stall until some function releases its region.
+            self._stalled.append((state, index))
+            return
+        start = max(self.events.now, run.configured_at or 0.0)
+        if start > self.events.now:
+            self.events.at(start, lambda: self._begin_execution(state, index))
+        else:
+            self._begin_execution(state, index)
+
+    def _begin_execution(self, state: "_AppState", index: int) -> None:
+        run = state.record.runs[index]
+        run.started_at = self.events.now
+        spec = state.record.spec.functions[index]
+        # Prefetch the successor during the reconfiguration interval rt.
+        if self.prefetch and index + 1 < len(state.record.spec.functions):
+            self._place_function(state, index + 1)
+        self.events.after(
+            spec.exec_seconds, lambda: self._finish_function(state, index)
+        )
+
+    def _place_function(self, state: "_AppState", index: int) -> bool:
+        """Try to place + configure function ``index`` right now."""
+        run = state.ensure_run(index)
+        if run.rect is not None:
+            return True
+        spec = state.record.spec.functions[index]
+        owner = self._next_owner()
+        outcome = self.manager.request(spec.height, spec.width, owner)
+        if not outcome.success:
+            return False
+        __, config_done = self.port.acquire(outcome.total_port_seconds)
+        run.rect = outcome.rect
+        run.configured_at = config_done
+        state.owners[index] = owner
+        return True
+
+    def _finish_function(self, state: "_AppState", index: int) -> None:
+        run = state.record.runs[index]
+        run.finished_at = self.events.now
+        owner = state.owners.pop(index)
+        self.manager.release(owner)
+        self._retry_stalled()
+        if index + 1 < len(state.record.spec.functions):
+            self._start_function(state, index + 1)
+        else:
+            state.record.finished_at = self.events.now
+
+    def _retry_stalled(self) -> None:
+        """Space was released: wake stalled applications (FIFO)."""
+        still_stalled: deque[tuple[_AppState, int]] = deque()
+        while self._stalled:
+            state, index = self._stalled.popleft()
+            if self._place_function(state, index):
+                run = state.record.runs[index]
+                start = max(self.events.now, run.configured_at or 0.0)
+                self.events.at(
+                    start,
+                    lambda s=state, i=index: self._begin_execution(s, i),
+                )
+            else:
+                still_stalled.append((state, index))
+        self._stalled = still_stalled
+
+
+@dataclass
+class _AppState:
+    """Book-keeping for one running application."""
+
+    record: ApplicationRun
+    owners: dict[int, int] = field(default_factory=dict)
+
+    def ensure_run(self, index: int) -> FunctionRun:
+        while len(self.record.runs) <= index:
+            next_index = len(self.record.runs)
+            self.record.runs.append(
+                FunctionRun(
+                    self.record.spec.name,
+                    self.record.spec.functions[next_index],
+                )
+            )
+        return self.record.runs[index]

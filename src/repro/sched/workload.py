@@ -1,0 +1,104 @@
+"""Workload generators for the scheduling experiments.
+
+* :func:`random_tasks` — the Diessel-style on-line stream used by the
+  defragmentation study: Poisson arrivals, uniform rectangle sizes,
+  uniform service times (reference [5] evaluates on exactly this shape).
+* :func:`fig1_applications` — the three applications of Fig. 1 (A with
+  two functions, B with two, C with four) sized so their combined area
+  demand exceeds 100 % of the device — the virtual-hardware premise that
+  "a set of applications, which in total require far more than 100% of
+  the FPGA available resources" can share one part.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.device.devices import VirtexDevice
+
+from .tasks import ApplicationSpec, FunctionSpec, Task
+
+
+def random_tasks(
+    n: int,
+    seed: int = 0,
+    mean_interarrival: float = 0.05,
+    size_range: tuple[int, int] = (3, 10),
+    exec_range: tuple[float, float] = (0.2, 2.0),
+    max_wait: float | None = None,
+) -> list[Task]:
+    """An on-line stream of ``n`` independent tasks.
+
+    Exponential interarrivals (rate 1/``mean_interarrival``), uniform
+    integer heights/widths in ``size_range``, uniform service times in
+    ``exec_range``; optional queueing impatience ``max_wait``.
+    Deterministic per seed.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    lo, hi = size_range
+    if lo < 1 or hi < lo:
+        raise ValueError("invalid size_range")
+    rng = random.Random(seed)
+    tasks: list[Task] = []
+    now = 0.0
+    for i in range(n):
+        now += rng.expovariate(1.0 / mean_interarrival)
+        tasks.append(
+            Task(
+                task_id=i + 1,
+                height=rng.randint(lo, hi),
+                width=rng.randint(lo, hi),
+                exec_seconds=rng.uniform(*exec_range),
+                arrival=now,
+                max_wait=max_wait,
+            )
+        )
+    return tasks
+
+
+def fig1_applications(device: VirtexDevice,
+                      exec_seconds: float = 0.5) -> list[ApplicationSpec]:
+    """The three-application scenario of Fig. 1, scaled to ``device``.
+
+    Function footprints are chosen as fractions of the CLB array so that
+    the *simultaneous* set fits while the *total* demand is well above
+    100 %: A needs ~30 % per function, B ~25 %, C ~20 % — together ~75 %
+    resident, with 8 functions totalling ~190 % of the device.
+    """
+    rows, cols = device.clb_rows, device.clb_cols
+
+    def fn(name: str, frac_h: float, frac_w: float,
+           scale: float = 1.0) -> FunctionSpec:
+        return FunctionSpec(
+            name,
+            max(1, round(rows * frac_h)),
+            max(1, round(cols * frac_w)),
+            exec_seconds * scale,
+        )
+
+    app_a = ApplicationSpec(
+        "A", [fn("A1", 0.55, 0.55), fn("A2", 0.55, 0.55, 1.4)]
+    )
+    app_b = ApplicationSpec(
+        "B", [fn("B1", 0.5, 0.5), fn("B2", 0.5, 0.5, 1.2)]
+    )
+    app_c = ApplicationSpec(
+        "C",
+        [
+            fn("C1", 0.45, 0.45, 0.6),
+            fn("C2", 0.45, 0.45, 0.6),
+            fn("C3", 0.45, 0.45, 0.6),
+            fn("C4", 0.45, 0.45, 0.6),
+        ],
+    )
+    return [app_a, app_b, app_c]
+
+
+def uniform_requests(
+    n: int, seed: int = 0, size_range: tuple[int, int] = (3, 10)
+) -> list[tuple[int, int]]:
+    """Request-shape sample used by the satisfiable-fraction metric."""
+    rng = random.Random(seed)
+    lo, hi = size_range
+    return [(rng.randint(lo, hi), rng.randint(lo, hi)) for _ in range(n)]

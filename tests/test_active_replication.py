@@ -1,0 +1,113 @@
+"""Tests for the on-line concurrent testing extension (reference [8])."""
+
+import pytest
+
+from repro.device.devices import device, synthetic_device
+from repro.device.fabric import Fabric
+from repro.device.geometry import CellCoord, ClbCoord
+from repro.core.active_replication import (
+    ActiveReplicationTester,
+    StuckAtFault,
+    TEST_LUTS,
+)
+from repro.core.procedure import RelocationVeto
+from repro.core.relocation import make_lockstep_engine
+from repro.netlist import library as lib
+from repro.netlist.synth import place
+
+
+def build(circuit=None, origin=None):
+    fabric = Fabric(device("XCV200"))
+    design = place(circuit or lib.counter(4), fabric, owner=1, origin=origin)
+    engine, checker = make_lockstep_engine(design)
+    return ActiveReplicationTester(engine), design, checker
+
+
+class TestBist:
+    def test_healthy_cell_passes(self):
+        tester, design, _ = build()
+        free_site = CellCoord(20, 20, 0)
+        result = tester.test_cell(free_site)
+        assert result.tested and not result.faulty
+
+    def test_stuck_at_zero_detected(self):
+        tester, design, _ = build()
+        site = CellCoord(20, 20, 1)
+        tester.inject_fault(StuckAtFault(site, 0))
+        assert tester.test_cell(site).faulty
+
+    def test_stuck_at_one_detected(self):
+        tester, design, _ = build()
+        site = CellCoord(21, 21, 2)
+        tester.inject_fault(StuckAtFault(site, 1))
+        assert tester.test_cell(site).faulty
+
+    def test_occupied_cell_rejected(self):
+        tester, design, _ = build()
+        occupied = design.site_of("b0")
+        with pytest.raises(RelocationVeto, match="in use"):
+            tester.test_cell(occupied)
+
+    def test_fault_value_validated(self):
+        with pytest.raises(ValueError):
+            StuckAtFault(CellCoord(0, 0, 0), 2)
+
+    def test_test_luts_cover_both_polarities(self):
+        assert 0x0000 in TEST_LUTS and 0xFFFF in TEST_LUTS
+
+
+class TestRotation:
+    def test_free_clbs_tested_without_relocation(self):
+        tester, design, _ = build(origin=ClbCoord(0, 0))
+        free_clbs = [ClbCoord(10, c) for c in range(5)]
+        report = tester.rotate(free_clbs)
+        assert report.clbs_tested == 5
+        assert report.cells_tested == 20
+        assert report.relocations == []
+
+    def test_occupied_clbs_vacated_transparently(self):
+        tester, design, checker = build(origin=ClbCoord(0, 0))
+        for _ in range(4):
+            checker.step()
+        occupied = sorted({s.clb for s in design.placement.values()})
+        report = tester.rotate(occupied)
+        for _ in range(12):
+            checker.step()
+        assert report.clbs_tested == len(occupied)
+        assert report.relocations  # live cells were moved
+        assert report.transparent
+        assert checker.clean  # the counter never noticed
+
+    def test_faults_found_under_live_circuit(self):
+        tester, design, checker = build(origin=ClbCoord(0, 0))
+        victim = design.site_of("b1")
+        tester.inject_fault(StuckAtFault(victim, 0))
+        report = tester.rotate([victim.clb])
+        assert any(f.site == victim for f in report.detected)
+        assert checker.clean
+
+    def test_coverage_accumulates(self):
+        tester, design, _ = build()
+        assert tester.coverage() == 0.0
+        tester.rotate([ClbCoord(15, c) for c in range(10)])
+        assert tester.coverage() == pytest.approx(10 / 1176)
+
+    def test_already_tested_skipped(self):
+        tester, design, _ = build()
+        clbs = [ClbCoord(15, 0)]
+        first = tester.rotate(clbs)
+        second = tester.rotate(clbs)
+        assert first.clbs_tested == 1
+        assert second.clbs_tested == 0
+
+    def test_max_clbs_budget(self):
+        tester, design, _ = build()
+        report = tester.rotate(max_clbs=7)
+        assert report.clbs_tested == 7
+
+    def test_full_column_rotation(self):
+        tester, design, _ = build(origin=ClbCoord(0, 0))
+        column = [ClbCoord(r, 30) for r in range(28)]
+        report = tester.rotate(column)
+        assert report.clbs_tested == 28
+        assert report.cells_tested == 28 * 4

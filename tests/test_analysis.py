@@ -1,0 +1,90 @@
+"""Unit tests for analysis helpers (stats + reporting)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.reporting import Table, series
+from repro.analysis.stats import (
+    confidence_interval_95,
+    mean,
+    median,
+    percentile,
+    stddev,
+)
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        assert mean([]) == 0.0
+
+    def test_median_odd_even(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+        assert median([]) == 0.0
+
+    def test_stddev(self):
+        assert stddev([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) == pytest.approx(
+            2.138, abs=1e-3
+        )
+        assert stddev([1.0]) == 0.0
+
+    def test_percentile_bounds(self):
+        data = [float(i) for i in range(11)]
+        assert percentile(data, 0) == 0.0
+        assert percentile(data, 100) == 10.0
+        assert percentile(data, 50) == 5.0
+
+    def test_percentile_interpolates(self):
+        assert percentile([0.0, 10.0], 25) == 2.5
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_confidence_interval(self):
+        lo, hi = confidence_interval_95([5.0] * 10)
+        assert lo == hi == 5.0
+        lo, hi = confidence_interval_95([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert lo < 3.0 < hi
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50))
+    def test_mean_between_min_max(self, values):
+        assert min(values) - 1e-6 <= mean(values) <= max(values) + 1e-6
+
+    @given(st.lists(st.floats(-1e3, 1e3), min_size=2, max_size=30))
+    def test_median_is_50th_percentile(self, values):
+        assert median(values) == pytest.approx(percentile(values, 50))
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table("Demo", ["name", "value"])
+        t.add("alpha", 1.23456)
+        t.add("b", "x")
+        text = t.render()
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "alpha" in text and "1.235" in text
+        # All data rows share the same width.
+        widths = {len(line) for line in lines[2:]}
+        assert len(widths) == 1
+
+    def test_row_arity_enforced(self):
+        t = Table("Demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add(1)
+
+    def test_series_builder(self):
+        t = series("S", [1, 2], [10, 20], x_label="x", y_label="y")
+        assert "10" in t.render()
+        with pytest.raises(ValueError):
+            series("S", [1], [1, 2])
+
+    def test_show_prints(self, capsys):
+        t = Table("T", ["h"])
+        t.add("v")
+        t.show()
+        assert "T" in capsys.readouterr().out

@@ -1,0 +1,153 @@
+"""Unit tests for partial bitstreams and the configuration controller."""
+
+import pytest
+
+from repro.device.bitstream import (
+    ConfigurationController,
+    FrameWrite,
+    PartialBitstream,
+    decode_far,
+    encode_far,
+)
+from repro.device.config_memory import ColumnKind, ConfigMemory, FrameAddress
+from repro.device.devices import device, synthetic_device
+
+
+@pytest.fixture
+def memory():
+    return ConfigMemory(device("XCV200"))
+
+
+class TestFarCodec:
+    def test_roundtrip_all_kinds(self):
+        for kind in ColumnKind:
+            addr = FrameAddress(kind, 17, 33)
+            assert decode_far(encode_far(addr)) == addr
+
+    def test_distinct_addresses_distinct_words(self):
+        a = encode_far(FrameAddress(ColumnKind.CLB, 1, 2))
+        b = encode_far(FrameAddress(ColumnKind.CLB, 2, 1))
+        assert a != b
+
+
+class TestPartialBitstream:
+    def test_word_count_includes_pad_frame(self, memory):
+        stream = PartialBitstream(memory)
+        payload = bytes(memory.frame_bytes)
+        stream.add_frame_writes(
+            [FrameWrite(FrameAddress(ColumnKind.CLB, 0, 0), payload)]
+        )
+        stream.finalize()
+        fdri_words = sum(
+            len(p.payload) for p in stream.packets if p.register == "FDRI"
+        )
+        # One data frame plus one pad frame.
+        assert fdri_words == 2 * memory.device.frame_words
+
+    def test_consecutive_minors_merge_into_one_burst(self, memory):
+        payload = bytes(memory.frame_bytes)
+        stream = PartialBitstream(memory)
+        stream.add_frame_writes(
+            [
+                FrameWrite(FrameAddress(ColumnKind.CLB, 0, m), payload)
+                for m in range(4)
+            ]
+        )
+        fdri = [p for p in stream.packets if p.register == "FDRI"]
+        assert len(fdri) == 1
+
+    def test_noncontiguous_minors_split_bursts(self, memory):
+        payload = bytes(memory.frame_bytes)
+        stream = PartialBitstream(memory)
+        stream.add_frame_writes(
+            [
+                FrameWrite(FrameAddress(ColumnKind.CLB, 0, 0), payload),
+                FrameWrite(FrameAddress(ColumnKind.CLB, 0, 5), payload),
+            ]
+        )
+        fdri = [p for p in stream.packets if p.register == "FDRI"]
+        assert len(fdri) == 2
+
+    def test_finalize_freezes(self, memory):
+        stream = PartialBitstream(memory).finalize()
+        with pytest.raises(RuntimeError):
+            stream.add_column_write(ColumnKind.CLB, 0, [])
+
+    def test_wrong_frame_size_rejected(self, memory):
+        stream = PartialBitstream(memory)
+        with pytest.raises(ValueError):
+            stream.add_frame_writes(
+                [FrameWrite(FrameAddress(ColumnKind.CLB, 0, 0), b"no")]
+            )
+
+    def test_describe_mentions_words(self, memory):
+        stream = PartialBitstream(memory, "unit").finalize()
+        assert "unit" in stream.describe()
+        assert "words" in stream.describe()
+
+
+class TestConfigurationController:
+    def test_apply_writes_frames(self, memory):
+        payload = b"\x5A" * memory.frame_bytes
+        stream = PartialBitstream(memory, "t")
+        stream.add_frame_writes(
+            [FrameWrite(FrameAddress(ColumnKind.CLB, 7, 3), payload)]
+        )
+        stream.finalize()
+        ConfigurationController(memory).apply(stream)
+        assert memory.peek_frame(FrameAddress(ColumnKind.CLB, 7, 3)) == payload
+
+    def test_autoincrement_across_burst(self, memory):
+        payloads = [
+            bytes([i]) * memory.frame_bytes for i in range(1, 4)
+        ]
+        stream = PartialBitstream(memory, "t")
+        stream.add_frame_writes(
+            [
+                FrameWrite(FrameAddress(ColumnKind.CLB, 2, 10 + i), p)
+                for i, p in enumerate(payloads)
+            ]
+        )
+        stream.finalize()
+        ConfigurationController(memory).apply(stream)
+        for i, p in enumerate(payloads):
+            assert memory.peek_frame(
+                FrameAddress(ColumnKind.CLB, 2, 10 + i)
+            ) == p
+
+    def test_unfinalized_rejected(self, memory):
+        stream = PartialBitstream(memory)
+        with pytest.raises(RuntimeError):
+            ConfigurationController(memory).apply(stream)
+
+    def test_crc_corruption_detected(self, memory):
+        payload = bytes(memory.frame_bytes)
+        stream = PartialBitstream(memory, "t")
+        stream.add_frame_writes(
+            [FrameWrite(FrameAddress(ColumnKind.CLB, 0, 0), payload)]
+        )
+        stream.finalize()
+        # Corrupt one FDRI payload word after the CRC was computed.
+        for pkt in stream.packets:
+            if pkt.register == "FDRI":
+                pkt.payload[0] ^= 0xDEADBEEF
+                break
+        with pytest.raises(ValueError, match="CRC"):
+            ConfigurationController(memory).apply(stream)
+
+    def test_device_mismatch_rejected(self):
+        small = ConfigMemory(synthetic_device(4, 4))
+        big = ConfigMemory(device("XCV200"))
+        stream = PartialBitstream(small).finalize()
+        with pytest.raises(ValueError, match="device"):
+            ConfigurationController(big).apply(stream)
+
+    def test_column_write_roundtrip(self, memory):
+        frames = [
+            bytes([m % 256]) * memory.frame_bytes for m in range(48)
+        ]
+        stream = PartialBitstream(memory, "col")
+        stream.add_column_write(ColumnKind.CLB, 11, frames)
+        stream.finalize()
+        ConfigurationController(memory).apply(stream)
+        assert memory.read_column(ColumnKind.CLB, 11) == frames

@@ -1,0 +1,119 @@
+"""Unit tests for netlist cell primitives and truth tables."""
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.device.clb import CellMode
+from repro.netlist.cells import (
+    Cell,
+    LUT_AND2,
+    LUT_BUF,
+    LUT_MAJ3,
+    LUT_MUX21,
+    LUT_NOT,
+    LUT_OR2,
+    LUT_XOR2,
+    LUT_XOR3,
+    lut_eval,
+    mux21,
+    or2,
+)
+
+
+class TestTruthTables:
+    def test_buf_and_not(self):
+        assert lut_eval(LUT_BUF, (0,)) == 0
+        assert lut_eval(LUT_BUF, (1,)) == 1
+        assert lut_eval(LUT_NOT, (0,)) == 1
+        assert lut_eval(LUT_NOT, (1,)) == 0
+
+    @pytest.mark.parametrize("a,b", itertools.product((0, 1), repeat=2))
+    def test_two_input_gates(self, a, b):
+        assert lut_eval(LUT_AND2, (a, b)) == (a & b)
+        assert lut_eval(LUT_OR2, (a, b)) == (a | b)
+        assert lut_eval(LUT_XOR2, (a, b)) == (a ^ b)
+
+    @pytest.mark.parametrize("a,b,s", itertools.product((0, 1), repeat=3))
+    def test_mux21_semantics(self, a, b, s):
+        # The auxiliary relocation circuit's mux: out = s ? b : a.
+        assert lut_eval(LUT_MUX21, (a, b, s)) == (b if s else a)
+
+    @pytest.mark.parametrize("a,b,c", itertools.product((0, 1), repeat=3))
+    def test_three_input_gates(self, a, b, c):
+        assert lut_eval(LUT_XOR3, (a, b, c)) == (a ^ b ^ c)
+        assert lut_eval(LUT_MAJ3, (a, b, c)) == int(a + b + c >= 2)
+
+    @given(st.integers(0, 0xFFFF), st.tuples(*[st.integers(0, 1)] * 4))
+    def test_lut_eval_reads_correct_bit(self, table, inputs):
+        address = sum(bit << i for i, bit in enumerate(inputs))
+        assert lut_eval(table, inputs) == (table >> address) & 1
+
+
+class TestCell:
+    def test_default_output_is_name(self):
+        cell = Cell("u1", LUT_BUF, ("a",))
+        assert cell.output == "u1"
+
+    def test_explicit_output(self):
+        cell = Cell("u1", LUT_BUF, ("a",), output="n1")
+        assert cell.output == "n1"
+
+    def test_too_many_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            Cell("u1", 0, ("a", "b", "c", "d", "e"))
+
+    def test_gated_requires_ce(self):
+        with pytest.raises(ValueError):
+            Cell("u1", LUT_BUF, ("a",), mode=CellMode.FF_GATED_CLOCK)
+
+    def test_latch_requires_ce(self):
+        with pytest.raises(ValueError):
+            Cell("u1", LUT_BUF, ("a",), mode=CellMode.LATCH)
+
+    def test_free_clock_rejects_ce(self):
+        with pytest.raises(ValueError):
+            Cell("u1", LUT_BUF, ("a",), mode=CellMode.FF_FREE_CLOCK, ce="en")
+
+    def test_fanin_includes_ce(self):
+        cell = Cell(
+            "u1", LUT_BUF, ("a",), mode=CellMode.FF_GATED_CLOCK, ce="en"
+        )
+        assert cell.fanin == ("a", "en")
+
+    def test_sequential_property(self):
+        comb = Cell("c", LUT_BUF, ("a",))
+        ff = Cell("f", LUT_BUF, ("a",), mode=CellMode.FF_FREE_CLOCK)
+        assert not comb.sequential
+        assert ff.sequential
+
+    def test_renamed_keeps_function(self):
+        cell = Cell("u1", LUT_XOR2, ("a", "b"))
+        copy = cell.renamed("u1~replica")
+        assert copy.lut == cell.lut
+        assert copy.inputs == cell.inputs
+        assert copy.name == "u1~replica"
+        assert copy.output == "u1~replica"
+
+    def test_rewired_changes_selected_fields(self):
+        cell = Cell("u1", LUT_BUF, ("a",))
+        rewired = cell.rewired(inputs=("b",))
+        assert rewired.inputs == ("b",)
+        assert rewired.name == cell.name
+
+    def test_invalid_init_state(self):
+        with pytest.raises(ValueError):
+            Cell("u1", LUT_BUF, ("a",), init_state=2)
+
+
+class TestAuxHelpers:
+    def test_mux21_helper_semantics(self):
+        cell = mux21("m", "a", "b", "s")
+        for a, b, s in itertools.product((0, 1), repeat=3):
+            assert cell.evaluate_lut((a, b, s)) == (b if s else a)
+
+    def test_or2_helper_semantics(self):
+        cell = or2("o", "x", "y")
+        for a, b in itertools.product((0, 1), repeat=2):
+            assert cell.evaluate_lut((a, b)) == (a | b)

@@ -1,0 +1,159 @@
+"""Unit tests for the netlist container."""
+
+import pytest
+
+from repro.device.clb import CellMode
+from repro.netlist.cells import Cell, LUT_AND2, LUT_BUF, LUT_NOT, LUT_XOR2
+from repro.netlist.circuit import Circuit, NetlistError
+
+
+def small_circuit():
+    c = Circuit("small")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_cell(Cell("g1", LUT_AND2, ("a", "b")))
+    c.add_cell(Cell("g2", LUT_XOR2, ("g1", "a")))
+    c.add_cell(Cell("q", LUT_BUF, ("g2",), mode=CellMode.FF_FREE_CLOCK))
+    c.set_outputs(["q"])
+    return c
+
+
+class TestConstruction:
+    def test_duplicate_input_rejected(self):
+        c = Circuit("t")
+        c.add_input("a")
+        with pytest.raises(NetlistError):
+            c.add_input("a")
+
+    def test_duplicate_cell_rejected(self):
+        c = Circuit("t")
+        c.add_input("a")
+        c.add_cell(Cell("g", LUT_BUF, ("a",)))
+        with pytest.raises(NetlistError):
+            c.add_cell(Cell("g", LUT_BUF, ("a",)))
+
+    def test_output_net_collision_rejected(self):
+        c = Circuit("t")
+        c.add_input("a")
+        c.add_cell(Cell("g", LUT_BUF, ("a",)))
+        with pytest.raises(NetlistError):
+            c.add_cell(Cell("h", LUT_BUF, ("a",), output="g"))
+
+    def test_cell_driving_input_net_rejected(self):
+        c = Circuit("t")
+        c.add_input("a")
+        with pytest.raises(NetlistError):
+            c.add_cell(Cell("g", LUT_BUF, ("g",), output="a"))
+
+    def test_remove_cell(self):
+        c = small_circuit()
+        c.remove_cell("g2")
+        assert "g2" not in c.cells
+        with pytest.raises(NetlistError):
+            c.remove_cell("g2")
+
+
+class TestValidation:
+    def test_valid_circuit_passes(self):
+        small_circuit().validate()
+
+    def test_undriven_net_detected(self):
+        c = Circuit("t")
+        c.add_cell(Cell("g", LUT_BUF, ("phantom",)))
+        with pytest.raises(NetlistError, match="undriven"):
+            c.validate()
+
+    def test_undriven_output_detected(self):
+        c = Circuit("t")
+        c.add_input("a")
+        c.set_outputs(["nowhere"])
+        with pytest.raises(NetlistError, match="undriven"):
+            c.validate()
+
+    def test_combinational_loop_detected(self):
+        c = Circuit("t")
+        c.add_cell(Cell("g1", LUT_NOT, ("g2",)))
+        c.add_cell(Cell("g2", LUT_BUF, ("g1",)))
+        with pytest.raises(NetlistError, match="loop"):
+            c.validate()
+
+    def test_registered_feedback_is_legal(self):
+        c = Circuit("t")
+        c.add_cell(Cell("q", LUT_NOT, ("q",), mode=CellMode.FF_FREE_CLOCK))
+        c.set_outputs(["q"])
+        c.validate()
+
+    def test_topo_order_respects_dependencies(self):
+        c = small_circuit()
+        order = c.topo_order()
+        assert order.index("g1") < order.index("g2")
+
+
+class TestParallelDrivers:
+    def test_add_and_promote(self):
+        c = small_circuit()
+        replica = Cell("g2~replica", LUT_XOR2, ("g1", "a"))
+        c.add_cell(replica)
+        c.add_parallel_driver("g2", "g2~replica")
+        assert c.parallel_drivers["g2"] == ["g2", "g2~replica"]
+        c.promote_parallel_driver("g2", "g2~replica")
+        assert "g2" not in c.parallel_drivers
+        assert c.cells["g2~replica"].output == "g2"
+        assert c.cells["g2"].output == "g2~detached"
+
+    def test_parallel_on_undriven_net_rejected(self):
+        c = small_circuit()
+        c.add_cell(Cell("x", LUT_BUF, ("a",)))
+        with pytest.raises(NetlistError):
+            c.add_parallel_driver("phantom", "x")
+
+    def test_duplicate_parallel_rejected(self):
+        c = small_circuit()
+        c.add_cell(Cell("r", LUT_XOR2, ("g1", "a")))
+        c.add_parallel_driver("g2", "r")
+        with pytest.raises(NetlistError):
+            c.add_parallel_driver("g2", "r")
+
+    def test_promote_unknown_rejected(self):
+        c = small_circuit()
+        with pytest.raises(NetlistError):
+            c.promote_parallel_driver("g2", "nobody")
+
+    def test_remove_cell_cleans_groups(self):
+        c = small_circuit()
+        c.add_cell(Cell("r", LUT_XOR2, ("g1", "a")))
+        c.add_parallel_driver("g2", "r")
+        c.remove_cell("r")
+        assert "g2" not in c.parallel_drivers
+
+
+class TestQueriesAndStats:
+    def test_fanout(self):
+        c = small_circuit()
+        assert set(c.fanout("a")) == {"g1", "g2"}
+        assert c.fanout("g2") == ["q"]
+
+    def test_stats(self):
+        c = small_circuit()
+        s = c.stats()
+        assert s.inputs == 2
+        assert s.outputs == 1
+        assert s.cells == 3
+        assert s.flip_flops == 1
+        assert s.combinational == 2
+        assert s.sequential == 1
+
+    def test_all_nets(self):
+        c = small_circuit()
+        assert {"a", "b", "g1", "g2", "q"} <= c.all_nets()
+
+    def test_clone_is_independent(self):
+        c = small_circuit()
+        d = c.clone()
+        d.remove_cell("g2")
+        assert "g2" in c.cells
+        assert c.outputs == d.outputs
+
+    def test_str_mentions_counts(self):
+        text = str(small_circuit())
+        assert "3 cells" in text and "1 FF" in text

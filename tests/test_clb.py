@@ -1,0 +1,77 @@
+"""Unit tests for CLB / logic-cell configuration records."""
+
+import pytest
+
+from repro.device.clb import CellMode, ClbConfig, LogicCellConfig
+
+
+class TestCellMode:
+    def test_sequential_classification(self):
+        assert CellMode.FF_FREE_CLOCK.sequential
+        assert CellMode.FF_GATED_CLOCK.sequential
+        assert CellMode.LATCH.sequential
+        assert not CellMode.COMBINATIONAL.sequential
+        assert not CellMode.LUT_RAM.sequential
+
+    def test_lut_ram_not_relocatable(self):
+        # Paper, section 2: LUT/RAM relocation would require stopping
+        # the system.
+        assert not CellMode.LUT_RAM.relocatable
+        for mode in CellMode:
+            if mode is not CellMode.LUT_RAM:
+                assert mode.relocatable
+
+
+class TestLogicCellConfig:
+    def test_lut_table_range_enforced(self):
+        with pytest.raises(ValueError):
+            LogicCellConfig(lut=1 << 16)
+
+    def test_lut_output_indexing(self):
+        # AND2: only input vector (1, 1) -> 1.
+        cfg = LogicCellConfig(lut=0x8888)
+        assert cfg.lut_output((1, 1)) == 1
+        assert cfg.lut_output((0, 1)) == 0
+        assert cfg.lut_output((1, 0)) == 0
+
+    def test_missing_inputs_default_zero(self):
+        cfg = LogicCellConfig(lut=0x8888)
+        assert cfg.lut_output((1,)) == 0  # second input defaults to 0
+
+    def test_vacated_resets(self):
+        cfg = LogicCellConfig(mode=CellMode.FF_GATED_CLOCK, lut=0xF, used=True)
+        empty = cfg.vacated()
+        assert not empty.used
+        assert empty.mode is CellMode.COMBINATIONAL
+        assert empty.lut == 0
+
+
+class TestClbConfig:
+    def test_four_cells(self):
+        clb = ClbConfig()
+        assert len(clb.cells) == 4
+        assert clb.is_free
+
+    def test_wrong_cell_count_rejected(self):
+        with pytest.raises(ValueError):
+            ClbConfig(cells=[LogicCellConfig()] * 3)
+
+    def test_place_and_vacate(self):
+        clb = ClbConfig()
+        clb.place_cell(2, LogicCellConfig(lut=0xAAAA))
+        assert clb.used_cells == 1
+        assert clb.free_cell_indices() == [0, 1, 3]
+        clb.vacate_cell(2)
+        assert clb.is_free
+
+    def test_double_place_rejected(self):
+        clb = ClbConfig()
+        clb.place_cell(0, LogicCellConfig())
+        with pytest.raises(ValueError):
+            clb.place_cell(0, LogicCellConfig())
+
+    def test_has_lut_ram(self):
+        clb = ClbConfig()
+        assert not clb.has_lut_ram
+        clb.place_cell(1, LogicCellConfig(mode=CellMode.LUT_RAM))
+        assert clb.has_lut_ram

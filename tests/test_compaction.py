@@ -1,0 +1,143 @@
+"""Unit tests for the Diessel-style rearrangement planners."""
+
+import numpy as np
+import pytest
+
+from repro.device.geometry import Rect
+from repro.placement.compaction import (
+    Move,
+    apply_moves,
+    footprints,
+    local_repacking,
+    moves_feasible,
+    ordered_compaction,
+    sequence_moves,
+)
+
+
+def occupancy_with(*placements):
+    occ = np.zeros((8, 12), dtype=int)
+    for owner, rect in placements:
+        occ[rect.row : rect.row_end, rect.col : rect.col_end] = owner
+    return occ
+
+
+class TestFootprints:
+    def test_extracts_rects(self):
+        occ = occupancy_with((1, Rect(0, 0, 2, 2)), (2, Rect(4, 6, 3, 3)))
+        prints = footprints(occ)
+        assert prints == {1: Rect(0, 0, 2, 2), 2: Rect(4, 6, 3, 3)}
+
+    def test_empty_grid(self):
+        assert footprints(np.zeros((3, 3), dtype=int)) == {}
+
+
+class TestApplyMoves:
+    def test_applies_in_order(self):
+        occ = occupancy_with((1, Rect(0, 0, 2, 2)))
+        moved = apply_moves(occ, [Move(1, Rect(0, 0, 2, 2), Rect(0, 5, 2, 2))])
+        assert footprints(moved) == {1: Rect(0, 5, 2, 2)}
+        # Original grid untouched.
+        assert footprints(occ) == {1: Rect(0, 0, 2, 2)}
+
+    def test_collision_rejected(self):
+        occ = occupancy_with((1, Rect(0, 0, 2, 2)), (2, Rect(0, 3, 2, 2)))
+        with pytest.raises(ValueError):
+            apply_moves(occ, [Move(1, Rect(0, 0, 2, 2), Rect(0, 3, 2, 2))])
+
+
+class TestOrderedCompaction:
+    def test_slides_left(self):
+        occ = occupancy_with((1, Rect(0, 4, 2, 2)), (2, Rect(0, 8, 2, 2)))
+        moves = ordered_compaction(occ, toward="left")
+        result = apply_moves(occ, moves)
+        prints = footprints(result)
+        assert prints[1] == Rect(0, 0, 2, 2)
+        assert prints[2] == Rect(0, 2, 2, 2)
+
+    def test_slides_top(self):
+        occ = occupancy_with((1, Rect(5, 0, 2, 2)))
+        moves = ordered_compaction(occ, toward="top")
+        assert footprints(apply_moves(occ, moves))[1] == Rect(0, 0, 2, 2)
+
+    def test_already_compact_no_moves(self):
+        occ = occupancy_with((1, Rect(0, 0, 3, 3)))
+        assert ordered_compaction(occ, toward="left") == []
+
+    def test_invalid_direction(self):
+        with pytest.raises(ValueError):
+            ordered_compaction(np.zeros((2, 2), dtype=int), toward="down")
+
+    def test_moves_are_feasible_in_order(self):
+        occ = occupancy_with(
+            (1, Rect(0, 2, 2, 2)), (2, Rect(0, 5, 2, 2)), (3, Rect(0, 9, 2, 3))
+        )
+        moves = ordered_compaction(occ)
+        assert moves_feasible(occ, moves)
+
+    def test_compaction_creates_contiguous_space(self):
+        occ = occupancy_with(
+            (1, Rect(0, 1, 8, 2)), (2, Rect(0, 5, 8, 2)), (3, Rect(0, 9, 8, 2))
+        )
+        moves = ordered_compaction(occ)
+        result = apply_moves(occ, moves)
+        # All functions packed leftward: columns 6.. free.
+        assert (result[:, 6:] == 0).all()
+
+
+class TestLocalRepacking:
+    def test_repacks_inside_window(self):
+        occ = occupancy_with((1, Rect(0, 2, 2, 2)), (2, Rect(4, 4, 2, 2)))
+        window = Rect(0, 0, 8, 12)
+        moves = local_repacking(occ, window)
+        assert moves is not None
+        result = apply_moves(occ, moves)
+        assert set(footprints(result)) == {1, 2}
+
+    def test_straddling_functions_untouched(self):
+        occ = occupancy_with((1, Rect(0, 0, 2, 6)))
+        window = Rect(0, 0, 8, 4)  # function 1 straddles the border
+        moves = local_repacking(occ, window)
+        assert moves == []
+
+    def test_repack_consolidates_toward_corner(self):
+        occ = occupancy_with((1, Rect(0, 4, 2, 2)), (2, Rect(5, 8, 2, 2)))
+        window = Rect(0, 0, 8, 12)
+        moves = local_repacking(occ, window)
+        assert moves is not None and moves
+        result = apply_moves(occ, moves)
+        prints = footprints(result)
+        # Everything repacked inside the window, areas preserved.
+        for owner, rect in prints.items():
+            assert window.contains_rect(rect)
+        assert prints[1].area == 4 and prints[2].area == 4
+
+
+class TestSequenceMoves:
+    def test_orders_dependent_moves(self):
+        occ = occupancy_with((1, Rect(0, 0, 2, 2)), (2, Rect(0, 2, 2, 2)))
+        # Move 1 into 2's current place; 2 must go first.
+        moves = [
+            Move(1, Rect(0, 0, 2, 2), Rect(0, 2, 2, 2)),
+            Move(2, Rect(0, 2, 2, 2), Rect(0, 6, 2, 2)),
+        ]
+        ordered = sequence_moves(occ, moves)
+        assert ordered is not None
+        assert ordered[0].owner == 2
+        assert moves_feasible(occ, ordered)
+
+    def test_circular_dependency_detected(self):
+        occ = occupancy_with((1, Rect(0, 0, 2, 2)), (2, Rect(0, 2, 2, 2)))
+        # 1 -> 2's place, 2 -> 1's place: a swap needs scratch space.
+        moves = [
+            Move(1, Rect(0, 0, 2, 2), Rect(0, 2, 2, 2)),
+            Move(2, Rect(0, 2, 2, 2), Rect(0, 0, 2, 2)),
+        ]
+        assert sequence_moves(occ, moves) is None
+
+
+class TestMove:
+    def test_distance_and_columns(self):
+        move = Move(1, Rect(0, 2, 2, 3), Rect(4, 6, 2, 3))
+        assert move.distance == 8
+        assert move.columns_touched == 7  # columns 2..8

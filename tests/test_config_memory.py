@@ -1,0 +1,126 @@
+"""Unit tests for the configuration memory model."""
+
+import pytest
+
+from repro.device.config_memory import (
+    ColumnKind,
+    ConfigMemory,
+    FrameAddress,
+    LOGIC_MINORS,
+    ROUTING_MINORS,
+    STATE_MINORS,
+)
+from repro.device.devices import device, synthetic_device
+
+
+@pytest.fixture
+def memory():
+    return ConfigMemory(device("XCV200"))
+
+
+class TestLayout:
+    def test_column_counts(self, memory):
+        assert memory.column_count(ColumnKind.CLB) == 42
+        assert memory.column_count(ColumnKind.CLOCK) == 1
+        assert memory.column_count(ColumnKind.IOB) == 2
+        assert memory.column_count(ColumnKind.BRAM_CONTENT) == 2
+
+    def test_frames_per_kind(self, memory):
+        assert memory.frames_in_column(ColumnKind.CLB) == 48
+        assert memory.frames_in_column(ColumnKind.CLOCK) == 8
+        assert memory.frames_in_column(ColumnKind.IOB) == 54
+
+    def test_minor_partitions_cover_clb_column(self):
+        minors = list(ROUTING_MINORS) + list(LOGIC_MINORS) + list(STATE_MINORS)
+        assert sorted(minors) == list(range(48))
+
+    def test_clb_major_mapping(self, memory):
+        assert memory.clb_major(0) == 0
+        assert memory.clb_major(41) == 41
+        with pytest.raises(IndexError):
+            memory.clb_major(42)
+
+
+class TestFrameIO:
+    def test_write_read_roundtrip(self, memory):
+        addr = FrameAddress(ColumnKind.CLB, 5, 10)
+        payload = bytes(range(memory.frame_bytes % 256)) + bytes(
+            memory.frame_bytes - (memory.frame_bytes % 256)
+        )
+        payload = payload[: memory.frame_bytes]
+        memory.write_frame(addr, payload)
+        assert memory.read_frame(addr) == payload
+
+    def test_initial_frames_zero(self, memory):
+        addr = FrameAddress(ColumnKind.CLB, 0, 0)
+        assert memory.peek_frame(addr) == bytes(memory.frame_bytes)
+
+    def test_wrong_payload_size_rejected(self, memory):
+        addr = FrameAddress(ColumnKind.CLB, 0, 0)
+        with pytest.raises(ValueError, match="bytes"):
+            memory.write_frame(addr, b"\x00")
+
+    def test_bad_address_rejected(self, memory):
+        with pytest.raises(IndexError):
+            memory.write_frame(
+                FrameAddress(ColumnKind.CLB, 99, 0), bytes(memory.frame_bytes)
+            )
+        with pytest.raises(IndexError):
+            memory.read_frame(FrameAddress(ColumnKind.CLB, 0, 48))
+
+    def test_burst_is_one_transaction(self, memory):
+        writes = [
+            (FrameAddress(ColumnKind.CLB, 1, m), bytes(memory.frame_bytes))
+            for m in range(5)
+        ]
+        memory.write_frames(writes)
+        assert memory.stats.frames_written == 5
+        assert memory.stats.transactions == 1
+
+    def test_empty_burst_costs_nothing(self, memory):
+        memory.write_frames([])
+        assert memory.stats.transactions == 0
+
+
+class TestColumnIO:
+    def test_rewrite_in_place_preserves_content(self, memory):
+        addr = FrameAddress(ColumnKind.CLB, 3, 7)
+        payload = b"\xAB" * memory.frame_bytes
+        memory.write_frame(addr, payload)
+        # "Rewriting the same configuration data does not generate any
+        # transient signals" — and must not change the content either.
+        memory.write_column(ColumnKind.CLB, 3)
+        assert memory.peek_frame(addr) == payload
+
+    def test_column_write_counts(self, memory):
+        memory.write_column(ColumnKind.CLB, 0)
+        assert memory.stats.frames_written == 48
+        assert memory.stats.transactions == 1
+
+    def test_column_shape_enforced(self, memory):
+        with pytest.raises(ValueError, match="frames"):
+            memory.write_column(ColumnKind.CLB, 0, [b""] * 3)
+
+    def test_read_column(self, memory):
+        frames = memory.read_column(ColumnKind.CLOCK, 0)
+        assert len(frames) == 8
+        assert memory.stats.frames_read == 8
+
+
+class TestSnapshotRestore:
+    def test_roundtrip(self, memory):
+        addr = FrameAddress(ColumnKind.CLB, 2, 2)
+        snap = memory.snapshot()
+        memory.write_frame(addr, b"\xFF" * memory.frame_bytes)
+        assert memory.peek_frame(addr) != bytes(memory.frame_bytes)
+        memory.restore(snap)
+        assert memory.peek_frame(addr) == bytes(memory.frame_bytes)
+
+    def test_equality_semantics(self):
+        a = ConfigMemory(synthetic_device(4, 4))
+        b = ConfigMemory(synthetic_device(4, 4))
+        assert a == b
+        a.write_frame(
+            FrameAddress(ColumnKind.CLB, 0, 0), b"\x01" * a.frame_bytes
+        )
+        assert a != b

@@ -1,0 +1,137 @@
+"""Unit tests for the reconfiguration cost model."""
+
+import pytest
+
+from repro.device.clb import CellMode
+from repro.device.devices import device
+from repro.core.cost import CostModel, CostParameters
+from repro.core.procedure import StepClass, StepKind, build_plan
+
+
+@pytest.fixture
+def xcv200():
+    return device("XCV200")
+
+
+def gated_plan(src=3, dst=5):
+    return build_plan(
+        "u1",
+        CellMode.FF_GATED_CLOCK,
+        signal_columns=set(range(min(src, dst), max(src, dst) + 1)),
+        src_col=src,
+        dst_col=dst,
+        aux_col=dst + 1,
+        ce_col=src,
+    )
+
+
+class TestParameters:
+    def test_granularity_validated(self):
+        with pytest.raises(ValueError):
+            CostParameters(granularity="nibble")
+
+    def test_port_kind_validated(self, xcv200):
+        with pytest.raises(ValueError):
+            CostModel(xcv200, port_kind="carrier-pigeon")
+
+
+class TestFrameAccounting:
+    def test_column_granularity_writes_whole_columns(self, xcv200):
+        model = CostModel(xcv200, CostParameters(granularity="column"))
+        plan = gated_plan()
+        copy = plan.steps[0]
+        frames = model.frames_for_step(copy)
+        assert len(frames) == 48 * len(copy.columns)
+
+    def test_frame_granularity_writes_fewer(self, xcv200):
+        column = CostModel(xcv200, CostParameters(granularity="column"))
+        frame = CostModel(xcv200, CostParameters(granularity="frame"))
+        step = gated_plan().steps[1]  # CONNECT_AUX (routing)
+        assert len(frame.frames_for_step(step)) < len(
+            column.frames_for_step(step)
+        )
+
+    def test_wait_steps_cost_nothing(self, xcv200):
+        model = CostModel(xcv200)
+        plan = gated_plan()
+        wait = next(s for s in plan.steps if s.kind is StepKind.WAIT_CAPTURE)
+        assert model.frames_for_step(wait) == []
+        assert model.step_cost(wait).seconds == 0.0
+        assert model.bitstream_for_step(wait) is None
+
+    def test_logic_step_uses_logic_frames(self, xcv200):
+        model = CostModel(xcv200, CostParameters(granularity="frame"))
+        plan = gated_plan()
+        copy = plan.steps[0]
+        assert copy.step_class is StepClass.LOGIC
+        assert len(model.frames_for_step(copy)) == 18  # LOGIC_MINORS
+
+
+class TestTiming:
+    def test_gated_relocation_near_paper_value(self, xcv200):
+        """The headline number: ~22.6 ms per gated-clock CLB cell over
+        Boundary Scan at 20 MHz with column-granularity writes.  A nearby
+        relocation must land in the same ballpark (15-35 ms)."""
+        model = CostModel(
+            xcv200, CostParameters(granularity="column", tck_hz=20e6)
+        )
+        cost = model.plan_cost(gated_plan(3, 4))  # nearby move, as advised
+        assert 0.015 <= cost.total_seconds <= 0.035
+
+    def test_frame_granularity_cheaper(self, xcv200):
+        column = CostModel(xcv200, CostParameters(granularity="column"))
+        frame = CostModel(xcv200, CostParameters(granularity="frame"))
+        plan = gated_plan()
+        assert (
+            frame.plan_cost(plan).total_seconds
+            < column.plan_cost(plan).total_seconds
+        )
+
+    def test_selectmap_much_faster(self, xcv200):
+        jtag = CostModel(xcv200, port_kind="boundary-scan")
+        smap = CostModel(xcv200, port_kind="selectmap")
+        plan = gated_plan()
+        assert (
+            smap.plan_cost(plan).total_seconds
+            < jtag.plan_cost(plan).total_seconds / 5
+        )
+
+    def test_readback_verify_doubles_cost(self, xcv200):
+        base = CostModel(xcv200, CostParameters())
+        verify = CostModel(xcv200, CostParameters(readback_verify=True))
+        plan = gated_plan()
+        t0 = base.plan_cost(plan).total_seconds
+        t1 = verify.plan_cost(plan).total_seconds
+        assert t1 > 1.8 * t0
+
+    def test_longer_moves_cost_more(self, xcv200):
+        model = CostModel(xcv200)
+        near = model.plan_cost(gated_plan(3, 4)).total_seconds
+        far = model.plan_cost(gated_plan(3, 20)).total_seconds
+        assert far > near * 2
+
+    def test_tck_scaling(self, xcv200):
+        slow = CostModel(xcv200, CostParameters(tck_hz=10e6))
+        fast = CostModel(xcv200, CostParameters(tck_hz=20e6))
+        plan = gated_plan()
+        assert slow.plan_cost(plan).total_seconds == pytest.approx(
+            2 * fast.plan_cost(plan).total_seconds, rel=0.01
+        )
+
+    def test_plan_cost_totals_consistent(self, xcv200):
+        model = CostModel(xcv200)
+        cost = model.plan_cost(gated_plan())
+        assert cost.total_seconds == pytest.approx(
+            sum(s.seconds for s in cost.steps)
+        )
+        assert cost.total_frames == sum(s.frames for s in cost.steps)
+        assert cost.total_words == sum(s.words for s in cost.steps)
+
+    def test_seconds_for_columns_monotonic(self, xcv200):
+        model = CostModel(xcv200)
+        assert model.seconds_for_columns(0) == 0.0
+        assert (
+            model.seconds_for_columns(1)
+            < model.seconds_for_columns(4)
+            < model.seconds_for_columns(16)
+        )

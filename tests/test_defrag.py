@@ -1,0 +1,113 @@
+"""Unit tests for the rearrangement planner."""
+
+import numpy as np
+import pytest
+
+from repro.device.geometry import Rect
+from repro.core.defrag import DefragPlanner, RearrangementPlan
+from repro.placement.compaction import apply_moves, footprints
+
+
+def occupancy_with(*placements, shape=(10, 14)):
+    occ = np.zeros(shape, dtype=int)
+    for owner, rect in placements:
+        occ[rect.row : rect.row_end, rect.col : rect.col_end] = owner
+    return occ
+
+
+class TestPlanner:
+    def test_direct_fit_needs_no_moves(self):
+        occ = occupancy_with((1, Rect(0, 0, 3, 3)))
+        plan = DefragPlanner().plan(occ, 4, 4)
+        assert plan is not None
+        assert plan.moves == []
+        assert plan.method == "none-needed"
+
+    def test_insufficient_free_area_returns_none(self):
+        occ = np.ones((4, 4), dtype=int)
+        occ[0, 0] = 0
+        assert DefragPlanner().plan(occ, 2, 2) is None
+
+    def test_fragmented_space_consolidated(self):
+        # Three pillars leave 2-wide gaps; an 8x4 request needs a
+        # rearrangement.
+        occ = occupancy_with(
+            (1, Rect(0, 2, 10, 2)),
+            (2, Rect(0, 6, 10, 2)),
+            (3, Rect(0, 10, 10, 2)),
+        )
+        planner = DefragPlanner()
+        assert planner.plan(occ, 8, 4) is not None
+
+    def test_plan_target_actually_free_after_moves(self):
+        occ = occupancy_with(
+            (1, Rect(0, 2, 10, 2)),
+            (2, Rect(0, 6, 10, 2)),
+            (3, Rect(0, 10, 10, 2)),
+        )
+        plan = DefragPlanner().plan(occ, 8, 4)
+        result = apply_moves(occ, plan.moves)
+        target = plan.target
+        view = result[
+            target.row : target.row_end, target.col : target.col_end
+        ]
+        assert (view == 0).all()
+
+    def test_all_functions_survive_plan(self):
+        occ = occupancy_with(
+            (1, Rect(0, 2, 10, 2)),
+            (2, Rect(0, 6, 10, 2)),
+            (3, Rect(0, 10, 10, 2)),
+        )
+        plan = DefragPlanner().plan(occ, 8, 4)
+        result = apply_moves(occ, plan.moves)
+        before = footprints(occ)
+        after = footprints(result)
+        assert set(after) == set(before)
+        for owner in before:
+            assert after[owner].area == before[owner].area
+
+    def test_max_moves_respected(self):
+        occ = occupancy_with(
+            (1, Rect(0, 2, 10, 2)),
+            (2, Rect(0, 6, 10, 2)),
+            (3, Rect(0, 10, 10, 2)),
+        )
+        plan = DefragPlanner(max_moves=8).plan(occ, 8, 4)
+        assert plan is not None
+        assert len(plan.moves) <= 8
+
+    def test_prefers_fewest_disturbed_functions(self):
+        # A single small function blocks the top-left corner; evicting
+        # just it is cheaper than compacting everything.
+        occ = occupancy_with(
+            (1, Rect(0, 2, 4, 2)),
+            (2, Rect(6, 8, 4, 4)),
+        )
+        plan = DefragPlanner().plan(occ, 4, 6)
+        assert plan is not None
+        assert plan.disturbed_functions <= 1
+
+    def test_validation_of_params(self):
+        with pytest.raises(ValueError):
+            DefragPlanner(max_moves=0)
+        with pytest.raises(ValueError):
+            DefragPlanner(max_candidates=0)
+
+
+class TestRearrangementPlan:
+    def test_moved_area_and_disturbed(self):
+        from repro.placement.compaction import Move
+
+        plan = RearrangementPlan(
+            Rect(0, 0, 2, 2),
+            [
+                Move(1, Rect(0, 0, 2, 3), Rect(4, 4, 2, 3)),
+                Move(1, Rect(4, 4, 2, 3), Rect(6, 6, 2, 3)),
+                Move(2, Rect(2, 0, 1, 1), Rect(9, 9, 1, 1)),
+            ],
+            "eviction",
+        )
+        assert plan.moved_area == 13
+        assert plan.disturbed_functions == 2
+        assert "eviction" in str(plan)

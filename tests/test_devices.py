@@ -1,0 +1,76 @@
+"""Unit tests for the device table (repro.device.devices)."""
+
+import pytest
+
+from repro.device.devices import (
+    DEVICE_TABLE,
+    XCV200,
+    device,
+    fallback_frame_bits,
+    synthetic_device,
+)
+
+
+class TestDeviceTable:
+    def test_xcv200_dimensions_match_paper(self):
+        # The paper's experiments run on a Virtex XCV200: 28x42 CLBs.
+        assert XCV200.clb_rows == 28
+        assert XCV200.clb_cols == 42
+        assert XCV200.clb_count == 1176
+        assert XCV200.logic_cell_count == 4704
+
+    def test_xcv200_frame_length(self):
+        # XAPP151: the XCV200 frame is 576 bits = 18 words.
+        assert XCV200.frame_bits == 576
+        assert XCV200.frame_words == 18
+
+    def test_frame_bits_are_word_multiples(self):
+        for dev in DEVICE_TABLE.values():
+            assert dev.frame_bits % 32 == 0, dev.name
+
+    def test_family_ordering_monotonic(self):
+        virtex = [d for d in DEVICE_TABLE.values() if d.family == "virtex"]
+        virtex.sort(key=lambda d: d.clb_count)
+        frames = [d.frame_bits for d in virtex]
+        assert frames == sorted(frames)
+
+    def test_total_frames_positive(self):
+        for dev in DEVICE_TABLE.values():
+            assert dev.total_frames > 0
+            assert dev.configuration_bits == dev.total_frames * dev.frame_bits
+
+    def test_lookup_case_insensitive(self):
+        assert device("xcv200") is XCV200
+
+    def test_lookup_unknown_raises_with_list(self):
+        with pytest.raises(KeyError, match="XCV200"):
+            device("XCV9999")
+
+    def test_spartan2_shares_virtex_architecture(self):
+        xc2s200 = device("XC2S200")
+        assert xc2s200.clb_rows == XCV200.clb_rows
+        assert xc2s200.frame_bits == XCV200.frame_bits
+        assert xc2s200.family == "spartan2"
+
+
+class TestSyntheticDevice:
+    def test_builds_with_fallback_frame(self):
+        dev = synthetic_device(10, 12)
+        assert dev.clb_rows == 10
+        assert dev.frame_bits == fallback_frame_bits(10)
+        assert dev.frame_bits % 32 == 0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            synthetic_device(0, 5)
+
+    def test_custom_name(self):
+        assert synthetic_device(4, 4, name="TINY").name == "TINY"
+
+    def test_fallback_close_to_table(self):
+        # The fallback formula should approximate published values.
+        for dev in DEVICE_TABLE.values():
+            if dev.family != "virtex":
+                continue
+            approx = fallback_frame_bits(dev.clb_rows)
+            assert abs(approx - dev.frame_bits) <= 128, dev.name

@@ -1,0 +1,104 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sched.events import EventQueue, SequentialResource
+
+
+class TestEventQueue:
+    def test_events_fire_in_time_order(self):
+        q = EventQueue()
+        log = []
+        q.at(2.0, lambda: log.append("b"))
+        q.at(1.0, lambda: log.append("a"))
+        q.at(3.0, lambda: log.append("c"))
+        q.run()
+        assert log == ["a", "b", "c"]
+        assert q.now == 3.0
+
+    def test_fifo_for_simultaneous_events(self):
+        q = EventQueue()
+        log = []
+        q.at(1.0, lambda: log.append(1))
+        q.at(1.0, lambda: log.append(2))
+        q.run()
+        assert log == [1, 2]
+
+    def test_after_is_relative(self):
+        q = EventQueue()
+        times = []
+        q.at(5.0, lambda: q.after(2.0, lambda: times.append(q.now)))
+        q.run()
+        assert times == [7.0]
+
+    def test_past_scheduling_rejected(self):
+        q = EventQueue()
+        q.at(5.0, lambda: None)
+        q.run()
+        with pytest.raises(ValueError):
+            q.at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().after(-1.0, lambda: None)
+
+    def test_cancel(self):
+        q = EventQueue()
+        log = []
+        handle = q.at(1.0, lambda: log.append("x"))
+        handle.cancel()
+        q.run()
+        assert log == []
+        assert handle.cancelled
+
+    def test_run_until_stops_early(self):
+        q = EventQueue()
+        log = []
+        q.at(1.0, lambda: log.append("a"))
+        q.at(10.0, lambda: log.append("b"))
+        q.run(until=5.0)
+        assert log == ["a"]
+        assert q.now == 5.0
+        q.run()
+        assert log == ["a", "b"]
+
+    def test_event_budget_guard(self):
+        q = EventQueue()
+
+        def loop():
+            q.after(0.0, loop)
+
+        q.at(0.0, loop)
+        with pytest.raises(RuntimeError, match="budget"):
+            q.run(max_events=100)
+
+    def test_pending_counts_live_events(self):
+        q = EventQueue()
+        h1 = q.at(1.0, lambda: None)
+        q.at(2.0, lambda: None)
+        h1.cancel()
+        assert q.pending == 1
+
+
+class TestSequentialResource:
+    def test_serialises_requests(self):
+        q = EventQueue()
+        port = SequentialResource(q)
+        s1, e1 = port.acquire(1.0)
+        s2, e2 = port.acquire(2.0)
+        assert (s1, e1) == (0.0, 1.0)
+        assert (s2, e2) == (1.0, 3.0)
+        assert port.busy_seconds == 3.0
+
+    def test_idle_gap_respected(self):
+        q = EventQueue()
+        port = SequentialResource(q)
+        port.acquire(1.0)
+        q.at(5.0, lambda: None)
+        q.run()
+        s, e = port.acquire(1.0)
+        assert s == 5.0 and e == 6.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            SequentialResource(EventQueue()).acquire(-1.0)

@@ -1,0 +1,126 @@
+"""Unit tests for fabric occupancy and cell placement."""
+
+import pytest
+
+from repro.device.clb import CellMode, LogicCellConfig
+from repro.device.fabric import FREE, Fabric, FabricError
+from repro.device.geometry import CellCoord, ClbCoord, Rect
+from repro.device.devices import device, synthetic_device
+
+
+@pytest.fixture
+def fabric():
+    return Fabric(device("XCV200"))
+
+
+class TestRegions:
+    def test_allocate_and_free(self, fabric):
+        rect = Rect(0, 0, 4, 4)
+        fabric.allocate_region(rect, 7)
+        assert fabric.occupant(ClbCoord(3, 3)) == 7
+        assert not fabric.region_is_free(rect)
+        fabric.free_region(rect, 7)
+        assert fabric.region_is_free(rect)
+
+    def test_double_allocation_rejected(self, fabric):
+        fabric.allocate_region(Rect(0, 0, 2, 2), 1)
+        with pytest.raises(FabricError):
+            fabric.allocate_region(Rect(1, 1, 2, 2), 2)
+
+    def test_nonpositive_owner_rejected(self, fabric):
+        with pytest.raises(ValueError):
+            fabric.allocate_region(Rect(0, 0, 1, 1), FREE)
+
+    def test_free_with_wrong_owner_rejected(self, fabric):
+        fabric.allocate_region(Rect(0, 0, 2, 2), 1)
+        with pytest.raises(FabricError):
+            fabric.free_region(Rect(0, 0, 2, 2), owner=2)
+
+    def test_out_of_bounds_region_not_free(self, fabric):
+        assert not fabric.region_is_free(Rect(27, 41, 2, 2))
+
+    def test_utilization(self, fabric):
+        assert fabric.utilization() == 0.0
+        fabric.allocate_region(Rect(0, 0, 28, 21), 1)
+        assert fabric.utilization() == pytest.approx(0.5)
+
+    def test_owners_and_footprint(self, fabric):
+        rect = Rect(3, 5, 4, 6)
+        fabric.allocate_region(rect, 9)
+        assert fabric.owners() == {9}
+        assert fabric.footprint(9) == rect
+        assert fabric.footprint(1) is None
+
+
+class TestMoveRegion:
+    def test_move_to_free_space(self, fabric):
+        src = Rect(0, 0, 3, 3)
+        fabric.allocate_region(src, 5)
+        fabric.place_cell(CellCoord(0, 0, 0), LogicCellConfig(lut=0x1234))
+        dst = Rect(10, 10, 3, 3)
+        fabric.move_region(src, dst, 5)
+        assert fabric.region_is_free(src)
+        assert fabric.occupant(ClbCoord(10, 10)) == 5
+        moved = fabric.cell_config(CellCoord(10, 10, 0))
+        assert moved.lut == 0x1234 and moved.used
+
+    def test_overlapping_move(self, fabric):
+        src = Rect(0, 0, 2, 4)
+        fabric.allocate_region(src, 3)
+        dst = Rect(0, 2, 2, 4)
+        fabric.move_region(src, dst, 3)
+        assert fabric.footprint(3) == dst
+
+    def test_move_onto_other_owner_rejected(self, fabric):
+        fabric.allocate_region(Rect(0, 0, 2, 2), 1)
+        fabric.allocate_region(Rect(0, 4, 2, 2), 2)
+        with pytest.raises(FabricError):
+            fabric.move_region(Rect(0, 0, 2, 2), Rect(0, 4, 2, 2), 1)
+
+    def test_shape_change_rejected(self, fabric):
+        fabric.allocate_region(Rect(0, 0, 2, 2), 1)
+        with pytest.raises(FabricError):
+            fabric.move_region(Rect(0, 0, 2, 2), Rect(5, 5, 4, 1), 1)
+
+
+class TestCells:
+    def test_place_and_vacate(self, fabric):
+        site = CellCoord(2, 3, 1)
+        fabric.place_cell(site, LogicCellConfig(mode=CellMode.FF_FREE_CLOCK))
+        assert fabric.cell_config(site).used
+        fabric.vacate_cell(site)
+        assert not fabric.cell_config(site).used
+
+    def test_double_place_rejected(self, fabric):
+        site = CellCoord(0, 0, 0)
+        fabric.place_cell(site, LogicCellConfig())
+        with pytest.raises(ValueError):
+            fabric.place_cell(site, LogicCellConfig())
+
+    def test_find_free_cell_near_prefers_close(self, fabric):
+        near = ClbCoord(5, 5)
+        site = fabric.find_free_cell_near(near)
+        assert site is not None
+        assert site.clb.manhattan(near) == 0
+
+    def test_find_free_cell_skips_occupied(self, fabric):
+        near = ClbCoord(5, 5)
+        for k in range(4):
+            fabric.place_cell(CellCoord(5, 5, k), LogicCellConfig())
+        site = fabric.find_free_cell_near(near)
+        assert site is not None
+        assert site.clb != near
+        assert site.clb.manhattan(near) == 1
+
+    def test_find_free_cell_respects_max_distance(self):
+        tiny = Fabric(synthetic_device(1, 3))
+        for col in range(3):
+            for k in range(4):
+                tiny.place_cell(CellCoord(0, col, k), LogicCellConfig())
+        assert tiny.find_free_cell_near(ClbCoord(0, 0), max_distance=2) is None
+
+    def test_lut_ram_columns(self, fabric):
+        fabric.place_cell(
+            CellCoord(4, 17, 0), LogicCellConfig(mode=CellMode.LUT_RAM)
+        )
+        assert fabric.lut_ram_columns() == {17}

@@ -1,0 +1,118 @@
+"""Unit + property tests for placement heuristics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.device.geometry import Rect
+from repro.placement.fit import (
+    FIT_ALGORITHMS,
+    best_fit,
+    bottom_left,
+    first_fit,
+    fitter,
+    free_anchor_mask,
+)
+
+
+def grid(rows=8, cols=8):
+    return np.zeros((rows, cols), dtype=int)
+
+
+class TestFreeAnchorMask:
+    def test_empty_grid_all_anchors(self):
+        mask = free_anchor_mask(grid(4, 4), 2, 2)
+        assert mask.shape == (3, 3)
+        assert mask.all()
+
+    def test_oversized_request_empty(self):
+        assert free_anchor_mask(grid(3, 3), 4, 1).size == 0
+
+    def test_obstacle_blocks_windows(self):
+        occ = grid(4, 4)
+        occ[1, 1] = 9
+        mask = free_anchor_mask(occ, 2, 2)
+        assert not mask[0, 0]
+        assert not mask[1, 1]
+        assert mask[2, 2]
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(2, 7), st.integers(2, 7),
+        st.integers(1, 4), st.integers(1, 4), st.integers(0, 10 ** 6),
+    )
+    def test_mask_matches_direct_check(self, rows, cols, h, w, seed):
+        rng = np.random.RandomState(seed)
+        occ = (rng.rand(rows, cols) < 0.35).astype(int)
+        mask = free_anchor_mask(occ, h, w)
+        if h > rows or w > cols:
+            assert mask.size == 0
+            return
+        for r in range(rows - h + 1):
+            for c in range(cols - w + 1):
+                want = bool((occ[r : r + h, c : c + w] == 0).all())
+                assert bool(mask[r, c]) == want
+
+
+class TestFirstFit:
+    def test_picks_row_major_first(self):
+        occ = grid()
+        occ[0, :4] = 1
+        assert first_fit(occ, 2, 2) == Rect(0, 4, 2, 2)
+
+    def test_none_when_no_space(self):
+        occ = np.ones((4, 4), dtype=int)
+        assert first_fit(occ, 1, 1) is None
+
+    def test_exact_fit(self):
+        assert first_fit(grid(3, 3), 3, 3) == Rect(0, 0, 3, 3)
+
+
+class TestBestFit:
+    def test_prefers_tight_hole(self):
+        occ = grid(6, 10)
+        occ[:, 3] = 1  # 6x3 hole on the left, 6x6 on the right
+        rect = best_fit(occ, 6, 3)
+        assert rect == Rect(0, 0, 6, 3)
+
+    def test_none_when_too_large(self):
+        assert best_fit(grid(3, 3), 4, 4) is None
+
+
+class TestBottomLeft:
+    def test_minimises_row_plus_col(self):
+        occ = grid()
+        occ[0, 0] = 1
+        rect = bottom_left(occ, 1, 1)
+        assert rect in (Rect(0, 1, 1, 1), Rect(1, 0, 1, 1))
+
+    def test_ties_break_to_lower_row(self):
+        occ = grid()
+        occ[0, 0] = 1
+        assert bottom_left(occ, 1, 1) == Rect(0, 1, 1, 1)
+
+
+class TestRegistry:
+    def test_known_names(self):
+        assert set(FIT_ALGORITHMS) == {"first", "best", "bottom-left"}
+        assert fitter("first") is first_fit
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError, match="bottom-left"):
+            fitter("worst")
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(3, 8), st.integers(3, 8),
+    st.integers(1, 4), st.integers(1, 4), st.integers(0, 10 ** 6),
+)
+def test_all_heuristics_return_free_rectangles(rows, cols, h, w, seed):
+    rng = np.random.RandomState(seed)
+    occ = (rng.rand(rows, cols) < 0.3).astype(int)
+    for name, algo in FIT_ALGORITHMS.items():
+        rect = algo(occ, h, w)
+        if rect is not None:
+            view = occ[rect.row : rect.row_end, rect.col : rect.col_end]
+            assert view.shape == (h, w), name
+            assert (view == 0).all(), name

@@ -1,0 +1,150 @@
+"""Integration tests for whole-function relocation."""
+
+import random
+
+import pytest
+
+from repro.device.devices import device
+from repro.device.fabric import Fabric
+from repro.device.geometry import ClbCoord, Rect
+from repro.core.function_move import FunctionRelocator
+from repro.core.procedure import RelocationVeto
+from repro.core.relocation import make_lockstep_engine
+from repro.netlist import library as lib
+from repro.netlist.itc99 import generate
+from repro.netlist.synth import place
+
+
+def build(circuit, origin=None, stimulus=None):
+    fabric = Fabric(device("XCV200"))
+    design = place(circuit, fabric, owner=1, origin=origin)
+    engine, checker = make_lockstep_engine(design, stimulus=stimulus)
+    return design, engine, checker
+
+
+class TestFunctionMove:
+    def test_counter_moves_transparently(self):
+        design, engine, checker = build(lib.counter(4), ClbCoord(0, 0))
+        for _ in range(5):
+            checker.step()
+        mover = FunctionRelocator(engine)
+        report = mover.relocate_function(ClbCoord(10, 20))
+        for _ in range(15):
+            checker.step()
+        assert report.transparent
+        assert checker.clean
+        assert design.region == Rect(10, 20, report.src.height,
+                                     report.src.width)
+
+    def test_all_cells_land_at_offset(self):
+        design, engine, checker = build(lib.counter(8), ClbCoord(2, 2))
+        before = dict(design.placement)
+        FunctionRelocator(engine).relocate_function(ClbCoord(12, 22))
+        for name, old in before.items():
+            new = design.placement[name]
+            assert (new.row - old.row, new.col - old.col) == (10, 20)
+            assert new.cell == old.cell
+
+    def test_occupancy_follows_the_move(self):
+        design, engine, checker = build(lib.counter(4), ClbCoord(0, 0))
+        src = design.region
+        FunctionRelocator(engine).relocate_function(ClbCoord(15, 30))
+        assert design.fabric.region_is_free(src)
+        assert design.fabric.footprint(1) == design.region
+
+    def test_staged_move(self):
+        design, engine, checker = build(lib.counter(4), ClbCoord(0, 0))
+        mover = FunctionRelocator(engine)
+        report = mover.relocate_function(
+            ClbCoord(0, 30), max_hop_columns=10
+        )
+        assert len(report.stages) == 3
+        assert design.region.col == 30
+        assert report.transparent
+
+    def test_gated_function_moves_transparently(self):
+        rng = random.Random(4)
+        stim = lambda cyc: {"en": rng.randint(0, 1)}
+        design, engine, checker = build(
+            lib.gated_counter(4), ClbCoord(0, 0), stimulus=stim
+        )
+        for _ in range(6):
+            checker.step(stim(0))
+        report = FunctionRelocator(engine).relocate_function(ClbCoord(8, 8))
+        for _ in range(20):
+            checker.step(stim(0))
+        assert report.transparent and checker.clean
+
+    def test_overlap_without_staging_vetoed(self):
+        design, engine, checker = build(lib.counter(4), ClbCoord(5, 5))
+        mover = FunctionRelocator(engine)
+        with pytest.raises(RelocationVeto, match="overlap"):
+            mover.relocate_function(ClbCoord(5, 6))
+
+    def test_destination_occupied_by_other_function_vetoed(self):
+        design, engine, checker = build(lib.counter(4), ClbCoord(0, 0))
+        design.fabric.allocate_region(Rect(10, 10, 3, 3), 99)
+        with pytest.raises(RelocationVeto, match="overlaps function"):
+            FunctionRelocator(engine).relocate_function(ClbCoord(10, 10))
+
+    def test_out_of_bounds_vetoed(self):
+        design, engine, checker = build(lib.counter(4), ClbCoord(0, 0))
+        with pytest.raises(RelocationVeto, match="bounds"):
+            FunctionRelocator(engine).relocate_function(ClbCoord(27, 41))
+
+    def test_itc99_function_move(self):
+        circuit = generate("b01", seed=2)
+        rng = random.Random(2)
+        stim = lambda cyc: {pi: rng.randint(0, 1) for pi in circuit.inputs}
+        design, engine, checker = build(circuit, ClbCoord(0, 0), stim)
+        for _ in range(5):
+            checker.step(stim(0))
+        report = FunctionRelocator(engine).relocate_function(ClbCoord(10, 10))
+        for _ in range(20):
+            checker.step(stim(0))
+        assert report.cells_moved == len(circuit.cells)
+        assert report.transparent and checker.clean
+
+    def test_move_cost_accumulates(self):
+        design, engine, checker = build(lib.counter(4), ClbCoord(0, 0))
+        report = FunctionRelocator(engine).relocate_function(ClbCoord(10, 20))
+        assert report.total_seconds == pytest.approx(
+            sum(r.total_seconds for r in report.cell_reports)
+        )
+        assert report.total_seconds > 0
+
+
+class TestHaltingRelocation:
+    def test_state_preserved_but_time_lost(self):
+        design, engine, checker = build(lib.counter(4), ClbCoord(0, 0))
+        for _ in range(5):
+            checker.step()
+        report = engine.relocate_halting("b1")
+        # The move itself is correct...
+        for _ in range(10):
+            checker.step()
+        assert checker.clean
+        # ...but it costs halted wall-clock time (no cycles advanced
+        # during the procedure; the application was stopped).
+        assert report.total_seconds > 0
+        assert report.total_cycles == 0
+
+    def test_halting_cheaper_in_port_time_than_concurrent(self):
+        # The halting flow skips the aux circuit and parallel phases.
+        d1, e1, c1 = build(lib.gated_counter(3), ClbCoord(0, 0),
+                           stimulus=lambda c: {"en": 1})
+        for _ in range(3):
+            c1.step({"en": 1})
+        halting = e1.relocate_halting("b1")
+        d2, e2, c2 = build(lib.gated_counter(3), ClbCoord(0, 0),
+                           stimulus=lambda c: {"en": 1})
+        for _ in range(3):
+            c2.step({"en": 1})
+        concurrent = e2.relocate("b1")
+        assert halting.total_seconds < concurrent.total_seconds
+
+    def test_vetoes_occupied_destination(self):
+        design, engine, checker = build(lib.counter(4), ClbCoord(0, 0))
+        dst = design.site_of("b0")
+        with pytest.raises(RelocationVeto):
+            engine.relocate_halting("b1", dst)

@@ -1,0 +1,113 @@
+"""Unit tests for the auxiliary relocation circuit model (Fig. 3)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.gated_clock import (
+    AuxCircuitState,
+    aux_mux,
+    coherency_after,
+    exhaustive_coherency_check,
+    naive_failure_example,
+    run_aux_sequence,
+    step_aux,
+    step_naive,
+)
+
+
+class TestPrimitives:
+    @pytest.mark.parametrize(
+        "ce,q,comb", itertools.product((0, 1), repeat=3)
+    )
+    def test_mux_selects_per_paper(self, ce, q, comb):
+        # "If this signal is not active, the output of the original CLB FF
+        # is applied to the input of the replica CLB FF."
+        want = comb if ce else q
+        assert aux_mux(ce, q, comb) == want
+
+
+class TestAuxCoherency:
+    def test_exhaustive_proof(self):
+        # The central claim, proven over every initial state and every
+        # 4-cycle (d, ce) stimulus.
+        assert exhaustive_coherency_check(cycles=4)
+
+    def test_ce_inactive_transfers_state(self):
+        # CE low: the replica must capture the original's held state.
+        state = step_aux(AuxCircuitState(q_orig=1, q_replica=0), d=0, ce=0)
+        assert state.coherent
+        assert state.q_replica == 1
+
+    def test_ce_active_both_capture_new_data(self):
+        state = step_aux(AuxCircuitState(q_orig=0, q_replica=0), d=1, ce=1)
+        assert state.coherent
+        assert state.q_orig == 1
+
+    def test_ce_toggling_stays_coherent(self):
+        stimulus = [(1, 0), (0, 1), (1, 1), (0, 0), (1, 0)]
+        state = run_aux_sequence(1, 0, stimulus)
+        assert state.coherent
+
+    @given(
+        st.integers(0, 1), st.integers(0, 1),
+        st.lists(
+            st.tuples(st.integers(0, 1), st.integers(0, 1)),
+            min_size=1, max_size=12,
+        ),
+    )
+    def test_property_always_coherent_after_first_edge(self, q0, r0, stim):
+        verdicts = coherency_after(AuxCircuitState(q0, r0), stim)
+        assert all(verdicts)
+
+    def test_controls_inactive_is_plain_clone(self):
+        # With relocation control off the replica D falls back to its
+        # own combinational output.
+        state = step_aux(
+            AuxCircuitState(1, 0), d=0, ce=0, ce_control=0, reloc_control=0
+        )
+        assert state.q_replica == 0  # held: no CE, no forced capture
+
+
+class TestNaiveFailure:
+    def test_documented_example_fails(self):
+        initial, stimulus = naive_failure_example()
+        verdicts = coherency_after(initial, stimulus, naive=True)
+        assert not any(verdicts)
+
+    def test_naive_works_when_ce_always_active(self):
+        # The failure needs CE inactivity: with CE high the naive copy is
+        # coherent after one edge — which is why free-running-clock
+        # circuits do not need the auxiliary circuit.
+        verdicts = coherency_after(
+            AuxCircuitState(1, 0), [(0, 1), (1, 1)], naive=True
+        )
+        assert all(verdicts)
+
+    @given(
+        st.lists(st.integers(0, 1), min_size=1, max_size=8)
+    )
+    def test_naive_incoherent_while_ce_low(self, ds):
+        # Starting incoherent and never enabling CE, the naive copy can
+        # never become coherent.
+        stim = [(d, 0) for d in ds]
+        verdicts = coherency_after(AuxCircuitState(1, 0), stim, naive=True)
+        assert not any(verdicts)
+
+    def test_aux_beats_naive_on_same_stimulus(self):
+        initial, stimulus = naive_failure_example()
+        naive = coherency_after(initial, stimulus, naive=True)
+        aux = coherency_after(initial, stimulus, naive=False)
+        assert not any(naive)
+        assert all(aux)
+
+
+class TestStepNaive:
+    def test_both_capture_when_enabled(self):
+        state = step_naive(AuxCircuitState(0, 1), d=1, ce=1)
+        assert state.q_orig == state.q_replica == 1
+
+    def test_both_hold_when_disabled(self):
+        state = step_naive(AuxCircuitState(0, 1), d=1, ce=0)
+        assert (state.q_orig, state.q_replica) == (0, 1)

@@ -1,0 +1,132 @@
+"""Unit tests for repro.device.geometry."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.device.geometry import (
+    CELLS_PER_CLB,
+    CellCoord,
+    ClbCoord,
+    Rect,
+    span_columns,
+)
+
+
+class TestClbCoord:
+    def test_ordering_and_equality(self):
+        assert ClbCoord(1, 2) == ClbCoord(1, 2)
+        assert ClbCoord(0, 5) < ClbCoord(1, 0)
+
+    def test_neighbours_are_four(self):
+        n = ClbCoord(3, 3).neighbours()
+        assert len(n) == 4
+        assert ClbCoord(2, 3) in n and ClbCoord(3, 4) in n
+
+    def test_manhattan(self):
+        assert ClbCoord(0, 0).manhattan(ClbCoord(3, 4)) == 7
+        assert ClbCoord(5, 5).manhattan(ClbCoord(5, 5)) == 0
+
+    def test_str(self):
+        assert str(ClbCoord(3, 17)) == "R3C17"
+
+
+class TestCellCoord:
+    def test_cell_index_bounds(self):
+        with pytest.raises(ValueError):
+            CellCoord(0, 0, CELLS_PER_CLB)
+        with pytest.raises(ValueError):
+            CellCoord(0, 0, -1)
+
+    def test_clb_property(self):
+        assert CellCoord(2, 3, 1).clb == ClbCoord(2, 3)
+
+    def test_slice_index(self):
+        assert CellCoord(0, 0, 0).slice_index == 0
+        assert CellCoord(0, 0, 1).slice_index == 0
+        assert CellCoord(0, 0, 2).slice_index == 1
+        assert CellCoord(0, 0, 3).slice_index == 1
+
+    def test_str(self):
+        assert str(CellCoord(3, 17, 2)) == "R3C17.2"
+
+
+class TestRect:
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, 0, 5)
+        with pytest.raises(ValueError):
+            Rect(0, 0, 5, -1)
+
+    def test_area_and_ends(self):
+        r = Rect(2, 3, 4, 5)
+        assert r.area == 20
+        assert r.row_end == 6
+        assert r.col_end == 8
+
+    def test_contains(self):
+        r = Rect(1, 1, 2, 2)
+        assert r.contains(ClbCoord(1, 1))
+        assert r.contains(ClbCoord(2, 2))
+        assert not r.contains(ClbCoord(3, 2))
+        assert not r.contains(ClbCoord(0, 1))
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 5, 5)
+        assert outer.contains_rect(Rect(1, 1, 2, 2))
+        assert outer.contains_rect(outer)
+        assert not outer.contains_rect(Rect(4, 4, 2, 2))
+
+    def test_overlaps_symmetry(self):
+        a = Rect(0, 0, 3, 3)
+        b = Rect(2, 2, 3, 3)
+        c = Rect(3, 3, 2, 2)
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c) and not c.overlaps(a)
+
+    def test_sites_enumeration(self):
+        sites = list(Rect(1, 2, 2, 3).sites())
+        assert len(sites) == 6
+        assert sites[0] == ClbCoord(1, 2)
+        assert sites[-1] == ClbCoord(2, 4)
+
+    def test_columns(self):
+        assert list(Rect(0, 3, 2, 4).columns()) == [3, 4, 5, 6]
+
+    def test_translated(self):
+        assert Rect(1, 1, 2, 2).translated(2, -1) == Rect(3, 0, 2, 2)
+
+    def test_center(self):
+        assert Rect(0, 0, 4, 4).center() == ClbCoord(2, 2)
+
+    @given(
+        st.integers(0, 10), st.integers(0, 10),
+        st.integers(1, 8), st.integers(1, 8),
+    )
+    def test_sites_count_matches_area(self, row, col, h, w):
+        r = Rect(row, col, h, w)
+        assert len(list(r.sites())) == r.area
+
+    @given(
+        st.integers(0, 6), st.integers(0, 6),
+        st.integers(1, 5), st.integers(1, 5),
+        st.integers(0, 6), st.integers(0, 6),
+        st.integers(1, 5), st.integers(1, 5),
+    )
+    def test_overlap_iff_shared_site(self, r1, c1, h1, w1, r2, c2, h2, w2):
+        a = Rect(r1, c1, h1, w1)
+        b = Rect(r2, c2, h2, w2)
+        shared = set(a.sites()) & set(b.sites())
+        assert a.overlaps(b) == bool(shared)
+
+
+class TestSpanColumns:
+    def test_single(self):
+        assert list(span_columns(Rect(0, 3, 1, 2))) == [3, 4]
+
+    def test_multiple(self):
+        span = span_columns(Rect(0, 2, 1, 1), Rect(0, 7, 1, 2))
+        assert list(span) == [2, 3, 4, 5, 6, 7, 8]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            span_columns()

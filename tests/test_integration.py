@@ -1,0 +1,190 @@
+"""End-to-end integration tests across the whole stack.
+
+Each test exercises a realistic multi-subsystem scenario: live circuits
++ relocation + manager + tool + configuration memory together.
+"""
+
+import random
+
+import pytest
+
+from repro.core.active_replication import ActiveReplicationTester, StuckAtFault
+from repro.core.cost import CostModel
+from repro.core.function_move import FunctionRelocator
+from repro.core.manager import LogicSpaceManager, RearrangePolicy
+from repro.core.relocation import make_lockstep_engine
+from repro.core.tool import RearrangementTool
+from repro.device.clb import CellMode
+from repro.device.devices import device
+from repro.device.fabric import Fabric
+from repro.device.geometry import CellCoord, ClbCoord, Rect
+from repro.netlist import library as lib
+from repro.netlist.itc99 import generate
+from repro.netlist.synth import place
+from repro.placement.metrics import fragmentation_index
+from repro.sched.scheduler import OnlineTaskScheduler
+from repro.sched.workload import random_tasks
+
+
+class TestTwoFunctionsSharingTheFabric:
+    def test_independent_circuits_relocate_without_crosstalk(self):
+        """Two live circuits on one device; relocating cells of one
+        must never disturb the other."""
+        fabric = Fabric(device("XCV200"))
+        counter = lib.counter(4)
+        lfsr = lib.lfsr4()
+        d1 = place(counter, fabric, owner=1, origin=ClbCoord(0, 0))
+        d2 = place(lfsr, fabric, owner=2, origin=ClbCoord(10, 10))
+        e1, c1 = make_lockstep_engine(d1)
+        e2, c2 = make_lockstep_engine(d2)
+        for _ in range(5):
+            c1.step()
+            c2.step()
+        e1.relocate("b1")
+        e2.relocate("r2")
+        for _ in range(15):
+            c1.step()
+            c2.step()
+        assert c1.clean and c2.clean
+
+    def test_function_move_between_live_neighbours(self):
+        """Move a whole function while another keeps running nearby."""
+        fabric = Fabric(device("XCV200"))
+        d1 = place(lib.counter(4), fabric, owner=1, origin=ClbCoord(0, 0))
+        d2 = place(lib.counter(8), fabric, owner=2, origin=ClbCoord(0, 4))
+        e1, c1 = make_lockstep_engine(d1)
+        e2, c2 = make_lockstep_engine(d2)
+        for _ in range(4):
+            c1.step()
+            c2.step()
+        report = FunctionRelocator(e1).relocate_function(ClbCoord(20, 20))
+        for _ in range(12):
+            c1.step()
+            c2.step()
+        assert report.transparent
+        assert c1.clean and c2.clean
+        assert fabric.footprint(1).row == 20
+
+
+class TestManagerWithLiveMoves:
+    def test_defrag_plan_executed_by_function_relocator(self):
+        """The manager plans a rearrangement; the function relocator
+        executes it on a live design — the full concurrent pipeline."""
+        fabric = Fabric(device("XCV200"))
+        design = place(lib.counter(8), fabric, owner=1, origin=ClbCoord(0, 0))
+        engine, checker = make_lockstep_engine(design)
+        for _ in range(4):
+            checker.step()
+        # Move the live function to clear the left edge.
+        src = design.region
+        mover = FunctionRelocator(engine)
+        report = mover.relocate_function(ClbCoord(24, 38))
+        for _ in range(8):
+            checker.step()
+        assert checker.clean
+        assert fabric.region_is_free(src)
+        # The freed space is allocatable by the manager immediately.
+        manager = LogicSpaceManager(fabric, policy=RearrangePolicy.NONE)
+        outcome = manager.request(src.height, src.width, owner=7)
+        assert outcome.success
+
+
+class TestToolAgainstManagedFabric:
+    def test_tool_generates_files_for_manager_moves(self):
+        """Manager moves map 1:1 onto tool jobs whose files load into
+        the simulated configuration memory."""
+        dev = device("XCV200")
+        manager = LogicSpaceManager(
+            Fabric(dev), policy=RearrangePolicy.CONCURRENT
+        )
+        manager.request(28, 14, owner=1)
+        manager.request(28, 14, owner=2)
+        manager.release(1)
+        outcome = manager.request(28, 20, owner=3)
+        assert outcome.success and outcome.moves
+        tool = RearrangementTool(dev)
+        for execution in outcome.moves:
+            move = execution.move
+            jobs = tool.jobs_from_coordinates(
+                ClbCoord(move.src.row, move.src.col),
+                ClbCoord(move.dst.row, move.dst.col),
+            )
+            report = tool.execute(tool.generate_all(jobs))
+            assert not report.recovered
+            assert report.seconds > 0
+
+
+class TestTestRotationDuringOperation:
+    def test_self_test_sweeps_under_running_scheduler_load(self):
+        """On-line test rotation over a region while circuits run."""
+        fabric = Fabric(device("XCV200"))
+        design = place(
+            generate("b01", seed=5), fabric, owner=1, origin=ClbCoord(0, 0)
+        )
+        rng = random.Random(5)
+        stim = lambda cyc: {
+            pi: rng.randint(0, 1) for pi in design.circuit.inputs
+        }
+        engine, checker = make_lockstep_engine(design, stimulus=stim)
+        tester = ActiveReplicationTester(engine)
+        victim = design.site_of(f"{design.circuit.name}_ff0")
+        tester.inject_fault(StuckAtFault(victim, 1))
+        for _ in range(5):
+            checker.step(stim(0))
+        report = tester.rotate(
+            [ClbCoord(r, c) for r in range(4) for c in range(4)]
+        )
+        for _ in range(15):
+            checker.step(stim(0))
+        assert checker.clean
+        assert any(f.site == victim for f in report.detected)
+
+
+class TestSchedulerEndToEnd:
+    def test_full_stream_with_boundary_scan_costs(self):
+        dev = device("XCV200")
+        manager = LogicSpaceManager(
+            Fabric(dev),
+            cost_model=CostModel(dev, port_kind="boundary-scan"),
+            policy=RearrangePolicy.CONCURRENT,
+        )
+        scheduler = OnlineTaskScheduler(manager)
+        metrics = scheduler.run(
+            random_tasks(25, seed=11, mean_interarrival=2.0,
+                         size_range=(3, 10), exec_range=(10, 40))
+        )
+        assert metrics.finished == 25
+        assert metrics.halted_seconds == 0.0
+        assert metrics.port_busy_seconds > 0
+        assert 0.0 <= metrics.mean_fragmentation <= 1.0
+
+    def test_occupancy_empty_after_all_releases(self):
+        manager = LogicSpaceManager(Fabric(device("XCV200")))
+        scheduler = OnlineTaskScheduler(manager)
+        scheduler.run(random_tasks(15, seed=3))
+        assert manager.fabric.utilization() == 0.0
+        assert fragmentation_index(manager.fabric.occupancy) == 0.0
+
+
+class TestConfigMemoryConsistency:
+    def test_relocation_streams_apply_cleanly_in_sequence(self):
+        """Generate and load the files for a staged long move; the
+        configuration memory accepts every stream with consistent CRCs
+        and frame accounting."""
+        dev = device("XCV200")
+        tool = RearrangementTool(dev)
+        jobs = tool.jobs_from_coordinates(
+            ClbCoord(0, 0), ClbCoord(24, 36), CellMode.FF_GATED_CLOCK
+        )
+        generated = tool.generate_all(jobs)
+        before = tool.memory.stats.frames_written
+        report = tool.execute(generated)
+        written = tool.memory.stats.frames_written - before
+        assert not report.recovered
+        expected = sum(
+            len(tool.cost.frames_for_step(step))
+            for gen in generated
+            for step in gen.plan.steps
+            if not step.is_wait
+        )
+        assert written == expected

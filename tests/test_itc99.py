@@ -1,0 +1,99 @@
+"""Unit tests for the ITC'99-statistics benchmark generator."""
+
+import pytest
+
+from repro.device.clb import CellMode
+from repro.netlist.itc99 import ITC99_STATS, generate, generate_suite, spec
+from repro.netlist.simulator import CycleSimulator
+
+
+class TestSpec:
+    def test_known_circuits_present(self):
+        for name in ("b01", "b02", "b09", "b14"):
+            assert name in ITC99_STATS
+
+    def test_spec_matches_table(self):
+        s = spec("b01")
+        assert (s.inputs, s.outputs, s.flip_flops, s.gates) == ITC99_STATS["b01"]
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError, match="b01"):
+            spec("b99")
+
+    def test_lut_budget_positive(self):
+        for name in ITC99_STATS:
+            assert spec(name).luts >= 1
+
+
+class TestGenerate:
+    def test_statistics_match(self):
+        for name in ("b01", "b06", "b09"):
+            s = spec(name)
+            circuit = generate(name, seed=11)
+            stats = circuit.stats()
+            assert stats.inputs == s.inputs
+            assert stats.outputs == s.outputs
+            assert stats.flip_flops == s.flip_flops
+            assert stats.cells >= s.flip_flops + 1
+
+    def test_deterministic_per_seed(self):
+        a = generate("b03", seed=5)
+        b = generate("b03", seed=5)
+        assert list(a.cells) == list(b.cells)
+        assert [c.lut for c in a.cells.values()] == [
+            c.lut for c in b.cells.values()
+        ]
+
+    def test_different_seeds_differ(self):
+        a = generate("b03", seed=1)
+        b = generate("b03", seed=2)
+        assert [c.lut for c in a.cells.values()] != [
+            c.lut for c in b.cells.values()
+        ]
+
+    def test_validates_structurally(self):
+        generate("b08", seed=3).validate()
+
+    def test_gated_fraction(self):
+        circuit = generate("b03", seed=7, gated_fraction=0.5)
+        stats = circuit.stats()
+        assert stats.gated_flip_flops == round(0.5 * spec("b03").flip_flops)
+        # All gated FFs share one enable net.
+        ces = {
+            c.ce
+            for c in circuit.cells.values()
+            if c.mode is CellMode.FF_GATED_CLOCK
+        }
+        assert len(ces) == 1
+
+    def test_gated_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            generate("b01", gated_fraction=1.5)
+
+    def test_simulates_without_error(self):
+        circuit = generate("b02", seed=9)
+        sim = CycleSimulator(circuit)
+        import random
+
+        rng = random.Random(0)
+        for _ in range(30):
+            sim.step({pi: rng.randint(0, 1) for pi in circuit.inputs})
+        assert set(sim.outputs()) == set(circuit.outputs)
+
+    def test_purely_synchronous_single_clock(self):
+        # The paper's test circuits are "purely synchronous with only one
+        # single-phase clock signal": no latches in the default suite.
+        circuit = generate("b05", seed=4)
+        assert circuit.stats().latches == 0
+
+
+class TestSuite:
+    def test_default_suite_excludes_b14(self):
+        suite = generate_suite()
+        names = {c.name for c in suite}
+        assert "b14" not in names
+        assert "b01" in names and "b13" in names
+
+    def test_custom_selection(self):
+        suite = generate_suite(["b01", "b02"])
+        assert [c.name for c in suite] == ["b01", "b02"]

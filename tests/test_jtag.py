@@ -1,0 +1,118 @@
+"""Unit tests for the Boundary-Scan TAP and port timing."""
+
+import pytest
+
+from repro.device.jtag import (
+    BoundaryScanPort,
+    IR_LENGTH,
+    SelectMapPort,
+    TapController,
+    TapState,
+    TRANSITIONS,
+)
+
+
+class TestTapController:
+    def test_reset_reaches_tlr_from_anywhere(self):
+        tap = TapController()
+        tap.clock(0)  # run-test/idle
+        tap.clock(1)
+        tap.clock(0)  # capture-dr
+        tap.reset()
+        assert tap.state is TapState.TEST_LOGIC_RESET
+
+    def test_transition_table_is_total(self):
+        for state, (t0, t1) in TRANSITIONS.items():
+            assert isinstance(t0, TapState)
+            assert isinstance(t1, TapState)
+        assert len(TRANSITIONS) == 16
+
+    def test_canonical_ir_walk(self):
+        tap = TapController()
+        tap.reset()
+        tap.walk_to(TapState.RUN_TEST_IDLE)
+        tap.walk_to(TapState.SHIFT_IR)
+        assert tap.state is TapState.SHIFT_IR
+
+    def test_shift_counts_cycles(self):
+        tap = TapController()
+        tap.reset()
+        tap.walk_to(TapState.RUN_TEST_IDLE)
+        tap.walk_to(TapState.SHIFT_DR)
+        before = tap.cycles
+        tap.shift(100)
+        assert tap.cycles - before == 100
+        assert tap.state is TapState.EXIT1_DR
+
+    def test_shift_outside_shift_state_rejected(self):
+        tap = TapController()
+        tap.reset()
+        with pytest.raises(RuntimeError):
+            tap.shift(8)
+
+
+class TestBoundaryScanPort:
+    def test_one_bit_per_tck(self):
+        port = BoundaryScanPort(tck_hz=20e6)
+        before = port.cycles
+        port.shift_data(1000)
+        spent = port.cycles - before
+        # 1000 data bits plus a handful of state-walk cycles.
+        assert 1000 <= spent <= 1000 + 16
+
+    def test_configure_timing_scales_with_words(self):
+        port = BoundaryScanPort(tck_hz=20e6)
+        t_small = port.configure(100)
+        t_big = port.configure(10000)
+        assert t_big > t_small * 50
+
+    def test_configure_time_matches_bit_count(self):
+        port = BoundaryScanPort(tck_hz=20e6)
+        seconds = port.configure(1000)
+        # 32000 payload bits at 20 MHz = 1.6 ms, plus protocol overhead.
+        assert 1.6e-3 <= seconds < 1.7e-3
+
+    def test_elapsed_accumulates(self):
+        port = BoundaryScanPort(tck_hz=20e6)
+        t1 = port.configure(500)
+        t2 = port.configure(500)
+        assert port.elapsed >= t1 + t2
+
+    def test_invalid_tck_rejected(self):
+        with pytest.raises(ValueError):
+            BoundaryScanPort(tck_hz=0)
+
+    def test_unknown_instruction_rejected(self):
+        port = BoundaryScanPort()
+        with pytest.raises(KeyError):
+            port.load_instruction("NOT_AN_INSTRUCTION")
+
+    def test_readback_costs_more_than_configure(self):
+        a = BoundaryScanPort()
+        b = BoundaryScanPort()
+        tc = a.configure(1000)
+        tr = b.readback(1000)
+        assert tr > tc
+
+    def test_instruction_length(self):
+        assert IR_LENGTH == 5
+
+
+class TestSelectMapPort:
+    def test_much_faster_than_boundary_scan(self):
+        # SelectMAP moves a byte per clock; Boundary Scan one bit per TCK.
+        jtag = BoundaryScanPort(tck_hz=20e6)
+        smap = SelectMapPort(clock_hz=50e6)
+        words = 5000
+        assert smap.configure(words) < jtag.configure(words) / 10
+
+    def test_invalid_clock_rejected(self):
+        with pytest.raises(ValueError):
+            SelectMapPort(clock_hz=-1)
+
+    def test_elapsed_accumulates(self):
+        port = SelectMapPort()
+        port.configure(100)
+        port.configure(100)
+        assert port.elapsed > 0
+        assert port.stats.data_bits == 2 * 100 * 32

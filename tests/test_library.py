@@ -1,0 +1,122 @@
+"""Unit tests for the canonical circuit library."""
+
+import pytest
+
+from repro.device.clb import CellMode
+from repro.netlist import library as lib
+from repro.netlist.simulator import CycleSimulator
+
+
+class TestCounter:
+    def test_bit_range_enforced(self):
+        with pytest.raises(ValueError):
+            lib.counter(0)
+        with pytest.raises(ValueError):
+            lib.counter(17)
+
+    def test_wraps_at_modulus(self):
+        sim = CycleSimulator(lib.counter(3))
+        seen = [lib.counter_value(sim.step()) for _ in range(9)]
+        assert seen == [1, 2, 3, 4, 5, 6, 7, 0, 1]
+
+    def test_counter_value_decoder(self):
+        assert lib.counter_value({"b0": 1, "b2": 1}) == 5
+        assert lib.counter_value({}) == 0
+
+
+class TestGatedCounter:
+    def test_all_ffs_gated(self):
+        c = lib.gated_counter(4)
+        ffs = [cell for cell in c.cells.values() if cell.sequential]
+        assert all(cell.mode is CellMode.FF_GATED_CLOCK for cell in ffs)
+        assert all(cell.ce == "en" for cell in ffs)
+
+    def test_freeze_and_resume(self):
+        sim = CycleSimulator(lib.gated_counter(4))
+        for _ in range(5):
+            sim.step({"en": 1})
+        frozen = lib.counter_value(sim.outputs())
+        for _ in range(7):
+            sim.step({"en": 0})
+        assert lib.counter_value(sim.outputs()) == frozen
+        sim.step({"en": 1})
+        assert lib.counter_value(sim.outputs()) == frozen + 1
+
+
+class TestShiftRegister:
+    def test_plain_shift(self):
+        sim = CycleSimulator(lib.shift_register(4))
+        pattern = [1, 0, 1, 1, 0, 0, 0, 0]
+        outs = [sim.step({"din": b})["s3"] for b in pattern]
+        assert outs == [0, 0, 0, 1, 0, 1, 1, 0]
+
+    def test_gated_shift_holds(self):
+        sim = CycleSimulator(lib.shift_register(2, gated=True))
+        sim.step({"din": 1, "en": 1})
+        sim.step({"din": 0, "en": 0})  # held
+        sim.step({"din": 0, "en": 1})
+        assert sim.probe("s1") == 1
+
+    def test_stage_count_validated(self):
+        with pytest.raises(ValueError):
+            lib.shift_register(0)
+
+
+class TestLfsr:
+    def test_nonzero_orbit(self):
+        sim = CycleSimulator(lib.lfsr4())
+        states = set()
+        for _ in range(15):
+            sim.step()
+            states.add(tuple(sorted(sim.state.items())))
+        assert len(states) == 15  # maximal length
+
+    def test_all_zero_excluded(self):
+        sim = CycleSimulator(lib.lfsr4())
+        for _ in range(20):
+            sim.step()
+            assert any(sim.state.values())
+
+
+class TestMooreFsm:
+    def test_gray_cycle(self):
+        sim = CycleSimulator(lib.moore_fsm())
+        seq = []
+        for _ in range(5):
+            out = sim.step({"advance": 1})
+            seq.append((out["s1"], out["s0"]))
+        assert seq == [(0, 1), (1, 1), (1, 0), (0, 0), (0, 1)]
+
+    def test_advance_low_holds_state(self):
+        sim = CycleSimulator(lib.moore_fsm())
+        sim.step({"advance": 1})
+        held = sim.step({"advance": 0})
+        again = sim.step({"advance": 0})
+        assert held == again
+
+    def test_state3_indicator(self):
+        sim = CycleSimulator(lib.moore_fsm())
+        hits = []
+        for _ in range(4):
+            out = sim.step({"advance": 1})
+            hits.append(out["in_state3"])
+        assert hits.count(1) == 1
+
+
+class TestLatchPipeline:
+    def test_stage_validation(self):
+        with pytest.raises(ValueError):
+            lib.latch_pipeline(0)
+
+    def test_capture_on_falling_gate(self):
+        sim = CycleSimulator(lib.latch_pipeline(1))
+        sim.step({"din": 1, "g": 1})
+        sim.step({"din": 0, "g": 0})
+        # Value stored when the gate fell.
+        assert sim.probe("l0") == 1
+
+
+class TestToggle:
+    def test_alternates(self):
+        sim = CycleSimulator(lib.toggle())
+        assert [sim.step()["q"] for _ in range(4)] == [1, 0, 1, 0]

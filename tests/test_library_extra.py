@@ -1,0 +1,127 @@
+"""Tests for the extended circuit library and visualisation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.visualize import (
+    render_occupancy,
+    render_timeline,
+    timeline_from_application_runs,
+)
+from repro.netlist import library as lib
+from repro.netlist.simulator import CycleSimulator
+from repro.sched.tasks import ApplicationRun, ApplicationSpec, FunctionRun, FunctionSpec
+
+
+class TestJohnsonCounter:
+    def test_period_is_twice_stages(self):
+        sim = CycleSimulator(lib.johnson_counter(4))
+        start = dict(sim.state)
+        for _ in range(8):
+            sim.step()
+        assert dict(sim.state) == start
+
+    def test_single_bit_changes_per_step(self):
+        sim = CycleSimulator(lib.johnson_counter(5))
+        previous = dict(sim.state)
+        for _ in range(10):
+            sim.step()
+            current = dict(sim.state)
+            flips = sum(1 for k in current if current[k] != previous[k])
+            assert flips == 1
+            previous = current
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lib.johnson_counter(1)
+
+
+class TestParityChain:
+    def test_computes_parity(self):
+        sim = CycleSimulator(lib.parity_chain(5))
+        cases = [
+            ({"x0": 1, "x1": 0, "x2": 0, "x3": 0, "x4": 0}, 1),
+            ({"x0": 1, "x1": 1, "x2": 0, "x3": 0, "x4": 0}, 0),
+            ({"x0": 1, "x1": 1, "x2": 1, "x3": 1, "x4": 1}, 1),
+        ]
+        for inputs, want in cases:
+            out = sim.step(inputs)
+            assert out["p4"] == want
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lib.parity_chain(1)
+
+
+class TestAccumulator:
+    def test_accumulates_when_enabled(self):
+        sim = CycleSimulator(lib.accumulator(4))
+        sim.step({"en": 1, "d0": 1, "d1": 1})  # +3
+        assert lib.accumulator_value(sim.outputs()) == 3
+        sim.step({"en": 1, "d0": 1, "d1": 0, "d2": 1})  # +5
+        assert lib.accumulator_value(sim.outputs()) == 8
+
+    def test_holds_when_disabled(self):
+        sim = CycleSimulator(lib.accumulator(3))
+        sim.step({"en": 1, "d0": 1})
+        sim.step({"en": 0, "d0": 1})
+        sim.step({"en": 0, "d1": 1})
+        assert lib.accumulator_value(sim.outputs()) == 1
+
+    def test_wraps_modulo(self):
+        sim = CycleSimulator(lib.accumulator(2))
+        for _ in range(5):  # 5 mod 4 = 1
+            sim.step({"en": 1, "d0": 1, "d1": 0})
+        assert lib.accumulator_value(sim.outputs()) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lib.accumulator(0)
+
+
+class TestRenderOccupancy:
+    def test_free_renders_dots(self):
+        occ = np.zeros((2, 3), dtype=int)
+        assert render_occupancy(occ) == "...\n..."
+
+    def test_owner_digits(self):
+        occ = np.zeros((1, 4), dtype=int)
+        occ[0, 0] = 1
+        occ[0, 2] = 12
+        text = render_occupancy(occ)
+        assert text[0] == "1"
+        assert text[2] == "c"  # 12th glyph
+
+    def test_column_cap(self):
+        occ = np.zeros((1, 100), dtype=int)
+        assert len(render_occupancy(occ, max_cols=10)) == 10
+
+
+class TestRenderTimeline:
+    def test_rows_and_axis(self):
+        text = render_timeline(
+            [("A", [(0.0, 1.0, "1")]), ("B", [(1.0, 2.0, "1")])],
+            t_end=2.0,
+            width=20,
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("A |")
+        assert lines[1].startswith("B |")
+        assert "0" in lines[2] and "2" in lines[2]
+
+    def test_empty(self):
+        assert render_timeline([]) == ""
+
+    def test_from_application_runs(self):
+        spec = ApplicationSpec("X", [FunctionSpec("X1", 1, 1, 1.0)])
+        record = ApplicationRun(spec)
+        run = FunctionRun("X", spec.functions[0])
+        run.configured_at = 0.5
+        run.started_at = 1.0
+        run.finished_at = 2.0
+        record.runs.append(run)
+        record.finished_at = 2.0
+        rows = timeline_from_application_runs([record])
+        assert rows[0][0] == "X"
+        glyphs = {seg[2] for seg in rows[0][1]}
+        assert "1" in glyphs and "~" in glyphs

@@ -1,0 +1,86 @@
+"""Unit tests for fragmentation metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.placement.metrics import (
+    average_free_rectangle,
+    fragmentation_index,
+    free_region_count,
+    satisfiable_fraction,
+    utilization,
+)
+
+
+class TestFragmentationIndex:
+    def test_empty_grid_zero(self):
+        assert fragmentation_index(np.zeros((5, 5), dtype=int)) == 0.0
+
+    def test_full_grid_zero(self):
+        assert fragmentation_index(np.ones((5, 5), dtype=int)) == 0.0
+
+    def test_split_space_fragmented(self):
+        occ = np.zeros((5, 5), dtype=int)
+        occ[:, 2] = 1  # two 5x2 halves: largest rect 10 of 20 free
+        assert fragmentation_index(occ) == pytest.approx(0.5)
+
+    def test_checkerboard_highly_fragmented(self):
+        occ = np.indices((6, 6)).sum(axis=0) % 2
+        assert fragmentation_index(occ) > 0.9
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(2, 8), st.integers(2, 8), st.integers(0, 10 ** 6))
+    def test_bounded_zero_one(self, rows, cols, seed):
+        rng = np.random.RandomState(seed)
+        occ = (rng.rand(rows, cols) < 0.5).astype(int)
+        assert 0.0 <= fragmentation_index(occ) <= 1.0
+
+
+class TestSatisfiableFraction:
+    def test_empty_grid_satisfies_fitting_requests(self):
+        occ = np.zeros((6, 6), dtype=int)
+        assert satisfiable_fraction(occ, [(2, 2), (6, 6)]) == 1.0
+
+    def test_oversized_requests_unsatisfied(self):
+        occ = np.zeros((4, 4), dtype=int)
+        assert satisfiable_fraction(occ, [(5, 5)]) == 0.0
+
+    def test_mixed(self):
+        occ = np.zeros((4, 4), dtype=int)
+        occ[:, 2] = 1
+        assert satisfiable_fraction(occ, [(4, 2), (4, 3)]) == 0.5
+
+    def test_no_requests(self):
+        assert satisfiable_fraction(np.zeros((2, 2), dtype=int), []) == 1.0
+
+
+class TestFreeRegionCount:
+    def test_single_region(self):
+        assert free_region_count(np.zeros((3, 3), dtype=int)) == 1
+
+    def test_no_region(self):
+        assert free_region_count(np.ones((3, 3), dtype=int)) == 0
+
+    def test_wall_splits_regions(self):
+        occ = np.zeros((3, 5), dtype=int)
+        occ[:, 2] = 1
+        assert free_region_count(occ) == 2
+
+    def test_diagonal_not_connected(self):
+        occ = np.ones((2, 2), dtype=int)
+        occ[0, 0] = 0
+        occ[1, 1] = 0
+        assert free_region_count(occ) == 2
+
+
+class TestOtherMetrics:
+    def test_average_free_rectangle(self):
+        occ = np.zeros((4, 4), dtype=int)
+        assert average_free_rectangle(occ) == 16.0
+        assert average_free_rectangle(np.ones((2, 2), dtype=int)) == 0.0
+
+    def test_utilization(self):
+        occ = np.zeros((4, 4), dtype=int)
+        occ[:2, :] = 3
+        assert utilization(occ) == pytest.approx(0.5)

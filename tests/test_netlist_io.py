@@ -1,0 +1,119 @@
+"""Tests for the .rnl netlist serialisation format."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netlist import library as lib
+from repro.netlist.io import NetlistFormatError, dumps, load, loads, save
+from repro.netlist.itc99 import generate
+from repro.netlist.simulator import CycleSimulator
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: lib.counter(4),
+            lambda: lib.gated_counter(3),
+            lambda: lib.latch_pipeline(2),
+            lambda: lib.majority_voter(),
+            lambda: lib.lfsr4(),
+        ],
+    )
+    def test_library_circuits(self, factory):
+        original = factory()
+        restored = loads(dumps(original))
+        assert restored.name == original.name
+        assert restored.inputs == original.inputs
+        assert restored.outputs == original.outputs
+        assert list(restored.cells) == list(original.cells)
+        for name, cell in original.cells.items():
+            other = restored.cells[name]
+            assert other.lut == cell.lut
+            assert other.inputs == cell.inputs
+            assert other.mode == cell.mode
+            assert other.ce == cell.ce
+            assert other.init_state == cell.init_state
+            assert other.output == cell.output
+
+    def test_itc99_roundtrip_behaviour(self):
+        import random
+
+        original = generate("b02", seed=6, gated_fraction=0.5)
+        restored = loads(dumps(original))
+        a, b = CycleSimulator(original), CycleSimulator(restored)
+        rng = random.Random(0)
+        for _ in range(40):
+            vec = {pi: rng.randint(0, 1) for pi in original.inputs}
+            assert a.step(vec) == b.step(vec)
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "counter.rnl"
+        original = lib.counter(3)
+        save(original, str(path))
+        restored = load(str(path))
+        assert list(restored.cells) == list(original.cells)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10 ** 6))
+    def test_generated_circuits_roundtrip(self, seed):
+        original = generate("b01", seed=seed % 89)
+        assert dumps(loads(dumps(original))) == dumps(original)
+
+
+class TestFormatErrors:
+    def test_comments_and_blanks_ignored(self):
+        text = dumps(lib.toggle())
+        text = "# header comment\n\n" + text.replace(
+            ".inputs", "# inline\n.inputs"
+        )
+        loads(text)
+
+    def test_missing_circuit(self):
+        with pytest.raises(NetlistFormatError, match=".circuit"):
+            loads(".inputs a\n.end\n")
+
+    def test_missing_end(self):
+        with pytest.raises(NetlistFormatError, match=".end"):
+            loads(".circuit t\n.inputs a\n")
+
+    def test_content_after_end(self):
+        with pytest.raises(NetlistFormatError, match="after .end"):
+            loads(".circuit t\n.end\n.inputs a\n")
+
+    def test_duplicate_circuit(self):
+        with pytest.raises(NetlistFormatError, match="duplicate"):
+            loads(".circuit a\n.circuit b\n.end\n")
+
+    def test_unknown_directive(self):
+        with pytest.raises(NetlistFormatError, match="unknown directive"):
+            loads(".circuit t\n.bogus x\n.end\n")
+
+    def test_bad_lut(self):
+        with pytest.raises(NetlistFormatError, match="lut"):
+            loads(".circuit t\n.cell g inputs= mode=combinational\n.end\n")
+
+    def test_unknown_mode(self):
+        with pytest.raises(NetlistFormatError, match="mode"):
+            loads(
+                ".circuit t\n.cell g lut=0x1 inputs= mode=warp\n.end\n"
+            )
+
+    def test_unknown_key(self):
+        with pytest.raises(NetlistFormatError, match="unknown keys"):
+            loads(
+                ".circuit t\n.cell g lut=0x1 inputs= zap=1\n.end\n"
+            )
+
+    def test_invalid_netlist_rejected(self):
+        # Structurally parses but reads an undriven net.
+        with pytest.raises(NetlistFormatError, match="invalid netlist"):
+            loads(
+                ".circuit t\n.cell g lut=0xAAAA inputs=phantom\n.end\n"
+            )
+
+    def test_bad_init(self):
+        with pytest.raises(NetlistFormatError, match="init"):
+            loads(
+                ".circuit t\n.cell g lut=0x1 inputs= init=5\n.end\n"
+            )

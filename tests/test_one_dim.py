@@ -1,0 +1,117 @@
+"""Unit tests for the 1-D (column-strip) allocation baseline."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.placement.one_dim import OneDimAllocator, Strip
+
+
+@pytest.fixture
+def alloc():
+    return OneDimAllocator(rows=28, cols=42)
+
+
+class TestColumnsNeeded:
+    def test_rounds_up(self, alloc):
+        assert alloc.columns_needed(28, 1) == 1
+        assert alloc.columns_needed(14, 1) == 1  # half a column still costs 1
+        assert alloc.columns_needed(28, 3) == 3
+        assert alloc.columns_needed(10, 10) == 4  # 100/28 -> 4
+
+    def test_1d_never_cheaper_than_area(self, alloc):
+        # ceil(a/rows) * rows >= a: 1-D always wastes sites up.
+        for h, w in ((3, 3), (10, 5), (28, 2)):
+            assert alloc.columns_needed(h, w) * alloc.rows >= h * w
+
+
+class TestAllocateRelease:
+    def test_first_fit_leftmost(self, alloc):
+        strip = alloc.allocate(28, 5, owner=1)
+        assert strip == Strip(0, 5)
+        strip2 = alloc.allocate(28, 3, owner=2)
+        assert strip2 == Strip(5, 3)
+
+    def test_release_and_reuse(self, alloc):
+        alloc.allocate(28, 5, owner=1)
+        alloc.allocate(28, 5, owner=2)
+        alloc.release(1)
+        strip = alloc.allocate(28, 4, owner=3)
+        assert strip.col == 0
+
+    def test_release_unknown_rejected(self, alloc):
+        with pytest.raises(KeyError):
+            alloc.release(9)
+
+    def test_exhaustion_returns_none(self, alloc):
+        assert alloc.allocate(28, 42, owner=1) is not None
+        assert alloc.allocate(1, 1, owner=2) is None
+
+    def test_invalid_owner_rejected(self, alloc):
+        with pytest.raises(ValueError):
+            alloc.allocate(1, 1, owner=0)
+
+    def test_utilization(self, alloc):
+        alloc.allocate(28, 21, owner=1)
+        assert alloc.utilization() == pytest.approx(0.5)
+
+
+class TestFragmentation:
+    def test_contiguous_free_not_fragmented(self, alloc):
+        alloc.allocate(28, 10, owner=1)
+        assert alloc.fragmentation_index() == 0.0
+
+    def test_gap_pattern_fragmented(self, alloc):
+        a = alloc.allocate(28, 10, owner=1)
+        b = alloc.allocate(28, 10, owner=2)
+        c = alloc.allocate(28, 10, owner=3)
+        alloc.release(2)
+        # Free: 10 (middle) + 12 (right) = 22; largest run 12.
+        assert alloc.fragmentation_index() == pytest.approx(1 - 12 / 22)
+
+    def test_compact_defragments(self, alloc):
+        alloc.allocate(28, 10, owner=1)
+        alloc.allocate(28, 10, owner=2)
+        alloc.allocate(28, 10, owner=3)
+        alloc.release(2)
+        moved = alloc.compact()
+        assert moved == 1  # only owner 3 slides left
+        assert alloc.fragmentation_index() == 0.0
+        assert alloc.allocate(28, 22, owner=9) is not None
+
+    def test_compact_preserves_widths(self, alloc):
+        alloc.allocate(28, 7, owner=1)
+        alloc.allocate(28, 5, owner=2)
+        alloc.release(1)
+        alloc.compact()
+        assert int((alloc.columns == 2).sum()) == 5
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10 ** 6))
+    def test_compact_idempotent(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        alloc = OneDimAllocator(rows=28, cols=42)
+        owners = []
+        for i in range(1, 9):
+            if alloc.allocate(rng.randint(1, 28), rng.randint(1, 6), i):
+                owners.append(i)
+        for owner in owners[::2]:
+            alloc.release(owner)
+        alloc.compact()
+        assert alloc.compact() == 0  # second pass moves nothing
+
+
+class TestFreeRuns:
+    def test_runs_cover_free_columns(self, alloc):
+        alloc.allocate(28, 10, owner=1)
+        alloc.allocate(28, 10, owner=2)
+        alloc.release(1)
+        runs = alloc.free_runs()
+        assert sum(r.width for r in runs) == 42 - 10
+        assert runs[0] == Strip(0, 10)
+
+    def test_strip_to_rect(self):
+        rect = Strip(5, 3).to_rect(rows=28)
+        assert rect.row == 0 and rect.height == 28
+        assert rect.col == 5 and rect.width == 3

@@ -1,0 +1,173 @@
+"""Unit tests for relocation plans (Fig. 2 / Fig. 4 flows)."""
+
+import pytest
+
+from repro.device.clb import CellMode
+from repro.core.procedure import (
+    MIN_WAIT_CYCLES,
+    RelocationPlan,
+    RelocationVeto,
+    StepClass,
+    StepKind,
+    build_plan,
+)
+
+
+def gated_plan(**overrides):
+    kwargs = dict(
+        cell="u1",
+        mode=CellMode.FF_GATED_CLOCK,
+        signal_columns={3, 4, 5},
+        src_col=3,
+        dst_col=5,
+        aux_col=6,
+        ce_col=3,
+    )
+    kwargs.update(overrides)
+    return build_plan(**kwargs)
+
+
+class TestPlanShapes:
+    def test_combinational_two_phase(self):
+        plan = build_plan(
+            "u1", CellMode.COMBINATIONAL, {2}, src_col=2, dst_col=3
+        )
+        kinds = [s.kind for s in plan.steps]
+        assert kinds == [
+            StepKind.COPY_CONFIG,
+            StepKind.PARALLEL_INPUTS,
+            StepKind.PARALLEL_OUTPUTS,
+            StepKind.WAIT_PARALLEL,
+            StepKind.DISCONNECT_ORIG_OUTPUTS,
+            StepKind.DISCONNECT_ORIG_INPUTS,
+        ]
+
+    def test_free_clock_adds_capture_wait(self):
+        plan = build_plan(
+            "u1", CellMode.FF_FREE_CLOCK, {2}, src_col=2, dst_col=3
+        )
+        kinds = [s.kind for s in plan.steps]
+        assert StepKind.WAIT_CAPTURE in kinds
+        assert kinds.index(StepKind.WAIT_CAPTURE) < kinds.index(
+            StepKind.PARALLEL_OUTPUTS
+        )
+
+    def test_gated_uses_full_flow(self):
+        plan = gated_plan()
+        kinds = [s.kind for s in plan.steps]
+        # The Fig. 4 order.
+        expected = [
+            StepKind.COPY_CONFIG,
+            StepKind.CONNECT_AUX,
+            StepKind.PARALLEL_INPUTS,
+            StepKind.ACTIVATE_CONTROLS,
+            StepKind.WAIT_CAPTURE,
+            StepKind.DEACTIVATE_CE_CONTROL,
+            StepKind.CONNECT_CE,
+            StepKind.DEACTIVATE_RELOC_CONTROL,
+            StepKind.DISCONNECT_AUX,
+            StepKind.PARALLEL_OUTPUTS,
+            StepKind.WAIT_PARALLEL,
+            StepKind.DISCONNECT_ORIG_OUTPUTS,
+            StepKind.DISCONNECT_ORIG_INPUTS,
+        ]
+        assert kinds == expected
+
+    def test_latch_uses_same_flow_as_gated(self):
+        latch = build_plan(
+            "u1", CellMode.LATCH, {3}, src_col=3, dst_col=4, aux_col=5,
+            ce_col=3,
+        )
+        gated = gated_plan()
+        assert [s.kind for s in latch.steps] == [s.kind for s in gated.steps]
+
+
+class TestRestrictions:
+    def test_lut_ram_vetoed(self):
+        with pytest.raises(RelocationVeto, match="RAM"):
+            build_plan("u1", CellMode.LUT_RAM, {0}, src_col=0, dst_col=1)
+
+    def test_gated_without_aux_site_vetoed(self):
+        with pytest.raises(RelocationVeto, match="auxiliary"):
+            build_plan(
+                "u1", CellMode.FF_GATED_CLOCK, {0}, src_col=0, dst_col=1
+            )
+
+
+class TestWaits:
+    def test_capture_wait_exceeds_two_clk(self):
+        plan = gated_plan()
+        wait = next(s for s in plan.steps if s.kind is StepKind.WAIT_CAPTURE)
+        assert wait.min_wait_cycles == MIN_WAIT_CYCLES[StepKind.WAIT_CAPTURE]
+        assert wait.min_wait_cycles > 2
+
+    def test_parallel_wait_exceeds_one_clk(self):
+        plan = gated_plan()
+        wait = next(s for s in plan.steps if s.kind is StepKind.WAIT_PARALLEL)
+        assert wait.min_wait_cycles > 1
+
+    def test_wait_steps_touch_no_columns(self):
+        for step in gated_plan().steps:
+            if step.is_wait:
+                assert step.columns == frozenset()
+                assert step.step_class is StepClass.NONE
+
+
+class TestColumns:
+    def test_copy_targets_destination_column(self):
+        plan = gated_plan()
+        copy = next(s for s in plan.steps if s.kind is StepKind.COPY_CONFIG)
+        assert copy.columns == frozenset({5})
+        assert copy.step_class is StepClass.LOGIC
+
+    def test_aux_steps_include_aux_column(self):
+        plan = gated_plan()
+        aux = next(s for s in plan.steps if s.kind is StepKind.CONNECT_AUX)
+        assert 6 in aux.columns
+
+    def test_control_steps_touch_only_aux_column(self):
+        plan = gated_plan()
+        ctl = next(
+            s for s in plan.steps if s.kind is StepKind.ACTIVATE_CONTROLS
+        )
+        assert ctl.columns == frozenset({6})
+        assert ctl.step_class is StepClass.CONTROL
+
+    def test_touched_columns_cover_span(self):
+        plan = gated_plan(src_col=2, dst_col=8, signal_columns={2, 8})
+        assert plan.touched_columns >= set(range(2, 9))
+
+    def test_config_steps_excludes_waits(self):
+        plan = gated_plan()
+        assert all(not s.is_wait for s in plan.config_steps)
+        assert len(plan.config_steps) == len(plan.steps) - 2
+
+
+class TestOrderValidation:
+    def test_valid_plan_passes(self):
+        gated_plan().validate_order()
+
+    def test_missing_step_detected(self):
+        plan = gated_plan()
+        plan.steps = [s for s in plan.steps if s.kind is not StepKind.COPY_CONFIG]
+        with pytest.raises(RelocationVeto, match="COPY_CONFIG"):
+            plan.validate_order()
+
+    def test_broken_order_detected(self):
+        plan = gated_plan()
+        # Disconnect outputs before paralleling them: forbidden.
+        kinds = [s.kind for s in plan.steps]
+        i = kinds.index(StepKind.PARALLEL_OUTPUTS)
+        j = kinds.index(StepKind.DISCONNECT_ORIG_OUTPUTS)
+        plan.steps[i], plan.steps[j] = plan.steps[j], plan.steps[i]
+        with pytest.raises(RelocationVeto):
+            plan.validate_order()
+
+    def test_inputs_must_detach_after_outputs(self):
+        plan = gated_plan()
+        kinds = [s.kind for s in plan.steps]
+        i = kinds.index(StepKind.DISCONNECT_ORIG_OUTPUTS)
+        j = kinds.index(StepKind.DISCONNECT_ORIG_INPUTS)
+        plan.steps[i], plan.steps[j] = plan.steps[j], plan.steps[i]
+        with pytest.raises(RelocationVeto, match="outputs"):
+            plan.validate_order()

@@ -1,0 +1,105 @@
+"""Unit tests for readback / flip-flop state capture."""
+
+import pytest
+
+from repro.device.config_memory import ConfigMemory
+from repro.device.devices import device, synthetic_device
+from repro.device.geometry import CellCoord
+from repro.device.readback import (
+    StateCapture,
+    capture_hazard_window,
+)
+
+
+@pytest.fixture
+def capture():
+    return StateCapture(ConfigMemory(device("XCV200")))
+
+
+class TestLocations:
+    def test_distinct_sites_distinct_bits(self, capture):
+        sites = [
+            CellCoord(r, c, k)
+            for r in range(3)
+            for c in range(2)
+            for k in range(4)
+        ]
+        locations = {
+            (capture.location(s).address, capture.location(s).bit)
+            for s in sites
+        }
+        assert len(locations) == len(sites)
+
+    def test_same_column_same_major(self, capture):
+        a = capture.location(CellCoord(0, 7, 0))
+        b = capture.location(CellCoord(27, 7, 3))
+        assert a.address.major == b.address.major
+
+    def test_out_of_bounds_rejected(self, capture):
+        with pytest.raises(IndexError):
+            capture.location(CellCoord(0, 99, 0))
+        with pytest.raises(IndexError):
+            capture.location(CellCoord(99, 0, 0))
+
+    def test_state_bits_fit_in_state_frames(self, capture):
+        # Every site of the device must map without overflowing the
+        # column's state minors.
+        dev = capture.memory.device
+        capture.location(CellCoord(dev.clb_rows - 1, 0, 3))
+
+
+class TestCaptureRestore:
+    def test_roundtrip(self, capture):
+        states = {
+            CellCoord(0, 0, 0): 1,
+            CellCoord(0, 0, 1): 0,
+            CellCoord(5, 0, 2): 1,
+            CellCoord(7, 3, 3): 1,
+        }
+        capture.capture(states)
+        for site, value in states.items():
+            assert capture.read_state(site) == value
+
+    def test_capture_overwrites_previous(self, capture):
+        site = CellCoord(2, 2, 0)
+        capture.capture({site: 1})
+        capture.capture({site: 0})
+        assert capture.read_state(site) == 0
+
+    def test_capture_leaves_other_bits_alone(self, capture):
+        a, b = CellCoord(0, 5, 0), CellCoord(1, 5, 1)
+        capture.capture({a: 1, b: 1})
+        capture.capture({a: 0})  # only a updated
+        assert capture.read_state(b) == 1
+
+    def test_read_states_bulk(self, capture):
+        sites = [CellCoord(r, 1, 0) for r in range(4)]
+        capture.capture({s: i % 2 for i, s in enumerate(sites)})
+        values = capture.read_states(sites)
+        assert [values[s] for s in sites] == [0, 1, 0, 1]
+
+    def test_counts_captures(self, capture):
+        capture.capture({CellCoord(0, 0, 0): 1})
+        capture.capture({CellCoord(0, 1, 0): 1})
+        assert capture.captures == 2
+
+    def test_frames_written_grouped_per_frame(self, capture):
+        before = capture.memory.stats.frames_written
+        # Sites of one column land in the same state frame.
+        capture.capture({CellCoord(r, 9, 0): 1 for r in range(8)})
+        assert capture.memory.stats.frames_written - before == 1
+
+
+class TestHazardWindow:
+    def test_zero_when_halted(self):
+        assert capture_hazard_window(0) == 0
+
+    def test_lost_updates_equal_enabled_edges(self):
+        # The coherency argument: every enabled edge between capture and
+        # rewrite is a lost update — why the paper's concurrent
+        # procedure does not use capture-based transfer.
+        assert capture_hazard_window(3) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            capture_hazard_window(-1)

@@ -1,0 +1,229 @@
+"""Integration tests for the dynamic relocation engine.
+
+These are the reproduction's equivalent of the paper's XCV200
+experiments: live circuits keep running, in lockstep with a golden
+reference, while cells are relocated; transparency means zero output
+mismatches and zero drive conflicts.
+"""
+
+import random
+
+import pytest
+
+from repro.device.clb import CellMode, LogicCellConfig
+from repro.device.fabric import Fabric
+from repro.device.devices import device
+from repro.device.geometry import CellCoord
+from repro.core.procedure import RelocationVeto, StepKind
+from repro.core.relocation import RelocationEngine, make_lockstep_engine
+from repro.netlist import library as lib
+from repro.netlist.itc99 import generate
+from repro.netlist.simulator import CycleSimulator
+from repro.netlist.synth import place
+
+
+def build(circuit, stimulus=None):
+    fabric = Fabric(device("XCV200"))
+    design = place(circuit, fabric, owner=1)
+    engine, checker = make_lockstep_engine(design, stimulus=stimulus)
+    return design, engine, checker
+
+
+class TestFreeRunningClock:
+    def test_transparent_relocation(self):
+        design, engine, checker = build(lib.counter(4))
+        for _ in range(5):
+            checker.step()
+        report = engine.relocate("b2")
+        for _ in range(20):
+            checker.step()
+        assert report.transparent
+        assert checker.clean
+
+    def test_relocate_every_cell_one_at_a_time(self):
+        design, engine, checker = build(lib.counter(4))
+        for name in list(design.circuit.cells):
+            if design.circuit.cells[name].sequential:
+                engine.relocate(name)
+        for _ in range(16):
+            checker.step()
+        assert checker.clean
+
+    def test_cell_lands_at_destination(self):
+        design, engine, checker = build(lib.counter(4))
+        dst = CellCoord(20, 20, 0)
+        report = engine.relocate("b0", dst)
+        assert design.site_of("b0") == dst
+        assert report.dst == dst
+
+    def test_source_site_freed(self):
+        design, engine, checker = build(lib.counter(4))
+        src = design.site_of("b0")
+        engine.relocate("b0")
+        assert not design.fabric.cell_config(src).used
+
+    def test_relocation_takes_milliseconds(self):
+        design, engine, checker = build(lib.counter(4))
+        report = engine.relocate("b1")
+        assert 0.001 < report.total_seconds < 0.1
+
+    def test_repeated_relocation_of_same_cell(self):
+        design, engine, checker = build(lib.lfsr4())
+        for _ in range(3):
+            engine.relocate("r1")
+        for _ in range(15):
+            checker.step()
+        assert checker.clean
+
+
+class TestCombinational:
+    def test_transparent_relocation(self):
+        rng = random.Random(5)
+        stim = lambda cyc: {
+            "a": rng.randint(0, 1), "b": rng.randint(0, 1),
+            "c": rng.randint(0, 1),
+        }
+        design, engine, checker = build(lib.majority_voter(), stim)
+        for _ in range(4):
+            checker.step(stim(0))
+        report = engine.relocate("ab")
+        for _ in range(10):
+            checker.step(stim(0))
+        assert report.transparent and checker.clean
+
+
+class TestGatedClock:
+    def _stim(self, seed=42):
+        rng = random.Random(seed)
+        return lambda cyc: {"en": rng.randint(0, 1)}
+
+    def test_aux_circuit_keeps_coherency_ce_toggling(self):
+        stim = self._stim()
+        design, engine, checker = build(lib.gated_counter(4), stim)
+        for _ in range(6):
+            checker.step(stim(0))
+        report = engine.relocate("b1")
+        for _ in range(24):
+            checker.step(stim(0))
+        assert report.transparent and checker.clean
+
+    def test_aux_circuit_with_ce_held_low(self):
+        design, engine, checker = build(
+            lib.gated_counter(3), lambda c: {"en": 0}
+        )
+        # Build real state first, then freeze CE.
+        for _ in range(5):
+            checker.step({"en": 1})
+        for _ in range(2):
+            checker.step({"en": 0})
+        report = engine.relocate("b2")
+        for _ in range(5):
+            checker.step({"en": 0})
+        for _ in range(10):
+            checker.step({"en": 1})
+        assert report.transparent and checker.clean
+
+    def test_naive_copy_fails_with_ce_low(self):
+        design, engine, checker = build(
+            lib.gated_counter(3), lambda c: {"en": 0}
+        )
+        for _ in range(3):
+            checker.step({"en": 1})
+        report = engine.relocate("b1", use_aux=False)
+        for _ in range(5):
+            checker.step({"en": 1})
+        assert not report.transparent or checker.mismatches
+
+    def test_naive_copy_succeeds_with_ce_high(self):
+        design, engine, checker = build(
+            lib.gated_counter(3), lambda c: {"en": 1}
+        )
+        for _ in range(3):
+            checker.step({"en": 1})
+        report = engine.relocate("b1", use_aux=False)
+        for _ in range(10):
+            checker.step({"en": 1})
+        assert report.transparent and checker.clean
+
+    def test_aux_clb_freed_afterwards(self):
+        design, engine, checker = build(lib.gated_counter(3), self._stim())
+        report = engine.relocate("b0")
+        assert report.aux is not None
+        assert design.fabric.clb(report.aux).is_free
+
+    def test_aux_steps_present_in_trace(self):
+        design, engine, checker = build(lib.gated_counter(3), self._stim())
+        report = engine.relocate("b0")
+        kinds = [t.step.kind for t in report.steps]
+        assert StepKind.CONNECT_AUX in kinds
+        assert StepKind.ACTIVATE_CONTROLS in kinds
+        assert kinds.index(StepKind.WAIT_CAPTURE) < kinds.index(
+            StepKind.PARALLEL_OUTPUTS
+        )
+
+
+class TestLatch:
+    def test_transparent_relocation(self):
+        rng = random.Random(9)
+        stim = lambda cyc: {"din": rng.randint(0, 1), "g": rng.randint(0, 1)}
+        design, engine, checker = build(lib.latch_pipeline(3), stim)
+        for _ in range(5):
+            checker.step(stim(0))
+        report = engine.relocate("l1")
+        for _ in range(20):
+            checker.step(stim(0))
+        assert report.transparent and checker.clean
+
+
+class TestVetoes:
+    def test_unknown_cell(self):
+        design, engine, checker = build(lib.counter(2))
+        with pytest.raises(RelocationVeto):
+            engine.relocate("nonexistent")
+
+    def test_occupied_destination(self):
+        design, engine, checker = build(lib.counter(4))
+        dst = design.site_of("b1")
+        with pytest.raises(RelocationVeto, match="occupied"):
+            engine.relocate("b0", dst)
+
+    def test_lut_ram_column_veto(self):
+        design, engine, checker = build(lib.counter(4))
+        # Park a LUT/RAM in the destination column.
+        ram_site = CellCoord(25, design.region.col, 0)
+        design.fabric.place_cell(
+            ram_site, LogicCellConfig(mode=CellMode.LUT_RAM)
+        )
+        dst = CellCoord(10, design.region.col, 3)
+        with pytest.raises(RelocationVeto, match="LUT/RAM"):
+            engine.relocate("b0", dst)
+
+    def test_bad_cycles_per_step(self):
+        design, _, __ = build(lib.counter(2))
+        sim = CycleSimulator(design.circuit)
+        with pytest.raises(ValueError):
+            RelocationEngine(design, sim, cycles_per_config_step=0)
+
+
+class TestItc99Campaign:
+    def test_b01_full_campaign_gated(self):
+        """Relocate several cells of an ITC'99-class circuit (half its
+        flip-flops gated) under random stimulus — the paper's experiment
+        in miniature."""
+        circuit = generate("b01", seed=3, gated_fraction=0.5)
+        rng = random.Random(1)
+        stim = lambda cyc: {pi: rng.randint(0, 1) for pi in circuit.inputs}
+        fabric = Fabric(device("XCV200"))
+        design = place(circuit, fabric, owner=1)
+        engine, checker = make_lockstep_engine(design, stimulus=stim)
+        for _ in range(10):
+            checker.step(stim(0))
+        moved = 0
+        for name, cell in list(circuit.cells.items()):
+            if cell.sequential and moved < 5:
+                engine.relocate(name)
+                moved += 1
+        for _ in range(30):
+            checker.step(stim(0))
+        assert moved == 5
+        assert checker.clean

@@ -1,0 +1,162 @@
+"""Fine-grained tests of relocation engine internals and reports."""
+
+import random
+
+import pytest
+
+from repro.core.cost import CostModel, CostParameters
+from repro.core.procedure import RelocationVeto, StepKind
+from repro.core.relocation import (
+    RelocationEngine,
+    make_lockstep_engine,
+)
+from repro.device.clb import CellMode
+from repro.device.devices import device, synthetic_device
+from repro.device.fabric import Fabric
+from repro.device.geometry import CellCoord, ClbCoord
+from repro.netlist import library as lib
+from repro.netlist.simulator import CycleSimulator
+from repro.netlist.synth import place
+
+
+def build(circuit, stimulus=None, **engine_kwargs):
+    fabric = Fabric(device("XCV200"))
+    design = place(circuit, fabric, owner=1)
+    engine, checker = make_lockstep_engine(design, stimulus=stimulus)
+    return design, engine, checker
+
+
+class TestReports:
+    def test_step_traces_cover_plan(self):
+        design, engine, checker = build(lib.counter(4))
+        report = engine.relocate("b0")
+        kinds = [t.step.kind for t in report.steps]
+        assert kinds[0] is StepKind.COPY_CONFIG
+        assert kinds[-1] is StepKind.DISCONNECT_ORIG_INPUTS
+        # Cycles advance monotonically through the trace.
+        starts = [t.start_cycle for t in report.steps]
+        assert starts == sorted(starts)
+
+    def test_wait_steps_cost_no_frames(self):
+        design, engine, checker = build(lib.counter(4))
+        report = engine.relocate("b0")
+        for trace in report.steps:
+            if trace.step.is_wait:
+                assert trace.frames == 0
+                assert trace.seconds == 0.0
+            else:
+                assert trace.frames > 0
+
+    def test_report_str_mentions_sites(self):
+        design, engine, checker = build(lib.counter(4))
+        report = engine.relocate("b0", CellCoord(9, 9, 1))
+        text = str(report)
+        assert "R9C9.1" in text
+        assert "transparent" in text
+
+    def test_total_seconds_sums_steps(self):
+        design, engine, checker = build(lib.counter(4))
+        report = engine.relocate("b1")
+        assert report.total_seconds == pytest.approx(
+            sum(t.seconds for t in report.steps)
+        )
+
+    def test_custom_cost_model_respected(self):
+        fabric = Fabric(device("XCV200"))
+        design = place(lib.counter(4), fabric, owner=1)
+        fast = CostModel(
+            device("XCV200"), CostParameters(granularity="frame")
+        )
+        sim = CycleSimulator(design.circuit)
+        engine = RelocationEngine(design, sim, cost_model=fast)
+        report = engine.relocate("b0")
+        assert report.total_seconds < 0.01  # frame granularity is cheap
+
+
+class TestDestinationSelection:
+    def test_find_destination_prefers_nearby(self):
+        design, engine, checker = build(lib.counter(4))
+        src = design.site_of("b0")
+        dst = engine.find_destination("b0")
+        assert dst.clb.manhattan(src.clb) <= 1
+
+    def test_find_destination_respects_max_distance(self):
+        # Fill the whole array so nothing is free.
+        fabric = Fabric(synthetic_device(2, 2))
+        from repro.device.clb import LogicCellConfig
+
+        design = place(lib.toggle(), fabric, owner=1)
+        for r in range(2):
+            for c in range(2):
+                clb = fabric.clb(ClbCoord(r, c))
+                for k in clb.free_cell_indices():
+                    clb.place_cell(k, LogicCellConfig())
+        sim = CycleSimulator(design.circuit)
+        engine = RelocationEngine(design, sim)
+        with pytest.raises(RelocationVeto, match="no free cell"):
+            engine.find_destination("q", max_distance=1)
+
+    def test_explicit_destination_wins(self):
+        design, engine, checker = build(lib.counter(4))
+        target = CellCoord(20, 30, 2)
+        report = engine.relocate("b2", target)
+        assert report.dst == target
+
+
+class TestStimulusPlumbing:
+    def test_stimulus_called_with_cycle_number(self):
+        seen = []
+
+        def stim(cycle):
+            seen.append(cycle)
+            return {}
+
+        design, engine, checker = build(lib.counter(4), stimulus=stim)
+        report = engine.relocate("b0")
+        assert seen == sorted(seen)
+        # One stimulus call per advanced cycle of the procedure.
+        assert len(seen) == report.total_cycles
+
+    def test_lockstep_feeds_both_simulators(self):
+        rng = random.Random(0)
+        stim = lambda cyc: {"en": rng.randint(0, 1)}
+        design, engine, checker = build(lib.gated_counter(3), stimulus=stim)
+        engine.relocate("b0")
+        assert checker.dut.cycle == checker.golden.cycle
+
+
+class TestNetlistCleanliness:
+    def test_no_replica_residue_after_relocation(self):
+        design, engine, checker = build(lib.gated_counter(3),
+                                        stimulus=lambda c: {"en": 1})
+        names_before = set(design.circuit.cells)
+        engine.relocate("b1")
+        names_after = set(design.circuit.cells)
+        assert names_before == names_after  # replica fully recomposed
+        assert not any("~" in n for n in names_after)
+
+    def test_no_parallel_groups_left(self):
+        design, engine, checker = build(lib.counter(4))
+        engine.relocate("b2")
+        assert design.circuit.parallel_drivers == {}
+
+    def test_circuit_validates_after_each_relocation(self):
+        design, engine, checker = build(lib.counter(4))
+        for name in ("b0", "b1", "c2"):
+            engine.relocate(name)
+            design.circuit.validate()
+
+    def test_placement_matches_fabric_occupied_cells(self):
+        design, engine, checker = build(lib.counter(8))
+        engine.relocate("b3")
+        engine.relocate("b5")
+        for name, site in design.placement.items():
+            assert design.fabric.cell_config(site).used, name
+
+    def test_state_registry_has_no_orphans(self):
+        design, engine, checker = build(lib.gated_counter(3),
+                                        stimulus=lambda c: {"en": 1})
+        engine.relocate("b0")
+        sim = checker.dut
+        for name in sim.state:
+            assert name in design.circuit.cells

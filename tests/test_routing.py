@@ -1,0 +1,135 @@
+"""Unit tests for the routing graph and router."""
+
+import pytest
+
+from repro.device.devices import device, synthetic_device
+from repro.device.geometry import ClbCoord
+from repro.device.routing import (
+    RoutePath,
+    RoutingError,
+    RoutingGraph,
+    SEGMENT_DELAY_NS,
+    Segment,
+    WireKind,
+    path_channels,
+)
+
+
+@pytest.fixture
+def graph():
+    return RoutingGraph(device("XCV200"))
+
+
+class TestTopology:
+    def test_bounds(self, graph):
+        assert graph.in_bounds(ClbCoord(0, 0))
+        assert graph.in_bounds(ClbCoord(27, 41))
+        assert not graph.in_bounds(ClbCoord(28, 0))
+        assert not graph.in_bounds(ClbCoord(0, -1))
+
+    def test_neighbours_include_hex_jumps(self, graph):
+        kinds = {k for _, k in graph.neighbours(ClbCoord(10, 20))}
+        assert kinds == {WireKind.SINGLE, WireKind.HEX}
+
+    def test_corner_has_fewer_neighbours(self, graph):
+        corner = len(graph.neighbours(ClbCoord(0, 0)))
+        middle = len(graph.neighbours(ClbCoord(14, 20)))
+        assert corner < middle
+
+
+class TestRouting:
+    def test_route_reaches_sink(self, graph):
+        path = graph.route(ClbCoord(0, 0), ClbCoord(5, 5))
+        assert path.is_contiguous()
+        assert path.source == ClbCoord(0, 0)
+        assert path.sink == ClbCoord(5, 5)
+
+    def test_trivial_route(self, graph):
+        path = graph.route(ClbCoord(3, 3), ClbCoord(3, 3))
+        assert path.segments == []
+        assert path.delay_ns == 0.0
+
+    def test_long_route_uses_hex_lines(self, graph):
+        path = graph.route(ClbCoord(0, 0), ClbCoord(24, 36))
+        kinds = {s.kind for s in path.segments}
+        assert WireKind.HEX in kinds
+
+    def test_delay_is_sum_of_segments(self, graph):
+        path = graph.route(ClbCoord(0, 0), ClbCoord(0, 7))
+        assert path.delay_ns == pytest.approx(
+            sum(SEGMENT_DELAY_NS[s.kind] for s in path.segments)
+        )
+
+    def test_out_of_bounds_rejected(self, graph):
+        with pytest.raises(RoutingError):
+            graph.route(ClbCoord(0, 0), ClbCoord(99, 0))
+
+    def test_avoid_set_respected(self, graph):
+        first = graph.route(ClbCoord(2, 2), ClbCoord(2, 8))
+        avoid = path_channels(first)
+        second = graph.route(ClbCoord(2, 2), ClbCoord(2, 8), avoid=avoid)
+        assert not (path_channels(second) & avoid)
+
+    def test_columns_cover_span(self, graph):
+        path = graph.route(ClbCoord(0, 3), ClbCoord(0, 9))
+        assert path.columns() >= {3, 9}
+
+
+class TestCapacity:
+    def test_allocate_then_release_roundtrip(self, graph):
+        path = graph.route_and_allocate(ClbCoord(0, 0), ClbCoord(4, 4))
+        assert graph.total_wires_used() == len(path.segments)
+        graph.release(path)
+        assert graph.total_wires_used() == 0
+
+    def test_release_unallocated_rejected(self, graph):
+        path = graph.route(ClbCoord(0, 0), ClbCoord(1, 0))
+        with pytest.raises(RoutingError):
+            graph.release(path)
+
+    def test_channel_exhaustion(self):
+        # A 1x2 device has exactly one single channel (each direction).
+        tiny = RoutingGraph(
+            synthetic_device(1, 2),
+            capacity={WireKind.SINGLE: 2, WireKind.HEX: 0},
+        )
+        a, b = ClbCoord(0, 0), ClbCoord(0, 1)
+        tiny.route_and_allocate(a, b)
+        tiny.route_and_allocate(a, b)
+        with pytest.raises(RoutingError):
+            tiny.route_and_allocate(a, b)
+
+    def test_router_avoids_full_channels(self):
+        graph = RoutingGraph(
+            synthetic_device(3, 3),
+            capacity={WireKind.SINGLE: 1, WireKind.HEX: 0},
+        )
+        a, b = ClbCoord(1, 0), ClbCoord(1, 2)
+        first = graph.route_and_allocate(a, b)
+        second = graph.route_and_allocate(a, b)
+        assert not (path_channels(first) & path_channels(second))
+
+    def test_free_wires_accounting(self, graph):
+        a, b = ClbCoord(0, 0), ClbCoord(0, 1)
+        before = graph.free_wires(a, b, WireKind.SINGLE)
+        graph.allocate(RoutePath(a, b, [Segment(a, b, WireKind.SINGLE)]))
+        assert graph.free_wires(a, b, WireKind.SINGLE) == before - 1
+
+    def test_allocate_noncontiguous_rejected(self, graph):
+        bogus = RoutePath(
+            ClbCoord(0, 0),
+            ClbCoord(0, 2),
+            [Segment(ClbCoord(0, 1), ClbCoord(0, 2), WireKind.SINGLE)],
+        )
+        with pytest.raises(RoutingError):
+            graph.allocate(bogus)
+
+
+class TestSegment:
+    def test_columns_of_horizontal_hex(self):
+        seg = Segment(ClbCoord(0, 2), ClbCoord(0, 8), WireKind.HEX)
+        assert list(seg.columns()) == [2, 3, 4, 5, 6, 7, 8]
+
+    def test_columns_of_vertical_single(self):
+        seg = Segment(ClbCoord(1, 4), ClbCoord(2, 4), WireKind.SINGLE)
+        assert list(seg.columns()) == [4]

@@ -1,0 +1,112 @@
+"""Unit tests for task/application models and workloads."""
+
+import pytest
+
+from repro.device.devices import device
+from repro.sched.tasks import (
+    ApplicationRun,
+    ApplicationSpec,
+    FunctionRun,
+    FunctionSpec,
+    Task,
+)
+from repro.sched.workload import (
+    fig1_applications,
+    random_tasks,
+    uniform_requests,
+)
+
+
+class TestTask:
+    def test_area(self):
+        t = Task(1, 3, 5, 1.0, arrival=0.0)
+        assert t.area == 15
+
+    def test_waiting_and_turnaround(self):
+        t = Task(1, 2, 2, 1.0, arrival=10.0)
+        assert t.waiting_seconds == float("inf")
+        t.started_at = 12.5
+        t.finished_at = 13.5
+        assert t.waiting_seconds == 2.5
+        assert t.turnaround_seconds == 3.5
+
+
+class TestApplicationSpec:
+    def test_totals(self):
+        app = ApplicationSpec(
+            "X",
+            [FunctionSpec("X1", 2, 3, 1.0), FunctionSpec("X2", 4, 5, 2.0)],
+        )
+        assert app.total_area == 26
+        assert app.total_exec_seconds == 3.0
+
+    def test_function_run_prefetched(self):
+        run = FunctionRun("X", FunctionSpec("X1", 1, 1, 1.0))
+        run.configured_at = 1.0
+        run.started_at = 2.0
+        assert run.prefetched
+        run.configured_at = 3.0
+        assert not run.prefetched
+
+    def test_application_run_stall(self):
+        spec = ApplicationSpec("X", [FunctionSpec("X1", 1, 1, 2.0)])
+        record = ApplicationRun(spec)
+        record.runs.append(FunctionRun("X", spec.functions[0]))
+        record.runs[0].started_at = 0.0
+        record.runs[0].finished_at = 2.0
+        record.finished_at = 2.0
+        assert record.makespan == 2.0
+        assert record.stall_seconds == 0.0
+
+
+class TestRandomTasks:
+    def test_deterministic_per_seed(self):
+        a = random_tasks(10, seed=4)
+        b = random_tasks(10, seed=4)
+        assert [(t.height, t.width, t.arrival) for t in a] == [
+            (t.height, t.width, t.arrival) for t in b
+        ]
+
+    def test_arrivals_monotonic(self):
+        tasks = random_tasks(50, seed=1)
+        arrivals = [t.arrival for t in tasks]
+        assert arrivals == sorted(arrivals)
+
+    def test_sizes_in_range(self):
+        for t in random_tasks(100, seed=2, size_range=(3, 7)):
+            assert 3 <= t.height <= 7
+            assert 3 <= t.width <= 7
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            random_tasks(-1)
+        with pytest.raises(ValueError):
+            random_tasks(1, size_range=(0, 4))
+
+
+class TestFig1Applications:
+    def test_three_applications(self):
+        apps = fig1_applications(device("XCV200"))
+        assert [a.name for a in apps] == ["A", "B", "C"]
+        assert len(apps[2].functions) == 4
+
+    def test_total_demand_exceeds_device(self):
+        # The virtual-hardware premise: total area demand > 100 %.
+        dev = device("XCV200")
+        apps = fig1_applications(dev)
+        total = sum(a.total_area for a in apps)
+        assert total > dev.clb_count
+
+    def test_each_function_fits_device(self):
+        dev = device("XCV200")
+        for app in fig1_applications(dev):
+            for fn in app.functions:
+                assert fn.height <= dev.clb_rows
+                assert fn.width <= dev.clb_cols
+
+
+class TestUniformRequests:
+    def test_shape_and_determinism(self):
+        a = uniform_requests(20, seed=1)
+        assert len(a) == 20
+        assert a == uniform_requests(20, seed=1)

@@ -1,0 +1,172 @@
+"""Unit tests for the cycle simulator (including drive conflicts)."""
+
+import pytest
+
+from repro.device.clb import CellMode
+from repro.netlist import library as lib
+from repro.netlist.cells import Cell, LUT_AND2, LUT_BUF, LUT_NOT, LUT_XOR2
+from repro.netlist.circuit import Circuit, NetlistError
+from repro.netlist.simulator import (
+    CycleSimulator,
+    LockstepChecker,
+    SimulationError,
+)
+
+
+class TestCombinational:
+    def test_majority_voter(self):
+        sim = CycleSimulator(lib.majority_voter())
+        cases = {
+            (0, 0, 0): 0, (1, 0, 0): 0, (1, 1, 0): 1,
+            (1, 0, 1): 1, (1, 1, 1): 1, (0, 1, 1): 1,
+        }
+        for (a, b, c), want in cases.items():
+            out = sim.step({"a": a, "b": b, "c": c})
+            assert out["vote"] == want, (a, b, c)
+
+    def test_inputs_hold_between_steps(self):
+        sim = CycleSimulator(lib.majority_voter())
+        sim.step({"a": 1, "b": 1, "c": 0})
+        out = sim.step({})  # no changes: inputs registered
+        assert out["vote"] == 1
+
+    def test_unknown_input_rejected(self):
+        sim = CycleSimulator(lib.majority_voter())
+        with pytest.raises(NetlistError):
+            sim.step({"zz": 1})
+
+
+class TestSequential:
+    def test_counter_counts(self):
+        sim = CycleSimulator(lib.counter(4))
+        values = [lib.counter_value(sim.step()) for _ in range(17)]
+        assert values == list(range(1, 16)) + [0, 1]
+
+    def test_gated_counter_respects_ce(self):
+        sim = CycleSimulator(lib.gated_counter(3))
+        assert lib.counter_value(sim.step({"en": 0})) == 0
+        assert lib.counter_value(sim.step({"en": 1})) == 1
+        assert lib.counter_value(sim.step({"en": 0})) == 1
+        assert lib.counter_value(sim.step({"en": 1})) == 2
+
+    def test_lfsr_period_15(self):
+        sim = CycleSimulator(lib.lfsr4())
+        start = dict(sim.state)
+        for _ in range(15):
+            sim.step()
+        assert dict(sim.state) == start
+
+    def test_shift_register_latency(self):
+        sim = CycleSimulator(lib.shift_register(3))
+        outs = [sim.step({"din": 1 if i == 0 else 0})["s2"] for i in range(5)]
+        assert outs == [0, 0, 1, 0, 0]
+
+    def test_seed_state(self):
+        sim = CycleSimulator(lib.counter(4))
+        sim.seed_state("b3", 1)
+        assert lib.counter_value(sim.outputs()) == 8
+
+    def test_cell_state_unknown_rejected(self):
+        sim = CycleSimulator(lib.counter(2))
+        with pytest.raises(NetlistError):
+            sim.cell_state("not_a_cell")
+
+
+class TestLatches:
+    def test_transparent_when_gate_high(self):
+        sim = CycleSimulator(lib.latch_pipeline(2))
+        out = sim.step({"din": 1, "g": 1})
+        assert out["l1"] == 1
+
+    def test_holds_when_gate_low(self):
+        sim = CycleSimulator(lib.latch_pipeline(1))
+        sim.step({"din": 1, "g": 1})
+        out = sim.step({"din": 0, "g": 0})
+        assert out["l0"] == 1  # held
+
+    def test_oscillating_latch_loop_detected(self):
+        c = Circuit("osc")
+        c.add_input("g")
+        c.add_cell(Cell("n", LUT_NOT, ("l",)))
+        c.add_cell(
+            Cell("l", LUT_BUF, ("n",), mode=CellMode.LATCH, ce="g")
+        )
+        c.set_outputs(["l"])
+        sim = CycleSimulator(c)
+        with pytest.raises(SimulationError, match="settle"):
+            sim.step({"g": 1})
+
+
+class TestParallelDriverConflicts:
+    def _paralleled(self, same: bool) -> CycleSimulator:
+        c = Circuit("p")
+        c.add_input("a")
+        c.add_cell(Cell("d1", LUT_BUF, ("a",)))
+        table = LUT_BUF if same else LUT_NOT
+        c.add_cell(Cell("d2", table, ("a",)))
+        c.set_outputs(["d1"])
+        c.add_parallel_driver("d1", "d2")
+        return CycleSimulator(c)
+
+    def test_agreeing_drivers_no_conflict(self):
+        sim = self._paralleled(same=True)
+        sim.step({"a": 1})
+        sim.step({"a": 0})
+        assert sim.conflicts == []
+
+    def test_disagreeing_drivers_flagged(self):
+        sim = self._paralleled(same=False)
+        sim.step({"a": 1})
+        assert sim.conflicts
+        conflict = sim.conflicts[0]
+        assert conflict.net == "d1"
+        assert dict(conflict.values)["d1"] != dict(conflict.values)["d2"]
+
+    def test_strict_mode_raises(self):
+        c = Circuit("p")
+        c.add_input("a")
+        c.add_cell(Cell("d1", LUT_BUF, ("a",)))
+        c.add_cell(Cell("d2", LUT_NOT, ("a",)))
+        c.set_outputs(["d1"])
+        c.add_parallel_driver("d1", "d2")
+        # With inputs at 0, BUF=0 and NOT=1 disagree immediately: strict
+        # mode raises as soon as the conflict is observable.
+        with pytest.raises(SimulationError, match="conflict"):
+            sim = CycleSimulator(c, strict=True)
+            sim.step({"a": 1})
+
+    def test_net_value_follows_primary(self):
+        sim = self._paralleled(same=False)
+        out = sim.step({"a": 1})
+        assert out["d1"] == 1  # primary driver d1 is a buffer
+
+
+class TestLockstep:
+    def test_identical_circuits_stay_clean(self):
+        a = lib.counter(4)
+        checker = LockstepChecker(CycleSimulator(a), CycleSimulator(a.clone()))
+        for _ in range(20):
+            checker.step()
+        assert checker.clean
+
+    def test_divergence_detected(self):
+        dut = CycleSimulator(lib.counter(3))
+        golden = CycleSimulator(lib.counter(3))
+        dut.seed_state("b0", 1)  # corrupt the DUT
+        checker = LockstepChecker(dut, golden)
+        checker.step()
+        assert not checker.clean
+        assert checker.mismatches
+
+    def test_output_mismatch_rejected_at_build(self):
+        a = CycleSimulator(lib.counter(2))
+        b = CycleSimulator(lib.counter(3))
+        with pytest.raises(NetlistError):
+            LockstepChecker(a, b)
+
+    def test_run_and_snapshot(self):
+        sim = CycleSimulator(lib.counter(3))
+        trace = sim.run([{} for _ in range(3)])
+        assert len(trace) == 3
+        snap = sim.snapshot()
+        assert set(snap) == {"b0", "b1", "b2"}

@@ -1,0 +1,132 @@
+"""Unit tests for packing, placement and mapped designs."""
+
+import pytest
+
+from repro.device.fabric import Fabric
+from repro.device.devices import device, synthetic_device
+from repro.device.geometry import CELLS_PER_CLB, ClbCoord
+from repro.netlist import library as lib
+from repro.netlist.itc99 import generate
+from repro.netlist.synth import MappingError, footprint_shape, pack, place
+
+
+@pytest.fixture
+def fabric():
+    return Fabric(device("XCV200"))
+
+
+class TestPack:
+    def test_clusters_cover_all_cells(self):
+        circuit = lib.counter(8)
+        clusters = pack(circuit)
+        names = [n for cluster in clusters for n in cluster]
+        assert sorted(names) == sorted(circuit.cells)
+
+    def test_cluster_size_bound(self):
+        for cluster in pack(generate("b03", seed=1)):
+            assert 1 <= len(cluster) <= CELLS_PER_CLB
+
+    def test_connected_cells_cluster_together(self):
+        # A 2-cell circuit must land in one cluster.
+        circuit = lib.toggle()
+        circuit.add_input("x")
+        clusters = pack(circuit)
+        assert len(clusters) == 1
+
+
+class TestFootprintShape:
+    def test_near_square(self):
+        h, w = footprint_shape(9, 100, 100)
+        assert h * w >= 9
+        assert abs(h - w) <= 1
+
+    def test_respects_device_limits(self):
+        h, w = footprint_shape(100, 5, 100)
+        assert h <= 5 and h * w >= 100
+
+    def test_impossible_rejected(self):
+        with pytest.raises(MappingError):
+            footprint_shape(100, 3, 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(MappingError):
+            footprint_shape(0, 5, 5)
+
+
+class TestPlace:
+    def test_all_cells_placed_in_region(self, fabric):
+        circuit = generate("b01", seed=1)
+        design = place(circuit, fabric, owner=1)
+        assert set(design.placement) == set(circuit.cells)
+        for site in design.placement.values():
+            assert design.region.contains(site.clb)
+
+    def test_no_two_cells_share_site(self, fabric):
+        design = place(generate("b03", seed=1), fabric, owner=1)
+        sites = list(design.placement.values())
+        assert len(sites) == len(set(sites))
+
+    def test_region_allocated(self, fabric):
+        design = place(lib.counter(8), fabric, owner=5)
+        assert fabric.occupant(ClbCoord(design.region.row, design.region.col)) == 5
+
+    def test_origin_respected(self, fabric):
+        design = place(
+            lib.counter(8), fabric, owner=1, origin=ClbCoord(10, 10)
+        )
+        assert design.region.row == 10 and design.region.col == 10
+
+    def test_occupied_origin_rejected(self, fabric):
+        fabric.allocate_region(
+            __import__("repro.device.geometry", fromlist=["Rect"]).Rect(10, 10, 3, 3), 9
+        )
+        with pytest.raises(MappingError):
+            place(lib.counter(8), fabric, owner=1, origin=ClbCoord(10, 10))
+
+    def test_too_large_for_device(self):
+        tiny = Fabric(synthetic_device(2, 2))
+        with pytest.raises(MappingError):
+            place(generate("b03", seed=1), tiny, owner=1)
+
+    def test_second_design_avoids_first(self, fabric):
+        d1 = place(lib.counter(8), fabric, owner=1)
+        d2 = place(lib.counter(8), fabric, owner=2)
+        assert not d1.region.overlaps(d2.region)
+
+
+class TestRouting:
+    def test_route_all_allocates(self, fabric):
+        design = place(generate("b01", seed=1), fabric, owner=1)
+        count = design.route_all()
+        assert count == len(design.routes)
+        assert fabric.routing.total_wires_used() > 0
+        design.unroute_all()
+        assert fabric.routing.total_wires_used() == 0
+
+    def test_intra_clb_connections_not_routed(self, fabric):
+        design = place(lib.toggle(), fabric, owner=1)
+        assert design.route_all() == 0
+
+
+class TestMappedDesignQueries:
+    def test_site_of_unknown_rejected(self, fabric):
+        design = place(lib.counter(4), fabric, owner=1)
+        with pytest.raises(MappingError):
+            design.site_of("nope")
+
+    def test_signal_columns_cover_connected_cells(self, fabric):
+        design = place(generate("b01", seed=1), fabric, owner=1)
+        cell = next(iter(design.circuit.cells))
+        cols = design.signal_columns(cell)
+        assert design.site_of(cell).col in cols
+
+    def test_connected_cells_symmetric(self, fabric):
+        design = place(lib.counter(4), fabric, owner=1)
+        assert "b1" in design.connected_cells("c2")
+        assert "c2" in design.connected_cells("b1")
+
+    def test_remove_from_fabric(self, fabric):
+        design = place(lib.counter(4), fabric, owner=1, route=True)
+        design.remove_from_fabric()
+        assert fabric.utilization() == 0.0
+        assert fabric.routing.total_wires_used() == 0

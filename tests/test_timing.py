@@ -1,0 +1,109 @@
+"""Unit tests for the parallel-path timing analysis (Fig. 6)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netlist.timing import (
+    Transition,
+    Waveform,
+    merge_parallel_paths,
+    square_wave,
+)
+
+
+class TestWaveform:
+    def test_value_at(self):
+        w = Waveform(0, [Transition(10.0, 1), Transition(20.0, 0)])
+        assert w.value_at(5.0) == 0
+        assert w.value_at(10.0) == 1
+        assert w.value_at(15.0) == 1
+        assert w.value_at(25.0) == 0
+
+    def test_redundant_transitions_dropped(self):
+        w = Waveform(0, [Transition(1.0, 0), Transition(2.0, 1),
+                         Transition(3.0, 1)])
+        assert len(w) == 1
+
+    def test_delayed_shifts_edges(self):
+        w = Waveform(0, [Transition(10.0, 1)])
+        d = w.delayed(5.0)
+        assert d.value_at(12.0) == 0
+        assert d.value_at(15.0) == 1
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Waveform(0).delayed(-1.0)
+
+    def test_unsorted_transitions_normalised(self):
+        w = Waveform(0, [Transition(20.0, 0), Transition(10.0, 1)])
+        assert w.value_at(15.0) == 1
+
+
+class TestSquareWave:
+    def test_edges_and_period(self):
+        w = square_wave(period=10.0, edges=4)
+        assert w.edge_times() == [5.0, 10.0, 15.0, 20.0]
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            square_wave(period=0, edges=2)
+
+
+class TestMergeParallelPaths:
+    def test_equal_delays_no_fuzz(self):
+        src = square_wave(period=10.0, edges=6)
+        report = merge_parallel_paths(src, 2.0, 2.0)
+        assert report.total_fuzz == 0.0
+        assert report.fuzz_intervals == []
+
+    def test_fuzz_equals_delay_mismatch_per_edge(self):
+        src = square_wave(period=100.0, edges=4)
+        report = merge_parallel_paths(src, 2.0, 5.0)
+        # Each source edge contributes |5-2| = 3 time units of fuzz.
+        assert report.fuzz_per_edge == pytest.approx(3.0)
+        assert len(report.fuzz_intervals) == 4
+        assert report.total_fuzz == pytest.approx(12.0)
+
+    def test_effective_delay_is_longer_path(self):
+        # "The propagation delay associated to the parallel
+        # interconnections shall be the longer of the two paths."
+        src = square_wave(period=100.0, edges=2)
+        report = merge_parallel_paths(src, 7.0, 3.0)
+        assert report.effective_delay == 7.0
+
+    def test_sink_settles_to_source_value(self):
+        src = Waveform(0, [Transition(10.0, 1)])
+        report = merge_parallel_paths(src, 1.0, 4.0)
+        sink = report.sink_waveform
+        assert sink.value_at(20.0) == 1
+        assert sink.value_at(10.5) == 0  # before either arrival
+
+    def test_max_safe_clock(self):
+        src = square_wave(period=100.0, edges=2)
+        report = merge_parallel_paths(src, 4.0, 6.0)
+        assert report.max_safe_clock_hz(setup=4.0) == pytest.approx(0.1)
+
+    def test_no_edges_no_fuzz(self):
+        report = merge_parallel_paths(Waveform(1), 1.0, 9.0)
+        assert report.total_fuzz == 0.0
+        assert report.sink_waveform.value_at(0.0) == 1
+
+    @given(
+        st.floats(0.1, 10.0), st.floats(0.1, 10.0),
+        st.integers(1, 8),
+    )
+    def test_fuzz_total_formula(self, d1, d2, edges):
+        # With edges spaced far apart, total fuzz = edges * |d1 - d2|.
+        src = square_wave(period=1000.0, edges=edges)
+        report = merge_parallel_paths(src, d1, d2)
+        assert report.total_fuzz == pytest.approx(
+            edges * abs(d1 - d2), rel=1e-9, abs=1e-9
+        )
+
+    @given(st.floats(0.1, 50.0), st.floats(0.1, 50.0))
+    def test_effective_delay_max_property(self, d1, d2):
+        src = square_wave(period=1000.0, edges=2)
+        report = merge_parallel_paths(src, d1, d2)
+        assert report.effective_delay == max(d1, d2)

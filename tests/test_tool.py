@@ -1,0 +1,117 @@
+"""Unit tests for the rearrangement & programming tool (Fig. 7)."""
+
+import pytest
+
+from repro.device.clb import CellMode
+from repro.device.devices import device
+from repro.device.geometry import ClbCoord
+from repro.core.tool import RearrangementTool, RelocationJob, main
+
+
+@pytest.fixture
+def tool():
+    return RearrangementTool(device("XCV200"))
+
+
+class TestJobInputs:
+    def test_coordinates_single_hop(self, tool):
+        jobs = tool.jobs_from_coordinates(ClbCoord(3, 3), ClbCoord(5, 6))
+        assert len(jobs) == 1
+        assert jobs[0].src == ClbCoord(3, 3)
+        assert jobs[0].dst == ClbCoord(5, 6)
+
+    def test_long_moves_staged(self, tool):
+        # "The relocation of a complete function may take place in
+        # several stages" — hops bounded by max_hop_columns.
+        jobs = tool.jobs_from_coordinates(ClbCoord(0, 0), ClbCoord(0, 30))
+        assert len(jobs) > 1
+        for job in jobs:
+            assert abs(job.dst.col - job.src.col) <= tool.max_hop_columns
+        assert jobs[-1].dst == ClbCoord(0, 30)
+
+    def test_identity_move_is_empty(self, tool):
+        assert tool.jobs_from_coordinates(ClbCoord(2, 2), ClbCoord(2, 2)) == []
+
+    def test_out_of_bounds_rejected(self, tool):
+        with pytest.raises(ValueError):
+            tool.jobs_from_coordinates(ClbCoord(0, 0), ClbCoord(0, 99))
+
+    def test_placement_diff(self, tool):
+        current = {1: ClbCoord(0, 0), 2: ClbCoord(5, 5), 3: ClbCoord(9, 9)}
+        target = {1: ClbCoord(0, 2), 2: ClbCoord(5, 5), 3: ClbCoord(9, 12)}
+        jobs = tool.jobs_from_placements(current, target)
+        # CLB 2 does not move; 1 and 3 do; shortest distance first.
+        assert len(jobs) == 2
+        assert jobs[0].src.manhattan(jobs[0].dst) <= jobs[1].src.manhattan(
+            jobs[1].dst
+        )
+
+
+class TestGeneration:
+    def test_files_generated_per_config_step(self, tool):
+        job = RelocationJob(ClbCoord(3, 3), ClbCoord(3, 4))
+        generated = tool.generate(job)
+        # The gated-clock flow has 11 configuration steps (13 minus 2 waits).
+        assert len(generated.files) == 11
+        assert generated.total_words > 0
+
+    def test_combinational_fewer_files(self, tool):
+        job = RelocationJob(
+            ClbCoord(3, 3), ClbCoord(3, 4), CellMode.COMBINATIONAL
+        )
+        generated = tool.generate(job)
+        assert len(generated.files) == 5
+
+    def test_generate_all(self, tool):
+        jobs = tool.jobs_from_coordinates(ClbCoord(0, 0), ClbCoord(0, 20))
+        generated = tool.generate_all(jobs)
+        assert len(generated) == len(jobs)
+
+
+class TestExecution:
+    def test_execute_reports_time(self, tool):
+        jobs = tool.jobs_from_coordinates(ClbCoord(1, 1), ClbCoord(1, 2))
+        report = tool.execute(tool.generate_all(jobs))
+        assert report.loads == 11
+        assert not report.recovered
+        # A nearby gated-clock CLB relocation: tens of milliseconds.
+        assert 0.010 < report.seconds < 0.060
+
+    def test_recovery_on_injected_failure(self, tool):
+        jobs = tool.jobs_from_coordinates(ClbCoord(1, 1), ClbCoord(1, 2))
+        generated = tool.generate_all(jobs)
+        snapshot = tool.memory.snapshot()
+        report = tool.execute(generated, inject_failure_at=3)
+        assert report.recovered
+        # "Enabling system recovery in case of failure": memory restored.
+        assert tool.memory.snapshot() == snapshot
+
+    def test_manual_recovery_copy(self, tool):
+        before = tool.memory.snapshot()
+        jobs = tool.jobs_from_coordinates(ClbCoord(0, 0), ClbCoord(0, 1))
+        tool.execute(tool.generate_all(jobs))
+        tool.restore_recovery_copy()
+        # Recovery copy was refreshed after the successful run, so the
+        # memory matches the post-execution state, not `before`.
+        assert tool.memory.snapshot() is not before
+
+
+class TestCli:
+    def test_cli_runs(self, capsys):
+        code = main(["--src", "3,3", "--dst", "5,8", "--mode", "ff-gated-clock"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "XCV200" in out
+        assert "total load time" in out
+
+    def test_cli_rejects_bad_coords(self):
+        with pytest.raises(SystemExit):
+            main(["--src", "0,0", "--dst", "0,999"])
+
+    def test_cli_other_device(self, capsys):
+        code = main(
+            ["--device", "XCV50", "--src", "0,0", "--dst", "1,1",
+             "--mode", "combinational"]
+        )
+        assert code == 0
+        assert "XCV50" in capsys.readouterr().out
