@@ -1,0 +1,50 @@
+"""Experiment-campaign engine: declarative parameter sweeps, run in
+parallel, aggregated into policy comparisons.
+
+The paper's evaluation — and the policy-matrix studies around it —
+compare rearrangement policies across devices, workloads and seeds.
+This package makes that a first-class, repeatable operation:
+
+* :mod:`repro.campaign.spec` — :class:`ScenarioSpec` (one pinned run)
+  and :class:`CampaignSpec` (a grid of axes expanded deterministically);
+* :mod:`repro.campaign.runner` — ``run_scenario(spec) -> ScenarioResult``,
+  the uniform entry point over both schedulers, and ``run_campaign``
+  which fans a grid out over a ``multiprocessing`` pool;
+* :mod:`repro.campaign.aggregate` — :class:`CampaignResult` with summary
+  tables, policy-vs-policy comparisons and CSV/JSON export;
+* :mod:`repro.campaign.cli` — the ``python -m repro.campaign`` command.
+
+Scenario execution is a pure function of the spec (per-run seeded RNG),
+so identical grids give identical results in serial and parallel modes.
+"""
+
+from .aggregate import CampaignResult, SUMMARY_METRICS
+from .runner import (
+    ScenarioResult,
+    build_manager,
+    default_jobs,
+    run_campaign,
+    run_scenario,
+)
+from .spec import (
+    POLICY_NAMES,
+    PORT_KINDS,
+    CampaignSpec,
+    ScenarioSpec,
+    normalize_params,
+)
+
+__all__ = [
+    "CampaignResult",
+    "CampaignSpec",
+    "POLICY_NAMES",
+    "PORT_KINDS",
+    "SUMMARY_METRICS",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "build_manager",
+    "default_jobs",
+    "normalize_params",
+    "run_campaign",
+    "run_scenario",
+]

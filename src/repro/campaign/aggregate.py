@@ -1,0 +1,155 @@
+"""Aggregation of campaign results: tables, exports, policy duels.
+
+The campaign runner returns one :class:`~repro.campaign.runner.ScenarioResult`
+per grid point; this module folds them for consumption through
+:mod:`repro.analysis`:
+
+* :meth:`CampaignResult.summary_table` — mean metrics grouped over
+  seeds, one row per (device, workload, policy) cell, rendered with the
+  shared ASCII :class:`~repro.analysis.reporting.Table`;
+* :meth:`CampaignResult.policy_table` — policy-vs-policy comparison of
+  one metric across the grid (the defrag-study shape: NONE vs HALT vs
+  CONCURRENT side by side);
+* :meth:`CampaignResult.to_csv` / :meth:`CampaignResult.to_json` — flat
+  per-run exports for external tooling.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.reporting import Table
+from repro.analysis.stats import mean
+
+from .runner import ScenarioResult
+
+#: Metrics shown per group in the summary table.
+SUMMARY_METRICS = (
+    "finished", "rejected", "mean_waiting", "mean_turnaround",
+    "halted_seconds", "rearrangements", "mean_fragmentation",
+)
+
+
+def _group_key(result: ScenarioResult) -> tuple[str, str, str, str, str]:
+    """Aggregation cell of one result: every axis except the seed, so
+    only seeds are ever averaged together."""
+    spec = result.spec
+    return (spec.device, spec.workload, spec.fit, spec.port_kind,
+            spec.policy)
+
+
+@dataclass
+class CampaignResult:
+    """All results of one campaign, with aggregation helpers."""
+
+    results: list[ScenarioResult]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def rows(self) -> list[dict]:
+        """Flat per-run dicts (spec axes + metric columns)."""
+        return [r.to_row() for r in self.results]
+
+    def groups(self) -> dict[
+        tuple[str, str, str, str, str], list[ScenarioResult]
+    ]:
+        """Results bucketed by (device, workload, fit, port, policy),
+        seeds pooled.
+
+        Group order follows first appearance in the run list, which the
+        deterministic grid expansion fixes.
+        """
+        out: dict[
+            tuple[str, str, str, str, str], list[ScenarioResult]
+        ] = {}
+        for result in self.results:
+            out.setdefault(_group_key(result), []).append(result)
+        return out
+
+    def group_means(
+        self, metric: str
+    ) -> dict[tuple[str, str, str, str, str], float]:
+        """Per-group mean of one metric column."""
+        if metric not in ScenarioResult.METRIC_FIELDS:
+            raise KeyError(
+                f"unknown metric {metric!r}; choose from "
+                f"{ScenarioResult.METRIC_FIELDS}"
+            )
+        return {
+            key: mean([getattr(r, metric) for r in results])
+            for key, results in self.groups().items()
+        }
+
+    def summary_table(self) -> Table:
+        """Mean metrics per (device, workload, fit, port, policy) cell."""
+        table = Table(
+            f"campaign summary ({len(self.results)} runs)",
+            ["device", "workload", "fit", "port", "policy", "seeds"]
+            + [m for m in SUMMARY_METRICS],
+        )
+        groups = self.groups()
+        for (device, workload, fit, port, policy), results in groups.items():
+            cells: list[object] = [
+                device, workload, fit, port, policy, len(results)
+            ]
+            for metric in SUMMARY_METRICS:
+                cells.append(mean([getattr(r, metric) for r in results]))
+            table.add(*cells)
+        return table
+
+    def policy_table(self, metric: str = "mean_waiting") -> Table:
+        """Policies side by side: one column per policy, one row per
+        (device, workload, fit, port) cell, cells are seed-averaged
+        ``metric``.
+
+        This is the paper's defrag-study comparison generalized to the
+        whole grid: read across a row to see what each rearrangement
+        policy buys on that device/workload combination.
+        """
+        means = self.group_means(metric)
+        policies: list[str] = []
+        cells: dict[tuple[str, str, str, str], dict[str, float]] = {}
+        for (device, workload, fit, port, policy), value in means.items():
+            if policy not in policies:
+                policies.append(policy)
+            cells.setdefault(
+                (device, workload, fit, port), {}
+            )[policy] = value
+        table = Table(
+            f"policy comparison — {metric}",
+            ["device", "workload", "fit", "port"] + policies,
+        )
+        for (device, workload, fit, port), by_policy in cells.items():
+            table.add(
+                device, workload, fit, port,
+                *[by_policy.get(p, float("nan")) for p in policies],
+            )
+        return table
+
+    def to_csv(self, path: str | Path) -> Path:
+        """Write one CSV row per run; returns the path written."""
+        path = Path(path)
+        rows = self.rows()
+        if not rows:
+            raise ValueError("no results to export")
+        with path.open("w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=list(rows[0]))
+            writer.writeheader()
+            writer.writerows(rows)
+        return path
+
+    def to_json(self, path: str | Path) -> Path:
+        """Write the full result list (spec + metrics) as JSON."""
+        path = Path(path)
+        payload = [
+            {"spec": r.spec.to_dict(),
+             "metrics": {m: getattr(r, m)
+                         for m in ScenarioResult.METRIC_FIELDS}}
+            for r in self.results
+        ]
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        return path

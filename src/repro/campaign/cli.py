@@ -1,0 +1,148 @@
+"""``python -m repro.campaign`` — run a parameter-sweep campaign.
+
+The default grid is the acceptance scenario of the campaign engine:
+2 devices x 3 rearrangement policies x 2 workloads x 2 seeds = 24 runs,
+executed in parallel, summarized per cell and compared policy against
+policy.  Every axis is overridable::
+
+    python -m repro.campaign                          # default 24-run grid
+    python -m repro.campaign --devices XCV200 --seeds 0 1 2 3
+    python -m repro.campaign --workloads random heavy-tail --jobs 2
+    python -m repro.campaign --csv out.csv --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.sched.workload import WORKLOADS
+
+from .aggregate import CampaignResult
+from .runner import ScenarioResult, default_jobs, run_campaign
+from .spec import POLICY_NAMES, PORT_KINDS, CampaignSpec
+
+#: Small parts keep the default grid fast while still exercising
+#: rearrangement (both are real Spartan-II entries of the device table).
+DEFAULT_DEVICES = ("XC2S15", "XC2S30")
+DEFAULT_WORKLOADS = ("random", "bursty")
+DEFAULT_SEEDS = (0, 1)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The campaign CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign",
+        description="Parallel parameter-sweep campaigns over the "
+                    "run-time logic-space manager.",
+    )
+    grid = parser.add_argument_group("grid axes")
+    grid.add_argument("--devices", nargs="+", default=list(DEFAULT_DEVICES),
+                      metavar="NAME", help="device names (see repro.device)")
+    grid.add_argument("--policies", nargs="+", default=list(POLICY_NAMES),
+                      choices=POLICY_NAMES, metavar="POLICY",
+                      help=f"rearrangement policies {POLICY_NAMES}")
+    grid.add_argument("--workloads", nargs="+",
+                      default=list(DEFAULT_WORKLOADS),
+                      choices=sorted(WORKLOADS), metavar="NAME",
+                      help=f"workload families {sorted(WORKLOADS)}")
+    grid.add_argument("--seeds", nargs="+", type=int,
+                      default=list(DEFAULT_SEEDS), metavar="N",
+                      help="RNG seeds (one run per seed per cell)")
+    grid.add_argument("--fits", nargs="+", default=["first"],
+                      choices=("first", "best", "bottom-left"),
+                      metavar="FIT", help="placement fit strategies")
+    grid.add_argument("--ports", nargs="+", default=["boundary-scan"],
+                      choices=PORT_KINDS, metavar="PORT",
+                      help="configuration-port kinds")
+    size = parser.add_argument_group("workload sizing")
+    size.add_argument("--tasks", type=int, default=30, metavar="N",
+                      help="tasks per run for task-stream workloads")
+    size.add_argument("--apps", type=int, default=3, metavar="N",
+                      help="applications per run for chain workloads")
+    execution = parser.add_argument_group("execution")
+    execution.add_argument("--jobs", type=int, default=None, metavar="N",
+                           help="worker processes (default: min(8, cores); "
+                                "1 = serial)")
+    execution.add_argument("--metric", default="mean_waiting",
+                           choices=ScenarioResult.METRIC_FIELDS,
+                           help="metric for the policy-comparison table")
+    execution.add_argument("--csv", metavar="PATH",
+                           help="write per-run results as CSV")
+    execution.add_argument("--json", metavar="PATH",
+                           help="write per-run results as JSON")
+    execution.add_argument("--quiet", action="store_true",
+                           help="suppress tables (exports still written)")
+    return parser
+
+
+def campaign_from_args(args: argparse.Namespace) -> CampaignSpec:
+    """Translate parsed CLI arguments into a :class:`CampaignSpec`."""
+    params: dict[str, dict] = {}
+    for name in args.workloads:
+        family = WORKLOADS[name]
+        if family.size_param:
+            size = args.tasks if family.kind == "tasks" else args.apps
+            params[name] = {family.size_param: size}
+        # families without a size_param (fig1) are fixed scenarios.
+    return CampaignSpec(
+        devices=args.devices,
+        policies=args.policies,
+        workloads=args.workloads,
+        seeds=args.seeds,
+        fits=args.fits,
+        port_kinds=args.ports,
+        workload_params=params,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    campaign = campaign_from_args(args)
+    try:
+        specs = campaign.expand()
+    except (KeyError, ValueError) as exc:
+        # Unknown device/axis values surface here; argparse choices
+        # catch the rest.
+        print(f"error: {exc.args[0] if exc.args else exc}",
+              file=sys.stderr)
+        return 2
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    if not args.quiet:
+        print(
+            f"campaign: {len(specs)} runs "
+            f"({len(args.devices)} devices x {len(args.policies)} policies "
+            f"x {len(args.workloads)} workloads x {len(args.seeds)} seeds"
+            + (f" x {len(args.fits)} fits" if len(args.fits) > 1 else "")
+            + (f" x {len(args.ports)} ports" if len(args.ports) > 1 else "")
+            + f"), {jobs} worker(s)"
+        )
+    started = time.perf_counter()
+    results = CampaignResult(run_campaign(specs, jobs=jobs))
+    elapsed = time.perf_counter() - started
+    if not args.quiet:
+        results.summary_table().show()
+        results.policy_table(args.metric).show()
+        sim_seconds = sum(r.wall_seconds for r in results.results)
+        print(
+            f"\n{len(results)} runs in {elapsed:.2f} s wall "
+            f"({sim_seconds:.2f} s of scenario compute"
+            + (f", {sim_seconds / elapsed:.1f}x parallel speedup"
+               if elapsed > 0 else "")
+            + ")"
+        )
+    try:
+        if args.csv:
+            print(f"wrote {results.to_csv(args.csv)}")
+        if args.json:
+            print(f"wrote {results.to_json(args.json)}")
+    except OSError as exc:
+        print(f"error: cannot write results: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,156 @@
+"""Scenario execution: one uniform entry point, serial or parallel.
+
+:func:`run_scenario` is the single API behind which both schedulers
+(:class:`~repro.sched.scheduler.OnlineTaskScheduler` and
+:class:`~repro.sched.scheduler.ApplicationFlowScheduler`) sit: it builds
+the device, fabric, cost model and manager from a
+:class:`~repro.campaign.spec.ScenarioSpec`, generates the seeded
+workload, runs the simulation and folds the outcome into a flat,
+picklable :class:`ScenarioResult`.
+
+:func:`run_campaign` maps that function over a grid — in-process when
+``jobs <= 1``, over a ``multiprocessing`` pool otherwise.  Scenario
+execution is a pure function of the spec (all randomness flows from the
+per-run seed), so the parallel result list is identical, entry by entry,
+to the serial one.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.core.cost import CostModel
+from repro.core.manager import LogicSpaceManager
+from repro.device.devices import device as device_by_name
+from repro.device.fabric import Fabric
+from repro.sched.scheduler import (
+    ApplicationFlowScheduler,
+    OnlineTaskScheduler,
+    ScheduleMetrics,
+)
+from repro.sched.workload import make_workload
+
+from .spec import ScenarioSpec
+
+
+@dataclass
+class ScenarioResult:
+    """Flat, typed record of one scenario run.
+
+    Everything :mod:`repro.analysis` and the aggregator consume is a
+    scalar here; ``wall_seconds`` is measurement noise and is excluded
+    from equality so determinism checks compare science, not clocks.
+    """
+
+    spec: ScenarioSpec
+    finished: int = 0
+    rejected: int = 0
+    mean_waiting: float = 0.0
+    mean_turnaround: float = 0.0
+    halted_seconds: float = 0.0
+    port_busy_seconds: float = 0.0
+    makespan: float = 0.0
+    rearrangements: int = 0
+    moves: int = 0
+    mean_fragmentation: float = 0.0
+    mean_utilization: float = 0.0
+    stall_seconds: float = 0.0
+    prefetched_fraction: float = 0.0
+    wall_seconds: float = field(default=0.0, compare=False)
+
+    #: result columns exported to CSV/JSON (order fixed for stability).
+    METRIC_FIELDS = (
+        "finished", "rejected", "mean_waiting", "mean_turnaround",
+        "halted_seconds", "port_busy_seconds", "makespan",
+        "rearrangements", "moves", "mean_fragmentation",
+        "mean_utilization", "stall_seconds", "prefetched_fraction",
+        "wall_seconds",
+    )
+
+    def to_row(self) -> dict:
+        """One flat dict: spec axes first, then every metric column."""
+        row = self.spec.to_dict()
+        row.pop("workload_params")
+        for name in self.METRIC_FIELDS:
+            row[name] = getattr(self, name)
+        return row
+
+
+def _from_metrics(spec: ScenarioSpec, metrics: ScheduleMetrics,
+                  wall_seconds: float) -> ScenarioResult:
+    """Fold a scheduler's ScheduleMetrics into a ScenarioResult."""
+    return ScenarioResult(
+        spec=spec,
+        finished=metrics.finished,
+        rejected=metrics.rejected,
+        mean_waiting=metrics.mean_waiting,
+        mean_turnaround=metrics.mean_turnaround,
+        halted_seconds=metrics.halted_seconds,
+        port_busy_seconds=metrics.port_busy_seconds,
+        makespan=metrics.makespan,
+        rearrangements=metrics.rearrangements,
+        moves=metrics.moves,
+        mean_fragmentation=metrics.mean_fragmentation,
+        mean_utilization=metrics.mean_utilization,
+        stall_seconds=metrics.stall_seconds,
+        prefetched_fraction=metrics.prefetched_fraction,
+        wall_seconds=wall_seconds,
+    )
+
+
+def build_manager(spec: ScenarioSpec) -> LogicSpaceManager:
+    """Construct the logic-space manager a spec describes."""
+    dev = device_by_name(spec.device)
+    return LogicSpaceManager(
+        Fabric(dev),
+        cost_model=CostModel(dev, port_kind=spec.port_kind),
+        policy=spec.rearrange_policy,
+        fit=spec.fit,
+    )
+
+
+def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    """Execute one scenario end to end; pure in the spec.
+
+    Dispatches on the workload family's kind: independent-task streams
+    run under the FIFO :class:`OnlineTaskScheduler`, application chains
+    under the prefetching :class:`ApplicationFlowScheduler`.
+    """
+    started = time.perf_counter()
+    manager = build_manager(spec)
+    dev = manager.fabric.device
+    payload = make_workload(spec.workload, dev, spec.seed, **spec.params())
+    if spec.scheduler_kind == "tasks":
+        metrics = OnlineTaskScheduler(manager).run(payload)
+    else:
+        scheduler = ApplicationFlowScheduler(manager)
+        scheduler.run(payload)
+        metrics = scheduler.metrics
+    return _from_metrics(spec, metrics, time.perf_counter() - started)
+
+
+def default_jobs() -> int:
+    """Worker count used when the caller does not pin one."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+def run_campaign(
+    specs: list[ScenarioSpec],
+    jobs: int | None = None,
+) -> list[ScenarioResult]:
+    """Run every scenario; results align index-for-index with ``specs``.
+
+    ``jobs`` <= 1 runs in-process; otherwise a ``multiprocessing`` pool
+    of that many workers executes scenarios concurrently.  Because
+    :func:`run_scenario` is deterministic per spec, the two modes return
+    equal results (up to the compare-excluded wall clock).
+    """
+    if jobs is None:
+        jobs = default_jobs()
+    if jobs <= 1 or len(specs) <= 1:
+        return [run_scenario(spec) for spec in specs]
+    with multiprocessing.Pool(processes=min(jobs, len(specs))) as pool:
+        return pool.map(run_scenario, specs)

@@ -1,0 +1,149 @@
+"""Declarative experiment specifications and grid expansion.
+
+A campaign is a cartesian grid over the experiment axes the paper's
+evaluation (and the related policy-matrix studies: floor-plan
+prediction, strip packing with delays) sweep:
+
+    device x rearrange policy x fit x port x workload x seed
+
+:class:`ScenarioSpec` pins one point of that grid; :class:`CampaignSpec`
+holds the axes and expands them into a deterministic run list.  Specs
+are plain picklable data so the runner can ship them to worker
+processes unchanged.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.core.manager import RearrangePolicy
+from repro.device.devices import device as device_by_name
+from repro.placement.fit import fitter
+from repro.sched.workload import get_workload as workload_by_name
+
+#: Valid rearrangement policy names (the RearrangePolicy values).
+POLICY_NAMES = tuple(p.value for p in RearrangePolicy)
+#: Valid configuration-port kinds (see repro.core.cost.CostModel).
+PORT_KINDS = ("boundary-scan", "selectmap")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully pinned experiment scenario.
+
+    All fields are primitive (strings, ints, a params tuple) so the spec
+    pickles cheaply, hashes, and round-trips through JSON.  Workload
+    parameters are stored as a sorted tuple of ``(key, value)`` pairs;
+    use :meth:`params` for the dict form.
+    """
+
+    device: str
+    policy: str
+    workload: str
+    seed: int
+    fit: str = "first"
+    port_kind: str = "boundary-scan"
+    workload_params: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        device_by_name(self.device)  # raises KeyError when unknown
+        if self.policy not in POLICY_NAMES:
+            raise ValueError(
+                f"unknown policy {self.policy!r}; choose from {POLICY_NAMES}"
+            )
+        if self.port_kind not in PORT_KINDS:
+            raise ValueError(
+                f"unknown port {self.port_kind!r}; choose from {PORT_KINDS}"
+            )
+        fitter(self.fit)  # raises on unknown strategy
+        workload_by_name(self.workload)  # raises on unknown workload
+
+    @property
+    def scheduler_kind(self) -> str:
+        """``"tasks"`` or ``"apps"`` — derived from the workload family."""
+        return workload_by_name(self.workload).kind
+
+    @property
+    def rearrange_policy(self) -> RearrangePolicy:
+        """The enum value behind :attr:`policy`."""
+        return RearrangePolicy(self.policy)
+
+    def params(self) -> dict:
+        """Workload parameters as a dict."""
+        return dict(self.workload_params)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {
+            "device": self.device,
+            "policy": self.policy,
+            "workload": self.workload,
+            "seed": self.seed,
+            "fit": self.fit,
+            "port_kind": self.port_kind,
+            "workload_params": self.params(),
+        }
+
+
+def normalize_params(params: dict | None) -> tuple[tuple[str, object], ...]:
+    """Canonical (sorted, hashable) form of a workload-parameter dict."""
+    if not params:
+        return ()
+    return tuple(sorted(params.items()))
+
+
+@dataclass
+class CampaignSpec:
+    """The axes of a sweep; :meth:`expand` yields the run grid.
+
+    Axis order in the expansion is fixed (device, policy, fit, port,
+    workload, seed) so a campaign's run list — and therefore its result
+    ordering — is deterministic for a given spec.
+    """
+
+    devices: list[str] = field(default_factory=lambda: ["XCV200"])
+    policies: list[str] = field(default_factory=lambda: list(POLICY_NAMES))
+    workloads: list[str] = field(default_factory=lambda: ["random"])
+    seeds: list[int] = field(default_factory=lambda: [0])
+    fits: list[str] = field(default_factory=lambda: ["first"])
+    port_kinds: list[str] = field(default_factory=lambda: ["boundary-scan"])
+    #: per-workload generator parameters, keyed by workload name,
+    #: e.g. ``{"random": {"n": 30}, "codec-swap": {"n_apps": 4}}``.
+    workload_params: dict[str, dict] = field(default_factory=dict)
+
+    def expand(self) -> list[ScenarioSpec]:
+        """The cartesian product of the axes, in deterministic order."""
+        return [
+            ScenarioSpec(
+                device=dev,
+                policy=pol,
+                workload=wl,
+                seed=seed,
+                fit=fit,
+                port_kind=port,
+                workload_params=normalize_params(
+                    self.workload_params.get(wl)
+                ),
+            )
+            for dev, pol, fit, port, wl, seed in itertools.product(
+                self.devices,
+                self.policies,
+                self.fits,
+                self.port_kinds,
+                self.workloads,
+                self.seeds,
+            )
+        ]
+
+    @property
+    def size(self) -> int:
+        """Number of runs the grid expands to."""
+        return (
+            len(self.devices)
+            * len(self.policies)
+            * len(self.fits)
+            * len(self.port_kinds)
+            * len(self.workloads)
+            * len(self.seeds)
+        )

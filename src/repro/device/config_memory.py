@@ -94,6 +94,7 @@ class WriteStats:
     transactions: int = 0
 
     def copy(self) -> "WriteStats":
+        """An independent snapshot of the counters."""
         return WriteStats(self.frames_written, self.frames_read, self.transactions)
 
     def __sub__(self, other: "WriteStats") -> "WriteStats":

@@ -6,6 +6,7 @@ from .scheduler import (
     ApplicationFlowScheduler,
     OnlineTaskScheduler,
     ScheduleMetrics,
+    summarize_application_runs,
 )
 from .tasks import (
     ApplicationRun,
@@ -15,10 +16,24 @@ from .tasks import (
     Task,
     TaskState,
 )
-from .workload import fig1_applications, random_tasks, uniform_requests
+from .workload import (
+    WORKLOADS,
+    WorkloadSpec,
+    bursty_tasks,
+    codec_swap_applications,
+    fig1_applications,
+    heavy_tail_tasks,
+    make_workload,
+    random_tasks,
+    register_workload,
+    get_workload,
+    uniform_requests,
+)
 
 __all__ = [
     "ApplicationFlowScheduler",
+    "WORKLOADS",
+    "WorkloadSpec",
     "ApplicationRun",
     "ApplicationSpec",
     "EventHandle",
@@ -30,7 +45,14 @@ __all__ = [
     "SequentialResource",
     "Task",
     "TaskState",
+    "bursty_tasks",
+    "codec_swap_applications",
     "fig1_applications",
+    "heavy_tail_tasks",
+    "make_workload",
     "random_tasks",
+    "register_workload",
+    "summarize_application_runs",
+    "get_workload",
     "uniform_requests",
 ]

@@ -51,6 +51,11 @@ class ScheduleMetrics:
     moves: int = 0
     fragmentation_samples: list[float] = field(default_factory=list)
     utilization_samples: list[float] = field(default_factory=list)
+    #: application-flow extras (zero for independent-task runs):
+    #: reconfiguration-induced stall and prefetch success counts.
+    stall_seconds: float = 0.0
+    prefetched_functions: int = 0
+    total_functions: int = 0
 
     @property
     def mean_waiting(self) -> float:
@@ -69,6 +74,81 @@ class ScheduleMetrics:
             if self.fragmentation_samples
             else 0.0
         )
+
+    @property
+    def mean_turnaround(self) -> float:
+        """Mean task turnaround time (0 when nothing finished)."""
+        return (
+            sum(self.turnaround_seconds) / len(self.turnaround_seconds)
+            if self.turnaround_seconds
+            else 0.0
+        )
+
+    @property
+    def mean_utilization(self) -> float:
+        """Mean sampled site occupancy."""
+        return (
+            sum(self.utilization_samples) / len(self.utilization_samples)
+            if self.utilization_samples
+            else 0.0
+        )
+
+    @property
+    def prefetched_fraction(self) -> float:
+        """Fraction of functions whose configuration was fully hidden
+        (0.0 for runs with no function chains at all, i.e. the
+        independent-task experiments, which never prefetch)."""
+        if self.total_functions == 0:
+            return 0.0
+        return self.prefetched_functions / self.total_functions
+
+
+def summarize_application_runs(
+    runs: list[ApplicationRun],
+    makespan: float = 0.0,
+    port_busy_seconds: float = 0.0,
+) -> ScheduleMetrics:
+    """Fold :class:`ApplicationRun` records into :class:`ScheduleMetrics`.
+
+    This gives the application-flow experiment the same result shape as
+    the independent-task experiment, so the campaign engine
+    (:mod:`repro.campaign`) can aggregate both uniformly: ``finished``
+    counts completed applications, ``turnaround_seconds`` holds per-app
+    completion times, ``stall_seconds`` sums the reconfiguration-induced
+    delay.  :meth:`ApplicationFlowScheduler.run` launches every
+    application at t = 0, so an application's absolute finish time *is*
+    its turnaround — measured from launch, not from its first function's
+    start, so time spent stalled waiting for the first placement counts
+    too (``ApplicationRun.makespan`` would exclude it).
+    """
+    out = ScheduleMetrics(
+        makespan=makespan, port_busy_seconds=port_busy_seconds
+    )
+    for record in runs:
+        if record.finished_at is not None:
+            out.finished += 1
+            out.turnaround_seconds.append(record.finished_at)
+            out.stall_seconds += max(
+                0.0, record.finished_at - record.spec.total_exec_seconds
+            )
+        else:
+            out.rejected += 1
+        out.total_functions += len(record.runs)
+        out.prefetched_functions += sum(
+            1 for r in record.runs if r.prefetched
+        )
+    return out
+
+
+def _extend_finish(events: EventQueue, handle: EventHandle,
+                   seconds: float, action) -> EventHandle:
+    """Push a finish event ``seconds`` later — the HALT-policy penalty.
+
+    Shared by both schedulers so the cancel/reschedule arithmetic cannot
+    drift between them."""
+    new_handle = events.at(handle.time + seconds, action)
+    handle.cancel()
+    return new_handle
 
 
 class OnlineTaskScheduler:
@@ -162,10 +242,9 @@ class OnlineTaskScheduler:
             moved_task, handle = entry
             moved_task.halted_seconds += execution.seconds
             self.metrics.halted_seconds += execution.seconds
-            new_time = handle.time + execution.seconds
-            handle.cancel()
-            new_handle = self.events.at(
-                new_time, lambda t=moved_task: self._on_finish(t)
+            new_handle = _extend_finish(
+                self.events, handle, execution.seconds,
+                lambda t=moved_task: self._on_finish(t),
             )
             self.running[owner] = (moved_task, new_handle)
 
@@ -198,16 +277,37 @@ class ApplicationFlowScheduler:
         self.prefetch = prefetch
         self.events = EventQueue()
         self.port = SequentialResource(self.events)
+        self.metrics = ScheduleMetrics()
         self._owner_seq = 1000
         self._stalled: deque[tuple["_AppState", int]] = deque()
+        #: owner -> (state, index, finish handle) of executing functions,
+        #: so HALT-policy moves can push their finish events out.
+        self._running: dict[
+            int, tuple["_AppState", int, EventHandle]
+        ] = {}
 
     def run(self, apps: list[ApplicationSpec]) -> list[ApplicationRun]:
-        """Run every application to completion; returns their records."""
+        """Run every application to completion; returns their records.
+
+        The uniform summary of the run is left in :attr:`metrics`
+        (finished applications, per-app makespans as turnaround, stall
+        and prefetch counts) for the campaign engine.
+        """
         states = [_AppState(ApplicationRun(app)) for app in apps]
         for state in states:
             self.events.at(0.0, lambda s=state: self._start_function(s, 0))
         self.events.run()
-        return [s.record for s in states]
+        runs = [s.record for s in states]
+        summary = summarize_application_runs(
+            runs,
+            makespan=self.events.now,
+            port_busy_seconds=self.port.busy_seconds,
+        )
+        summary.rearrangements = self.metrics.rearrangements
+        summary.moves = self.metrics.moves
+        summary.halted_seconds = self.metrics.halted_seconds
+        self.metrics = summary
+        return runs
 
     # -- internals ----------------------------------------------------------
 
@@ -232,12 +332,16 @@ class ApplicationFlowScheduler:
         run = state.record.runs[index]
         run.started_at = self.events.now
         spec = state.record.spec.functions[index]
+        # Register as running *before* prefetching: the successor's
+        # placement may trigger a rearrangement that moves this very
+        # function, and under HALT that move must find it executing.
+        handle = self.events.after(
+            spec.exec_seconds, lambda: self._finish_function(state, index)
+        )
+        self._running[state.owners[index]] = (state, index, handle)
         # Prefetch the successor during the reconfiguration interval rt.
         if self.prefetch and index + 1 < len(state.record.spec.functions):
             self._place_function(state, index + 1)
-        self.events.after(
-            spec.exec_seconds, lambda: self._finish_function(state, index)
-        )
 
     def _place_function(self, state: "_AppState", index: int) -> bool:
         """Try to place + configure function ``index`` right now."""
@@ -249,16 +353,39 @@ class ApplicationFlowScheduler:
         outcome = self.manager.request(spec.height, spec.width, owner)
         if not outcome.success:
             return False
+        if outcome.moves:
+            self.metrics.rearrangements += 1
+            self.metrics.moves += len(outcome.moves)
+            self._apply_halts(outcome)
         __, config_done = self.port.acquire(outcome.total_port_seconds)
         run.rect = outcome.rect
         run.configured_at = config_done
         state.owners[index] = owner
         return True
 
+    def _apply_halts(self, outcome: PlacementOutcome) -> None:
+        """Under the HALT policy, a moved *executing* function is
+        stopped for its move span: push its finish event out by that
+        time (prefetched-but-idle functions move for free either way)."""
+        for execution in outcome.moves:
+            if not execution.halted:
+                continue
+            entry = self._running.get(execution.move.owner)
+            if entry is None:
+                continue
+            state, index, handle = entry
+            self.metrics.halted_seconds += execution.seconds
+            new_handle = _extend_finish(
+                self.events, handle, execution.seconds,
+                lambda s=state, i=index: self._finish_function(s, i),
+            )
+            self._running[execution.move.owner] = (state, index, new_handle)
+
     def _finish_function(self, state: "_AppState", index: int) -> None:
         run = state.record.runs[index]
         run.finished_at = self.events.now
         owner = state.owners.pop(index)
+        self._running.pop(owner, None)
         self.manager.release(owner)
         self._retry_stalled()
         if index + 1 < len(state.record.spec.functions):

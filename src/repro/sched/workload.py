@@ -3,16 +3,31 @@
 * :func:`random_tasks` — the Diessel-style on-line stream used by the
   defragmentation study: Poisson arrivals, uniform rectangle sizes,
   uniform service times (reference [5] evaluates on exactly this shape).
+* :func:`bursty_tasks` — arrivals grouped into bursts separated by idle
+  gaps, the worst case for fragmentation: several functions compete for
+  contiguous space at once.
+* :func:`heavy_tail_tasks` — Pareto-distributed service times: a few
+  long-lived functions pin regions while many short ones churn around
+  them, the regime where rearrangement pays off most.
 * :func:`fig1_applications` — the three applications of Fig. 1 (A with
   two functions, B with two, C with four) sized so their combined area
   demand exceeds 100 % of the device — the virtual-hardware premise that
   "a set of applications, which in total require far more than 100% of
   the FPGA available resources" can share one part.
+* :func:`codec_swap_applications` — randomized codec-swap-style function
+  chains (the paper's communication/video/audio context-switch example),
+  scaled to a device.
+
+Every generator is deterministic per seed.  The :data:`WORKLOADS`
+registry maps generator names to factories so the campaign engine
+(:mod:`repro.campaign`) can reference workloads declaratively.
 """
 
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
+from typing import Callable
 
 from repro.device.devices import VirtexDevice
 
@@ -95,6 +110,131 @@ def fig1_applications(device: VirtexDevice,
     return [app_a, app_b, app_c]
 
 
+def bursty_tasks(
+    n: int,
+    seed: int = 0,
+    burst_size: int = 4,
+    mean_gap: float = 2.0,
+    size_range: tuple[int, int] = (3, 10),
+    exec_range: tuple[float, float] = (0.2, 2.0),
+    max_wait: float | None = None,
+) -> list[Task]:
+    """An on-line stream of ``n`` tasks arriving in bursts.
+
+    Bursts of 1..``burst_size`` tasks (uniform) arrive together after an
+    exponential idle gap of mean ``mean_gap`` seconds.  Simultaneous
+    arrivals make contiguous space scarce exactly when several requests
+    race for it — the fragmentation stress case.  Deterministic per seed.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if burst_size < 1:
+        raise ValueError("burst_size must be positive")
+    lo, hi = size_range
+    if lo < 1 or hi < lo:
+        raise ValueError("invalid size_range")
+    rng = random.Random(seed)
+    tasks: list[Task] = []
+    now = 0.0
+    while len(tasks) < n:
+        now += rng.expovariate(1.0 / mean_gap)
+        for _ in range(min(rng.randint(1, burst_size), n - len(tasks))):
+            tasks.append(
+                Task(
+                    task_id=len(tasks) + 1,
+                    height=rng.randint(lo, hi),
+                    width=rng.randint(lo, hi),
+                    exec_seconds=rng.uniform(*exec_range),
+                    arrival=now,
+                    max_wait=max_wait,
+                )
+            )
+    return tasks
+
+
+def heavy_tail_tasks(
+    n: int,
+    seed: int = 0,
+    mean_interarrival: float = 0.05,
+    size_range: tuple[int, int] = (3, 10),
+    exec_min: float = 0.2,
+    alpha: float = 1.5,
+    exec_cap: float = 50.0,
+    max_wait: float | None = None,
+) -> list[Task]:
+    """An on-line stream with Pareto(``alpha``) service times.
+
+    Execution times are ``exec_min * Pareto(alpha)``, capped at
+    ``exec_cap``: most tasks are short, a few occupy their region for a
+    long time and anchor the fragmentation the rearrangement policies
+    must work around.  Arrivals and sizes follow :func:`random_tasks`.
+    Deterministic per seed.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    lo, hi = size_range
+    if lo < 1 or hi < lo:
+        raise ValueError("invalid size_range")
+    rng = random.Random(seed)
+    tasks: list[Task] = []
+    now = 0.0
+    for i in range(n):
+        now += rng.expovariate(1.0 / mean_interarrival)
+        tasks.append(
+            Task(
+                task_id=i + 1,
+                height=rng.randint(lo, hi),
+                width=rng.randint(lo, hi),
+                exec_seconds=min(exec_min * rng.paretovariate(alpha), exec_cap),
+                arrival=now,
+                max_wait=max_wait,
+            )
+        )
+    return tasks
+
+
+def codec_swap_applications(
+    device: VirtexDevice,
+    n_apps: int = 3,
+    seed: int = 0,
+    chain_range: tuple[int, int] = (2, 4),
+    frac_range: tuple[float, float] = (0.35, 0.55),
+    exec_range: tuple[float, float] = (0.3, 0.8),
+) -> list[ApplicationSpec]:
+    """Randomized codec-swap-style application chains, scaled to ``device``.
+
+    Each of the ``n_apps`` applications is a sequential chain of
+    2..``chain_range[1]`` functions whose footprints are uniform
+    fractions (``frac_range``) of the CLB array per side — sized like the
+    paper's coding/decoding context-switch example, so that total demand
+    comfortably exceeds the device while the resident set fits.
+    Deterministic per seed.
+    """
+    if n_apps < 1:
+        raise ValueError("n_apps must be positive")
+    lo, hi = chain_range
+    if lo < 1 or hi < lo:
+        raise ValueError("invalid chain_range")
+    rng = random.Random(seed)
+    rows, cols = device.clb_rows, device.clb_cols
+    apps: list[ApplicationSpec] = []
+    for a in range(n_apps):
+        name = chr(ord("A") + a % 26)
+        functions = [
+            FunctionSpec(
+                f"{name}{i + 1}",
+                max(1, round(rows * rng.uniform(*frac_range))),
+                max(1, round(cols * rng.uniform(*frac_range))),
+                rng.uniform(*exec_range),
+            )
+            for i in range(rng.randint(lo, hi))
+        ]
+        apps.append(ApplicationSpec(name, functions))
+    return apps
+
+
 def uniform_requests(
     n: int, seed: int = 0, size_range: tuple[int, int] = (3, 10)
 ) -> list[tuple[int, int]]:
@@ -102,3 +242,117 @@ def uniform_requests(
     rng = random.Random(seed)
     lo, hi = size_range
     return [(rng.randint(lo, hi), rng.randint(lo, hi)) for _ in range(n)]
+
+
+# -- declarative workload registry (used by repro.campaign) -----------------
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One named, schedulable workload family.
+
+    ``kind`` selects the scheduler: ``"tasks"`` workloads produce
+    ``list[Task]`` for :class:`~repro.sched.scheduler.OnlineTaskScheduler`,
+    ``"apps"`` workloads produce ``list[ApplicationSpec]`` for
+    :class:`~repro.sched.scheduler.ApplicationFlowScheduler`.  The
+    factory is called as ``factory(device, seed, **params)``.
+    ``size_param`` names the factory keyword that scales the workload
+    (``"n"``, ``"n_apps"``, ...; empty for fixed scenarios) so generic
+    tooling — the campaign CLI's ``--tasks``/``--apps`` flags — can size
+    any registered family without knowing it by name.
+    """
+
+    name: str
+    kind: str
+    factory: Callable[..., list]
+    description: str = ""
+    size_param: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("tasks", "apps"):
+            raise ValueError("kind must be 'tasks' or 'apps'")
+
+
+def _scaled_size_range(device: VirtexDevice,
+                       size_range: tuple[int, int]) -> tuple[int, int]:
+    """Clamp a task size range so rectangles fit small devices."""
+    cap = max(1, min(device.clb_rows, device.clb_cols) - 1)
+    lo, hi = size_range
+    return (min(lo, cap), min(hi, cap))
+
+
+def _task_factory(generator: Callable[..., list[Task]]):
+    """Registry adapter for a task-stream generator: default ``n``,
+    clamp rectangle sizes to the device, thread the seed through."""
+
+    def factory(device: VirtexDevice, seed: int, **params) -> list[Task]:
+        params.setdefault("n", 40)
+        params["size_range"] = _scaled_size_range(
+            device, params.get("size_range", (3, 10)))
+        return generator(seed=seed, **params)
+
+    factory.__doc__ = f"Registry adapter for {generator.__name__}."
+    return factory
+
+
+def _fig1_factory(device: VirtexDevice, seed: int,
+                  **params) -> list[ApplicationSpec]:
+    """Registry adapter for :func:`fig1_applications` (seed is unused:
+    the Fig. 1 scenario is fixed by construction)."""
+    del seed
+    return fig1_applications(device, **params)
+
+
+def _codec_swap_factory(device: VirtexDevice, seed: int,
+                        **params) -> list[ApplicationSpec]:
+    """Registry adapter for :func:`codec_swap_applications`."""
+    return codec_swap_applications(device, seed=seed, **params)
+
+
+#: Named workload families available to campaign grids.
+WORKLOADS: dict[str, WorkloadSpec] = {}
+
+
+def register_workload(spec: WorkloadSpec) -> WorkloadSpec:
+    """Add a workload family to :data:`WORKLOADS` (name must be free)."""
+    if spec.name in WORKLOADS:
+        raise ValueError(f"workload {spec.name!r} already registered")
+    WORKLOADS[spec.name] = spec
+    return spec
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Look up a registered workload family by name."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(sorted(WORKLOADS))
+        raise KeyError(
+            f"unknown workload {name!r}; known workloads: {known}"
+        ) from None
+
+
+def make_workload(name: str, device: VirtexDevice, seed: int,
+                  **params) -> list:
+    """Instantiate workload ``name`` for ``device`` with ``seed``."""
+    return get_workload(name).factory(device, seed, **params)
+
+
+for _spec in (
+    WorkloadSpec("random", "tasks", _task_factory(random_tasks),
+                 "Poisson arrivals, uniform sizes and service times",
+                 size_param="n"),
+    WorkloadSpec("bursty", "tasks", _task_factory(bursty_tasks),
+                 "burst arrivals separated by idle gaps",
+                 size_param="n"),
+    WorkloadSpec("heavy-tail", "tasks", _task_factory(heavy_tail_tasks),
+                 "Pareto service times: few long-lived anchor tasks",
+                 size_param="n"),
+    WorkloadSpec("fig1", "apps", _fig1_factory,
+                 "the fixed three-application Fig. 1 scenario"),
+    WorkloadSpec("codec-swap", "apps", _codec_swap_factory,
+                 "randomized codec-swap function chains",
+                 size_param="n_apps"),
+):
+    register_workload(_spec)
+del _spec

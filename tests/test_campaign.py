@@ -1,0 +1,204 @@
+"""Campaign engine: grid expansion, determinism, parallel equivalence."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignResult,
+    CampaignSpec,
+    POLICY_NAMES,
+    ScenarioResult,
+    ScenarioSpec,
+    run_campaign,
+    run_scenario,
+)
+from repro.campaign.cli import build_parser, campaign_from_args, main
+
+TINY = {"n": 8, "size_range": (2, 5)}
+
+
+def tiny_campaign(**overrides) -> CampaignSpec:
+    defaults = dict(
+        devices=["XC2S15"],
+        policies=["none", "concurrent"],
+        workloads=["random"],
+        seeds=[0, 1],
+        workload_params={"random": dict(TINY)},
+    )
+    defaults.update(overrides)
+    return CampaignSpec(**defaults)
+
+
+# -- spec / expansion -------------------------------------------------------
+
+
+def test_grid_expansion_size_and_order():
+    campaign = CampaignSpec(
+        devices=["XC2S15", "XC2S30"],
+        policies=list(POLICY_NAMES),
+        workloads=["random", "bursty"],
+        seeds=[0, 1],
+    )
+    specs = campaign.expand()
+    assert len(specs) == campaign.size == 2 * 3 * 2 * 2
+    # Deterministic order: device is the slowest-varying axis, seed the
+    # fastest.
+    assert specs[0] == ScenarioSpec("XC2S15", "none", "random", 0)
+    assert specs[1].seed == 1
+    assert specs[2].workload == "bursty"
+    assert specs[-1] == ScenarioSpec("XC2S30", "concurrent", "bursty", 1)
+    # Expansion is reproducible.
+    assert specs == campaign.expand()
+
+
+def test_per_workload_params_only_reach_their_workload():
+    campaign = tiny_campaign(
+        workloads=["random", "bursty"],
+        workload_params={"random": {"n": 5}},
+    )
+    by_workload = {s.workload: s for s in campaign.expand()}
+    assert by_workload["random"].params() == {"n": 5}
+    assert by_workload["bursty"].params() == {}
+
+
+def test_spec_validation():
+    with pytest.raises(KeyError):
+        ScenarioSpec("NOPE", "none", "random", 0)
+    with pytest.raises(ValueError):
+        ScenarioSpec("XC2S15", "sometimes", "random", 0)
+    with pytest.raises(KeyError):
+        ScenarioSpec("XC2S15", "none", "mystery", 0)
+    with pytest.raises(ValueError):
+        ScenarioSpec("XC2S15", "none", "random", 0, port_kind="uart")
+
+
+def test_scheduler_kind_derived_from_workload():
+    assert ScenarioSpec("XC2S15", "none", "random", 0).scheduler_kind == "tasks"
+    assert ScenarioSpec("XC2S15", "none", "fig1", 0).scheduler_kind == "apps"
+
+
+# -- determinism ------------------------------------------------------------
+
+
+def test_same_spec_same_seed_identical_result():
+    spec = ScenarioSpec("XC2S15", "concurrent", "random", 7,
+                        workload_params=(("n", 10),))
+    first, second = run_scenario(spec), run_scenario(spec)
+    # wall_seconds is compare-excluded; everything scientific must match.
+    assert first == second
+    assert first.to_row().keys() == second.to_row().keys()
+
+
+def test_different_seeds_differ():
+    base = dict(device="XC2S15", policy="concurrent", workload="random",
+                workload_params=(("n", 10),))
+    a = run_scenario(ScenarioSpec(seed=0, **base))
+    b = run_scenario(ScenarioSpec(seed=1, **base))
+    assert a != b
+
+
+def test_parallel_equals_serial():
+    specs = tiny_campaign().expand()
+    serial = run_campaign(specs, jobs=1)
+    parallel = run_campaign(specs, jobs=2)
+    assert len(serial) == len(parallel) == len(specs)
+    assert serial == parallel  # index-aligned, wall clock excluded
+
+
+def test_halt_penalty_reaches_application_flows():
+    """Moving a *running* function under HALT stops it for the move
+    span; under CONCURRENT the same moves are free — the policy duel
+    must be visible for application workloads, not only task streams."""
+    base = dict(device="XC2S15", workload="codec-swap", seed=3,
+                workload_params=(("n_apps", 3),))
+    halt = run_scenario(ScenarioSpec(policy="halt", **base))
+    conc = run_scenario(ScenarioSpec(policy="concurrent", **base))
+    assert halt.rearrangements > 0
+    assert halt.halted_seconds > 0.0
+    assert conc.halted_seconds == 0.0
+    assert halt.makespan > conc.makespan
+
+
+def test_task_runs_report_zero_prefetched_fraction():
+    """Independent-task scenarios never prefetch; their exported
+    fraction must read 0, not a vacuous 100 %."""
+    result = run_scenario(ScenarioSpec("XC2S15", "none", "random", 0,
+                                       workload_params=(("n", 5),)))
+    assert result.prefetched_fraction == 0.0
+
+
+def test_application_workload_scenario():
+    spec = ScenarioSpec("XC2S30", "concurrent", "codec-swap", 3,
+                        workload_params=(("n_apps", 2),))
+    result = run_scenario(spec)
+    assert result.finished == 2
+    assert result.makespan > 0
+    assert 0.0 <= result.prefetched_fraction <= 1.0
+    # Identical seed reproduces the application run too.
+    assert run_scenario(spec) == result
+
+
+# -- aggregation / export ---------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def small_results():
+    return CampaignResult(run_campaign(tiny_campaign().expand(), jobs=1))
+
+
+def test_summary_table(small_results):
+    table = small_results.summary_table()
+    rendered = table.render()
+    # One row per (device, workload, policy) cell; 2 seeds pooled.
+    assert len(table.rows) == 2
+    assert "none" in rendered and "concurrent" in rendered
+
+
+def test_policy_table(small_results):
+    table = small_results.policy_table("mean_waiting")
+    assert table.headers == [
+        "device", "workload", "fit", "port", "none", "concurrent"
+    ]
+    assert len(table.rows) == 1
+    with pytest.raises(KeyError):
+        small_results.policy_table("not_a_metric")
+
+
+def test_csv_json_export(small_results, tmp_path):
+    csv_path = small_results.to_csv(tmp_path / "out.csv")
+    lines = csv_path.read_text().strip().splitlines()
+    assert len(lines) == 1 + len(small_results)
+    assert lines[0].startswith("device,policy,workload,seed")
+
+    json_path = small_results.to_json(tmp_path / "out.json")
+    payload = json.loads(json_path.read_text())
+    assert len(payload) == len(small_results)
+    assert payload[0]["spec"]["device"] == "XC2S15"
+    assert set(payload[0]["metrics"]) == set(ScenarioResult.METRIC_FIELDS)
+
+
+# -- CLI --------------------------------------------------------------------
+
+
+def test_cli_default_grid_is_24_runs():
+    args = build_parser().parse_args([])
+    campaign = campaign_from_args(args)
+    assert campaign.size == 24
+
+
+def test_cli_smoke(tmp_path, capsys):
+    code = main([
+        "--devices", "XC2S15",
+        "--policies", "none", "concurrent",
+        "--workloads", "random",
+        "--seeds", "0",
+        "--tasks", "6",
+        "--jobs", "1",
+        "--csv", str(tmp_path / "cli.csv"),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "campaign summary" in out
+    assert "policy comparison" in out
+    assert (tmp_path / "cli.csv").exists()

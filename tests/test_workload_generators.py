@@ -1,0 +1,91 @@
+"""New workload generators and the declarative registry."""
+
+import pytest
+
+from repro.device.devices import device, synthetic_device
+from repro.sched.workload import (
+    WORKLOADS,
+    WorkloadSpec,
+    bursty_tasks,
+    codec_swap_applications,
+    get_workload,
+    heavy_tail_tasks,
+    make_workload,
+    register_workload,
+)
+
+
+def test_bursty_tasks_shape():
+    tasks = bursty_tasks(20, seed=1, burst_size=4, size_range=(2, 5))
+    assert len(tasks) == 20
+    assert [t.task_id for t in tasks] == list(range(1, 21))
+    arrivals = [t.arrival for t in tasks]
+    assert arrivals == sorted(arrivals)
+    # Bursts mean repeated arrival instants somewhere in the stream.
+    assert len(set(arrivals)) < len(arrivals)
+    assert all(2 <= t.height <= 5 and 2 <= t.width <= 5 for t in tasks)
+
+
+def test_bursty_tasks_deterministic():
+    assert bursty_tasks(15, seed=3) == bursty_tasks(15, seed=3)
+    assert bursty_tasks(15, seed=3) != bursty_tasks(15, seed=4)
+
+
+def test_heavy_tail_tasks():
+    tasks = heavy_tail_tasks(200, seed=2, exec_min=0.2, exec_cap=10.0)
+    assert len(tasks) == 200
+    assert all(0.2 <= t.exec_seconds <= 10.0 for t in tasks)
+    # Heavy tail: the max should dwarf the median.
+    execs = sorted(t.exec_seconds for t in tasks)
+    assert execs[-1] > 4 * execs[len(execs) // 2]
+    assert heavy_tail_tasks(50, seed=9) == heavy_tail_tasks(50, seed=9)
+
+
+def test_generator_validation():
+    with pytest.raises(ValueError):
+        bursty_tasks(-1)
+    with pytest.raises(ValueError):
+        bursty_tasks(5, burst_size=0)
+    with pytest.raises(ValueError):
+        heavy_tail_tasks(5, alpha=0.0)
+    with pytest.raises(ValueError):
+        codec_swap_applications(device("XCV200"), n_apps=0)
+
+
+def test_codec_swap_applications_scaled():
+    dev = device("XCV200")
+    apps = codec_swap_applications(dev, n_apps=4, seed=5)
+    assert len(apps) == 4
+    assert [a.name for a in apps] == ["A", "B", "C", "D"]
+    for app in apps:
+        assert 2 <= len(app.functions) <= 4
+        for fn in app.functions:
+            assert 1 <= fn.height <= dev.clb_rows
+            assert 1 <= fn.width <= dev.clb_cols
+    assert codec_swap_applications(dev, n_apps=4, seed=5) == apps
+
+
+def test_registry_contents_and_lookup():
+    assert {"random", "bursty", "heavy-tail", "fig1", "codec-swap"} <= set(
+        WORKLOADS
+    )
+    assert get_workload("random").kind == "tasks"
+    assert get_workload("codec-swap").kind == "apps"
+    with pytest.raises(KeyError):
+        get_workload("nope")
+    with pytest.raises(ValueError):
+        register_workload(WorkloadSpec("random", "tasks", lambda *a: []))
+    with pytest.raises(ValueError):
+        WorkloadSpec("x", "threads", lambda *a: [])
+
+
+def test_make_workload_clamps_sizes_to_device():
+    tiny = synthetic_device(4, 4)
+    tasks = make_workload("random", tiny, seed=0, n=10,
+                          size_range=(3, 12))
+    assert all(t.height <= 3 and t.width <= 3 for t in tasks)
+
+
+def test_make_workload_apps():
+    apps = make_workload("fig1", device("XCV200"), seed=0)
+    assert [a.name for a in apps] == ["A", "B", "C"]

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Docstring-coverage check for the public API.
+
+Walks the given packages (default: the ones the campaign PR owns,
+``repro.campaign`` and ``repro.sched``) and reports every public module,
+class, function and method that lacks a docstring.  Exits non-zero when
+anything is missing, so CI can gate on it::
+
+    python tools/check_docstrings.py                 # default packages
+    python tools/check_docstrings.py src/repro       # whole tree
+    python tools/check_docstrings.py --min-coverage 100 src/repro/core
+
+"Public" means the name does not start with an underscore (dunders other
+than ``__init__`` are ignored; ``__init__`` inherits its class's
+docstring requirement and is exempt itself).  Nested definitions inside
+functions are skipped — they are implementation detail.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+DEFAULT_TARGETS = ("src/repro/campaign", "src/repro/sched")
+
+
+def is_public(name: str) -> bool:
+    """True for names that belong to the public API surface."""
+    return not name.startswith("_")
+
+
+def iter_definitions(tree: ast.Module):
+    """Yield ``(qualname, node)`` for every public def/class at module
+    and class level (function bodies are not descended into)."""
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if is_public(node.name):
+                yield node.name, node
+        elif isinstance(node, ast.ClassDef):
+            if not is_public(node.name):
+                continue
+            yield node.name, node
+            for child in node.body:
+                if isinstance(child, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef)):
+                    if is_public(child.name):
+                        yield f"{node.name}.{child.name}", child
+
+
+def check_file(path: Path) -> tuple[list[str], int]:
+    """Return (missing entries, total checked) for one source file."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    missing: list[str] = []
+    total = 1  # the module itself
+    if ast.get_docstring(tree) is None:
+        missing.append(f"{path}:1 module")
+    for qualname, node in iter_definitions(tree):
+        total += 1
+        if ast.get_docstring(node) is None:
+            kind = "class" if isinstance(node, ast.ClassDef) else "def"
+            missing.append(f"{path}:{node.lineno} {kind} {qualname}")
+    return missing, total
+
+
+def collect_files(targets: list[str]) -> list[Path]:
+    """Expand target files/directories into a sorted .py file list."""
+    files: list[Path] = []
+    for target in targets:
+        path = Path(target)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise SystemExit(f"not a python file or directory: {target}")
+    return files
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("targets", nargs="*", default=list(DEFAULT_TARGETS),
+                        help="files or package directories to check")
+    parser.add_argument("--min-coverage", type=float, default=100.0,
+                        metavar="PCT",
+                        help="fail below this coverage percentage")
+    args = parser.parse_args(argv)
+
+    all_missing: list[str] = []
+    total = 0
+    for path in collect_files(args.targets):
+        missing, checked = check_file(path)
+        all_missing.extend(missing)
+        total += checked
+
+    covered = total - len(all_missing)
+    coverage = 100.0 * covered / total if total else 100.0
+    for entry in all_missing:
+        print(f"missing docstring: {entry}")
+    print(f"docstring coverage: {covered}/{total} ({coverage:.1f} %)")
+    if coverage < args.min_coverage:
+        print(f"FAIL: below required {args.min_coverage:.1f} %")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
