@@ -1,0 +1,228 @@
+#!/usr/bin/env python3
+"""Free-space engine performance harness — the BENCH trajectory data.
+
+Three layers of evidence that the incremental MER engine makes the
+run-time manager's hot path faster, emitted as ``BENCH_freespace.json``:
+
+* **micro** — seeded alloc/release churn against each engine at several
+  device grids (the XCV200's 28x42 is the paper's device).  Placement
+  decisions derive from the engine's own MER set, so every engine
+  executes the identical operation history; the final grids are
+  asserted equal, making the timing comparison apples to apples.
+* **macro** — one full on-line scheduler scenario per engine
+  (``run_scenario``), where placement queries, rearrangements and
+  fragmentation sampling all hit the engine.
+* **campaign** — a small sweep per engine through the campaign runner,
+  the workload the ROADMAP's throughput goal cares about.
+
+Run from the repo root:
+
+    PYTHONPATH=src python benchmarks/perf/bench_freespace.py
+    PYTHONPATH=src python benchmarks/perf/bench_freespace.py --smoke
+
+``--smoke`` shrinks the op counts for CI; the full run enforces the
+acceptance bar (incremental >= 3x on XCV200 churn with >= 500 ops).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.campaign.runner import run_campaign, run_scenario
+from repro.campaign.spec import CampaignSpec, ScenarioSpec
+from repro.device.geometry import Rect
+from repro.placement.free_space import FREE_SPACE_NAMES, make_free_space
+
+#: (label, rows, cols) — the churn grids; XCV200 is the acceptance grid.
+GRIDS = (
+    ("XC2S15", 8, 12),
+    ("XC2S30", 12, 18),
+    ("XCV200", 28, 42),
+    ("XCV1000", 64, 96),
+)
+ACCEPTANCE_GRID = "XCV200"
+ACCEPTANCE_SPEEDUP = 3.0
+
+
+def churn(engine_name: str, rows: int, cols: int, ops: int,
+          seed: int = 7) -> tuple[float, np.ndarray]:
+    """Run ``ops`` alloc/release mutations; return (seconds, final grid).
+
+    Each mutation is followed by the query mix a manager issues: a
+    ``fits`` probe and a ``rectangles_fitting`` scan.  Identical seeds
+    walk identical histories on every correct engine.
+    """
+    rng = random.Random(seed)
+    occupancy = np.zeros((rows, cols), dtype=np.int32)
+    engine = make_free_space(engine_name, occupancy)
+    max_h, max_w = max(2, rows // 4), max(2, cols // 4)
+    placed: dict[int, Rect] = {}
+    owner = 0
+    done = 0
+    started = time.perf_counter()
+    while done < ops:
+        if placed and (rng.random() < 0.45
+                       or engine.free_area() < max_h * max_w):
+            victim = sorted(placed)[rng.randrange(len(placed))]
+            engine.release(placed.pop(victim))
+        else:
+            h, w = rng.randint(2, max_h), rng.randint(2, max_w)
+            fitting = engine.rectangles_fitting(h, w)
+            if not fitting:
+                continue
+            host = min(fitting, key=lambda r: (r.row, r.col))
+            owner += 1
+            rect = Rect(host.row, host.col, h, w)
+            engine.allocate(rect, owner)
+            placed[owner] = rect
+        engine.fits(4, 4)
+        done += 1
+    return time.perf_counter() - started, occupancy
+
+
+def bench_micro(ops: int) -> list[dict]:
+    """Churn every grid with every engine; engines must agree on the
+    final grid for the numbers to be comparable."""
+    out = []
+    for label, rows, cols in GRIDS:
+        timings: dict[str, float] = {}
+        grids: dict[str, np.ndarray] = {}
+        for engine_name in FREE_SPACE_NAMES:
+            seconds, grid = churn(engine_name, rows, cols, ops)
+            timings[engine_name] = seconds
+            grids[engine_name] = grid
+        first, *rest = FREE_SPACE_NAMES
+        for other in rest:
+            if not (grids[first] == grids[other]).all():
+                raise AssertionError(
+                    f"engines diverged on {label}: churn histories differ"
+                )
+        speedup = timings["recompute"] / timings["incremental"]
+        out.append({
+            "grid": label,
+            "rows": rows,
+            "cols": cols,
+            "ops": ops,
+            "seconds": {k: round(v, 6) for k, v in timings.items()},
+            "us_per_op": {k: round(v / ops * 1e6, 2)
+                          for k, v in timings.items()},
+            "speedup_incremental": round(speedup, 2),
+        })
+        print(f"micro {label:8s} {ops:5d} ops: "
+              f"recompute {timings['recompute']*1e3:8.1f} ms, "
+              f"incremental {timings['incremental']*1e3:8.1f} ms "
+              f"({speedup:.1f}x)")
+    return out
+
+
+def bench_macro(tasks: int) -> list[dict]:
+    """One full scheduler scenario per engine; science must match."""
+    out = []
+    base = dict(device="XCV200", policy="concurrent", workload="random",
+                seed=11, workload_params=(("n", tasks),))
+    results = {}
+    for engine_name in FREE_SPACE_NAMES:
+        spec = ScenarioSpec(free_space=engine_name, **base)
+        started = time.perf_counter()
+        results[engine_name] = run_scenario(spec)
+        seconds = time.perf_counter() - started
+        out.append({
+            "scenario": f"XCV200/concurrent/random n={tasks}",
+            "engine": engine_name,
+            "seconds": round(seconds, 6),
+            "finished": results[engine_name].finished,
+            "makespan": results[engine_name].makespan,
+        })
+        print(f"macro {engine_name:12s}: {seconds*1e3:8.1f} ms "
+              f"({results[engine_name].finished} tasks)")
+    reference, incremental = (results[n] for n in FREE_SPACE_NAMES)
+    if reference.makespan != incremental.makespan:
+        raise AssertionError("macro scenarios diverged between engines")
+    return out
+
+
+def bench_campaign(tasks: int, seeds: int) -> list[dict]:
+    """A small campaign per engine: sweep throughput end to end."""
+    out = []
+    for engine_name in FREE_SPACE_NAMES:
+        grid = CampaignSpec(
+            devices=["XC2S30"],
+            policies=["none", "concurrent"],
+            workloads=["random"],
+            seeds=list(range(seeds)),
+            free_spaces=[engine_name],
+            workload_params={"random": {"n": tasks}},
+        )
+        specs = grid.expand()
+        started = time.perf_counter()
+        run_campaign(specs, jobs=1)
+        seconds = time.perf_counter() - started
+        out.append({
+            "runs": len(specs),
+            "tasks_per_run": tasks,
+            "engine": engine_name,
+            "seconds": round(seconds, 6),
+            "runs_per_second": round(len(specs) / seconds, 2),
+        })
+        print(f"campaign {engine_name:12s}: {len(specs)} runs in "
+              f"{seconds:6.2f} s")
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_freespace.json",
+                        metavar="PATH", help="output JSON path")
+    parser.add_argument("--ops", type=int, default=600, metavar="N",
+                        help="churn mutations per grid (>= 500 for the "
+                             "acceptance check)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small op counts, no acceptance enforcement")
+    args = parser.parse_args(argv)
+    ops = 120 if args.smoke else args.ops
+    tasks = 20 if args.smoke else 60
+    seeds = 2 if args.smoke else 4
+
+    payload = {
+        "benchmark": "free-space engines",
+        "mode": "smoke" if args.smoke else "full",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "micro": bench_micro(ops),
+        "macro": bench_macro(tasks),
+        "campaign": bench_campaign(tasks, seeds),
+    }
+
+    acceptance = next(
+        row for row in payload["micro"] if row["grid"] == ACCEPTANCE_GRID
+    )
+    payload["acceptance"] = {
+        "grid": ACCEPTANCE_GRID,
+        "ops": acceptance["ops"],
+        "required_speedup": ACCEPTANCE_SPEEDUP,
+        "measured_speedup": acceptance["speedup_incremental"],
+        "enforced": not args.smoke and ops >= 500,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+
+    if payload["acceptance"]["enforced"] and \
+            acceptance["speedup_incremental"] < ACCEPTANCE_SPEEDUP:
+        print(f"ACCEPTANCE FAIL: {acceptance['speedup_incremental']}x < "
+              f"{ACCEPTANCE_SPEEDUP}x on {ACCEPTANCE_GRID}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

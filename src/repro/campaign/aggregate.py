@@ -33,12 +33,20 @@ SUMMARY_METRICS = (
 )
 
 
-def _group_key(result: ScenarioResult) -> tuple[str, str, str, str, str]:
+#: Non-seed axes of an aggregation cell, in the column order of the
+#: tables (policy last so policy duels read across a row).
+GROUP_AXES = ("device", "workload", "fit", "port_kind", "free_space",
+              "policy")
+#: Table headers matching GROUP_AXES (``port_kind`` is shown as "port").
+GROUP_HEADERS = ("device", "workload", "fit", "port", "free_space",
+                 "policy")
+
+
+def _group_key(result: ScenarioResult) -> tuple[str, ...]:
     """Aggregation cell of one result: every axis except the seed, so
     only seeds are ever averaged together."""
     spec = result.spec
-    return (spec.device, spec.workload, spec.fit, spec.port_kind,
-            spec.policy)
+    return tuple(getattr(spec, axis) for axis in GROUP_AXES)
 
 
 @dataclass
@@ -54,25 +62,21 @@ class CampaignResult:
         """Flat per-run dicts (spec axes + metric columns)."""
         return [r.to_row() for r in self.results]
 
-    def groups(self) -> dict[
-        tuple[str, str, str, str, str], list[ScenarioResult]
-    ]:
-        """Results bucketed by (device, workload, fit, port, policy),
-        seeds pooled.
+    def groups(self) -> dict[tuple[str, ...], list[ScenarioResult]]:
+        """Results bucketed by (device, workload, fit, port, free-space
+        engine, policy), seeds pooled.
 
         Group order follows first appearance in the run list, which the
         deterministic grid expansion fixes.
         """
-        out: dict[
-            tuple[str, str, str, str, str], list[ScenarioResult]
-        ] = {}
+        out: dict[tuple[str, ...], list[ScenarioResult]] = {}
         for result in self.results:
             out.setdefault(_group_key(result), []).append(result)
         return out
 
     def group_means(
         self, metric: str
-    ) -> dict[tuple[str, str, str, str, str], float]:
+    ) -> dict[tuple[str, ...], float]:
         """Per-group mean of one metric column."""
         if metric not in ScenarioResult.METRIC_FIELDS:
             raise KeyError(
@@ -85,17 +89,14 @@ class CampaignResult:
         }
 
     def summary_table(self) -> Table:
-        """Mean metrics per (device, workload, fit, port, policy) cell."""
+        """Mean metrics per non-seed grid cell (see GROUP_AXES)."""
         table = Table(
             f"campaign summary ({len(self.results)} runs)",
-            ["device", "workload", "fit", "port", "policy", "seeds"]
-            + [m for m in SUMMARY_METRICS],
+            list(GROUP_HEADERS) + ["seeds"] + [m for m in SUMMARY_METRICS],
         )
         groups = self.groups()
-        for (device, workload, fit, port, policy), results in groups.items():
-            cells: list[object] = [
-                device, workload, fit, port, policy, len(results)
-            ]
+        for key, results in groups.items():
+            cells: list[object] = [*key, len(results)]
             for metric in SUMMARY_METRICS:
                 cells.append(mean([getattr(r, metric) for r in results]))
             table.add(*cells)
@@ -103,8 +104,8 @@ class CampaignResult:
 
     def policy_table(self, metric: str = "mean_waiting") -> Table:
         """Policies side by side: one column per policy, one row per
-        (device, workload, fit, port) cell, cells are seed-averaged
-        ``metric``.
+        non-policy cell (device, workload, fit, port, free-space
+        engine), cells are seed-averaged ``metric``.
 
         This is the paper's defrag-study comparison generalized to the
         whole grid: read across a row to see what each rearrangement
@@ -112,20 +113,18 @@ class CampaignResult:
         """
         means = self.group_means(metric)
         policies: list[str] = []
-        cells: dict[tuple[str, str, str, str], dict[str, float]] = {}
-        for (device, workload, fit, port, policy), value in means.items():
+        cells: dict[tuple[str, ...], dict[str, float]] = {}
+        for (*rest, policy), value in means.items():
             if policy not in policies:
                 policies.append(policy)
-            cells.setdefault(
-                (device, workload, fit, port), {}
-            )[policy] = value
+            cells.setdefault(tuple(rest), {})[policy] = value
         table = Table(
             f"policy comparison — {metric}",
-            ["device", "workload", "fit", "port"] + policies,
+            list(GROUP_HEADERS[:-1]) + policies,
         )
-        for (device, workload, fit, port), by_policy in cells.items():
+        for rest, by_policy in cells.items():
             table.add(
-                device, workload, fit, port,
+                *rest,
                 *[by_policy.get(p, float("nan")) for p in policies],
             )
         return table

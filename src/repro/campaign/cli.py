@@ -17,6 +17,7 @@ import argparse
 import sys
 import time
 
+from repro.placement.free_space import FREE_SPACE_NAMES
 from repro.sched.workload import WORKLOADS
 
 from .aggregate import CampaignResult
@@ -56,6 +57,10 @@ def build_parser() -> argparse.ArgumentParser:
     grid.add_argument("--ports", nargs="+", default=["boundary-scan"],
                       choices=PORT_KINDS, metavar="PORT",
                       help="configuration-port kinds")
+    grid.add_argument("--free-space", nargs="+", default=["incremental"],
+                      choices=FREE_SPACE_NAMES, metavar="ENGINE",
+                      dest="free_spaces",
+                      help=f"free-space engines {FREE_SPACE_NAMES}")
     size = parser.add_argument_group("workload sizing")
     size.add_argument("--tasks", type=int, default=30, metavar="N",
                       help="tasks per run for task-stream workloads")
@@ -93,6 +98,7 @@ def campaign_from_args(args: argparse.Namespace) -> CampaignSpec:
         seeds=args.seeds,
         fits=args.fits,
         port_kinds=args.ports,
+        free_spaces=args.free_spaces,
         workload_params=params,
     )
 
@@ -117,6 +123,8 @@ def main(argv: list[str] | None = None) -> int:
             f"x {len(args.workloads)} workloads x {len(args.seeds)} seeds"
             + (f" x {len(args.fits)} fits" if len(args.fits) > 1 else "")
             + (f" x {len(args.ports)} ports" if len(args.ports) > 1 else "")
+            + (f" x {len(args.free_spaces)} engines"
+               if len(args.free_spaces) > 1 else "")
             + f"), {jobs} worker(s)"
         )
     started = time.perf_counter()

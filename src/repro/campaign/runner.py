@@ -105,7 +105,7 @@ def build_manager(spec: ScenarioSpec) -> LogicSpaceManager:
     """Construct the logic-space manager a spec describes."""
     dev = device_by_name(spec.device)
     return LogicSpaceManager(
-        Fabric(dev),
+        Fabric(dev, free_space=spec.free_space),
         cost_model=CostModel(dev, port_kind=spec.port_kind),
         policy=spec.rearrange_policy,
         fit=spec.fit,

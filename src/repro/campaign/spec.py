@@ -4,7 +4,8 @@ A campaign is a cartesian grid over the experiment axes the paper's
 evaluation (and the related policy-matrix studies: floor-plan
 prediction, strip packing with delays) sweep:
 
-    device x rearrange policy x fit x port x workload x seed
+    device x rearrange policy x fit x port x free-space engine
+           x workload x seed
 
 :class:`ScenarioSpec` pins one point of that grid; :class:`CampaignSpec`
 holds the axes and expands them into a deterministic run list.  Specs
@@ -20,6 +21,7 @@ from dataclasses import dataclass, field
 from repro.core.manager import RearrangePolicy
 from repro.device.devices import device as device_by_name
 from repro.placement.fit import fitter
+from repro.placement.free_space import FREE_SPACE_NAMES
 from repro.sched.workload import get_workload as workload_by_name
 
 #: Valid rearrangement policy names (the RearrangePolicy values).
@@ -44,6 +46,7 @@ class ScenarioSpec:
     seed: int
     fit: str = "first"
     port_kind: str = "boundary-scan"
+    free_space: str = "incremental"
     workload_params: tuple[tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
@@ -55,6 +58,11 @@ class ScenarioSpec:
         if self.port_kind not in PORT_KINDS:
             raise ValueError(
                 f"unknown port {self.port_kind!r}; choose from {PORT_KINDS}"
+            )
+        if self.free_space not in FREE_SPACE_NAMES:
+            raise ValueError(
+                f"unknown free-space engine {self.free_space!r}; "
+                f"choose from {FREE_SPACE_NAMES}"
             )
         fitter(self.fit)  # raises on unknown strategy
         workload_by_name(self.workload)  # raises on unknown workload
@@ -82,6 +90,7 @@ class ScenarioSpec:
             "seed": self.seed,
             "fit": self.fit,
             "port_kind": self.port_kind,
+            "free_space": self.free_space,
             "workload_params": self.params(),
         }
 
@@ -98,8 +107,8 @@ class CampaignSpec:
     """The axes of a sweep; :meth:`expand` yields the run grid.
 
     Axis order in the expansion is fixed (device, policy, fit, port,
-    workload, seed) so a campaign's run list — and therefore its result
-    ordering — is deterministic for a given spec.
+    free-space engine, workload, seed) so a campaign's run list — and
+    therefore its result ordering — is deterministic for a given spec.
     """
 
     devices: list[str] = field(default_factory=lambda: ["XCV200"])
@@ -108,6 +117,7 @@ class CampaignSpec:
     seeds: list[int] = field(default_factory=lambda: [0])
     fits: list[str] = field(default_factory=lambda: ["first"])
     port_kinds: list[str] = field(default_factory=lambda: ["boundary-scan"])
+    free_spaces: list[str] = field(default_factory=lambda: ["incremental"])
     #: per-workload generator parameters, keyed by workload name,
     #: e.g. ``{"random": {"n": 30}, "codec-swap": {"n_apps": 4}}``.
     workload_params: dict[str, dict] = field(default_factory=dict)
@@ -122,15 +132,17 @@ class CampaignSpec:
                 seed=seed,
                 fit=fit,
                 port_kind=port,
+                free_space=space,
                 workload_params=normalize_params(
                     self.workload_params.get(wl)
                 ),
             )
-            for dev, pol, fit, port, wl, seed in itertools.product(
+            for dev, pol, fit, port, space, wl, seed in itertools.product(
                 self.devices,
                 self.policies,
                 self.fits,
                 self.port_kinds,
+                self.free_spaces,
                 self.workloads,
                 self.seeds,
             )
@@ -144,6 +156,7 @@ class CampaignSpec:
             * len(self.policies)
             * len(self.fits)
             * len(self.port_kinds)
+            * len(self.free_spaces)
             * len(self.workloads)
             * len(self.seeds)
         )

@@ -111,6 +111,13 @@ class LogicSpaceManager:
         self._move_cost_cache: dict[tuple[int, int], float] = {}
         self._config_cost_cache: dict[int, float] = {}
 
+    @property
+    def free_space(self):
+        """The fabric's free-space engine (all placement queries and
+        telemetry read the maximal-empty-rectangle set from here, so a
+        request can never observe a stale view of the logic space)."""
+        return self.fabric.free_space
+
     # -- cost estimates --------------------------------------------------------
 
     def clb_move_seconds(self, src_col: int, dst_col: int) -> float:
@@ -165,7 +172,8 @@ class LogicSpaceManager:
         outcome carries all reconfiguration costs for the scheduler to
         charge against the configuration port.
         """
-        rect = self.fit(self.fabric.occupancy, height, width)
+        rect = self.fit(self.fabric.occupancy, height, width,
+                        index=self.free_space)
         if rect is not None:
             self.fabric.allocate_region(rect, owner)
             outcome = PlacementOutcome(
@@ -220,7 +228,9 @@ class LogicSpaceManager:
 
     def fragmentation(self) -> float:
         """Current fragmentation index of the logic space."""
-        return metrics.fragmentation_index(self.fabric.occupancy)
+        return metrics.fragmentation_index(
+            self.fabric.occupancy, index=self.free_space
+        )
 
     def utilization(self) -> float:
         """Current site occupancy."""

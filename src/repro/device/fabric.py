@@ -20,6 +20,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.placement.free_space import FreeSpaceIndex, make_free_space
+
 from .clb import ClbConfig, LogicCellConfig
 from .config_memory import ConfigMemory
 from .devices import VirtexDevice
@@ -35,12 +37,23 @@ class FabricError(RuntimeError):
 
 
 class Fabric:
-    """Run-time state of one device's logic space."""
+    """Run-time state of one device's logic space.
+
+    Every occupancy mutation is delegated to the attached free-space
+    engine (``free_space``, one of
+    :data:`~repro.placement.free_space.FREE_SPACE_NAMES`), which keeps
+    the maximal-empty-rectangle set consistent with the grid — there is
+    no mutate-then-forget-to-invalidate path through the fabric API.
+    """
 
     def __init__(self, device: VirtexDevice,
-                 with_config_memory: bool = False) -> None:
+                 with_config_memory: bool = False,
+                 free_space: str = "incremental") -> None:
         self.device = device
         self.occupancy = np.zeros((device.clb_rows, device.clb_cols), dtype=np.int32)
+        self.free_space: FreeSpaceIndex = make_free_space(
+            free_space, self.occupancy
+        )
         self.routing = RoutingGraph(device)
         self.config_memory = ConfigMemory(device) if with_config_memory else None
         self._clbs: dict[ClbCoord, ClbConfig] = {}
@@ -79,7 +92,7 @@ class Fabric:
             raise ValueError(f"owner id must be positive, got {owner}")
         if not self.region_is_free(rect):
             raise FabricError(f"region {rect} is not entirely free")
-        self.occupancy[rect.row : rect.row_end, rect.col : rect.col_end] = owner
+        self.free_space.allocate(rect, owner)
 
     def free_region(self, rect: Rect, owner: int | None = None) -> None:
         """Return ``rect`` to the free pool, vacating its cells.
@@ -87,10 +100,12 @@ class Fabric:
         With ``owner`` given, verifies every site belonged to that owner —
         catching manager bookkeeping bugs early.
         """
+        if not self.in_bounds(rect):
+            raise FabricError(f"region {rect} out of bounds")
         view = self.occupancy[rect.row : rect.row_end, rect.col : rect.col_end]
         if owner is not None and not bool((view == owner).all()):
             raise FabricError(f"region {rect} is not wholly owned by {owner}")
-        view[...] = FREE
+        self.free_space.release(rect)
         for site in rect.sites():
             self._clbs.pop(site, None)
 
@@ -119,8 +134,11 @@ class Fabric:
                     site.row - src.row + dst.row, site.col - src.col + dst.col
                 )
                 moved[target] = cfg
-        self.occupancy[src.row : src.row_end, src.col : src.col_end] = FREE
-        self.occupancy[dst.row : dst.row_end, dst.col : dst.col_end] = owner
+        # The engine sees the same two steps the configuration port pays
+        # for: vacate the source, then claim the destination (the
+        # intermediate all-free state makes overlapping slides legal).
+        self.free_space.release(src)
+        self.free_space.allocate(dst, owner)
         self._clbs.update(moved)
 
     # -- logic cells -------------------------------------------------------------

@@ -19,12 +19,16 @@ from .fit import (
     free_anchor_mask,
 )
 from .free_space import (
+    FREE_SPACE_NAMES,
+    FreeSpaceIndex,
     FreeSpaceManager,
     free_mask,
     largest_empty_rectangle,
+    make_free_space,
     maximal_empty_rectangles,
     rectangles_fitting,
 )
+from .incremental import IncrementalFreeSpace
 from .one_dim import OneDimAllocator, Strip
 from .metrics import (
     average_free_rectangle,
@@ -36,7 +40,10 @@ from .metrics import (
 
 __all__ = [
     "FIT_ALGORITHMS",
+    "FREE_SPACE_NAMES",
+    "FreeSpaceIndex",
     "FreeSpaceManager",
+    "IncrementalFreeSpace",
     "Move",
     "OneDimAllocator",
     "Strip",
@@ -54,6 +61,7 @@ __all__ = [
     "free_region_count",
     "largest_empty_rectangle",
     "local_repacking",
+    "make_free_space",
     "maximal_empty_rectangles",
     "moves_feasible",
     "ordered_compaction",

@@ -13,9 +13,20 @@ paper builds on (Diessel et al. [5]):
   corner (classic on-line bin-packing heuristic).
 
 All return a :class:`~repro.device.geometry.Rect` or ``None`` without
-modifying the grid; the caller allocates.  Feasibility testing uses an
-integral image over the occupancy grid, so each query is O(rows x cols)
-in vectorised numpy — fast enough for the planner's inner loops.
+modifying the grid; the caller allocates.  Each heuristic has two equal
+query paths:
+
+* **grid path** (``index=None``) — feasibility testing over an integral
+  image of the occupancy grid, O(rows x cols) vectorised numpy; used on
+  the planner's scratch grids, which have no index attached;
+* **index path** — read the answer off a
+  :class:`~repro.placement.free_space.FreeSpaceIndex`'s maximal empty
+  rectangles in O(K): every feasible anchor lies in some fitting MER
+  whose top-left corner precedes it in the heuristic's order, so the
+  best corner *is* the answer.
+
+The two paths return identical rectangles (the differential suite pins
+this), so schedulers can switch engines without changing the science.
 """
 
 from __future__ import annotations
@@ -24,7 +35,7 @@ import numpy as np
 
 from repro.device.geometry import Rect
 
-from .free_space import rectangles_fitting
+from .free_space import FreeSpaceIndex, rectangles_fitting
 
 
 def free_anchor_mask(occupancy: np.ndarray, height: int,
@@ -47,8 +58,29 @@ def free_anchor_mask(occupancy: np.ndarray, height: int,
     return window == 0
 
 
-def first_fit(occupancy: np.ndarray, height: int, width: int) -> Rect | None:
-    """First free position in row-major order."""
+def _fitting(occupancy: np.ndarray, height: int, width: int,
+             index: FreeSpaceIndex | None) -> list[Rect]:
+    """MERs hosting the request, from the index when one is attached."""
+    if index is not None:
+        return index.rectangles_fitting(height, width)
+    return rectangles_fitting(occupancy, height, width)
+
+
+def first_fit(occupancy: np.ndarray, height: int, width: int,
+              index: FreeSpaceIndex | None = None) -> Rect | None:
+    """First free position in row-major order.
+
+    Index path: any feasible anchor (r, c) lies inside a fitting MER
+    whose corner (M.row, M.col) precedes (r, c) row-major and is itself
+    feasible — so the row-major-first corner over fitting MERs is the
+    row-major-first anchor.
+    """
+    if index is not None:
+        fitting = index.rectangles_fitting(height, width)
+        if not fitting:
+            return None
+        host = min(fitting, key=lambda r: (r.row, r.col))
+        return Rect(host.row, host.col, height, width)
     mask = free_anchor_mask(occupancy, height, width)
     if mask.size == 0 or not mask.any():
         return None
@@ -57,13 +89,14 @@ def first_fit(occupancy: np.ndarray, height: int, width: int) -> Rect | None:
     return Rect(r, c, height, width)
 
 
-def best_fit(occupancy: np.ndarray, height: int, width: int) -> Rect | None:
+def best_fit(occupancy: np.ndarray, height: int, width: int,
+             index: FreeSpaceIndex | None = None) -> Rect | None:
     """Anchor in the maximal empty rectangle with least leftover area.
 
     Leftover ties break toward the smaller rectangle perimeter and then
     toward the top-left, keeping the packing deterministic.
     """
-    fitting = rectangles_fitting(occupancy, height, width)
+    fitting = _fitting(occupancy, height, width, index)
     if not fitting:
         return None
 
@@ -75,12 +108,21 @@ def best_fit(occupancy: np.ndarray, height: int, width: int) -> Rect | None:
     return Rect(host.row, host.col, height, width)
 
 
-def bottom_left(occupancy: np.ndarray, height: int, width: int) -> Rect | None:
+def bottom_left(occupancy: np.ndarray, height: int, width: int,
+                index: FreeSpaceIndex | None = None) -> Rect | None:
     """The feasible position minimising (row + col), then row.
 
     Packs functions toward one corner, which empirically preserves large
-    free rectangles on the opposite side.
+    free rectangles on the opposite side.  Index path: within one MER's
+    anchor range both coordinates are minimised at its corner, so the
+    best corner over fitting MERs minimises the key globally.
     """
+    if index is not None:
+        fitting = index.rectangles_fitting(height, width)
+        if not fitting:
+            return None
+        host = min(fitting, key=lambda r: (r.row + r.col, r.row))
+        return Rect(host.row, host.col, height, width)
     mask = free_anchor_mask(occupancy, height, width)
     if mask.size == 0 or not mask.any():
         return None

@@ -13,13 +13,36 @@ The manager keeps all maximal empty rectangles (the KAMER approach of the
 on-line placement literature): a rectangle of free sites is *maximal*
 when no strictly larger free rectangle contains it.  Allocation decisions
 and the fragmentation metrics both derive from this set.
+
+Two engines maintain that set behind the common :class:`FreeSpaceIndex`
+protocol:
+
+* :class:`FreeSpaceManager` (``"recompute"``) — the reference engine:
+  every mutation drops the cached MER list; the next query recomputes it
+  from the whole grid with :func:`maximal_empty_rectangles`;
+* :class:`~repro.placement.incremental.IncrementalFreeSpace`
+  (``"incremental"``) — maintains the MER set by local splitting on
+  ``allocate`` and a bounded merge sweep on ``release``, never touching
+  parts of the grid the mutation cannot reach.
+
+Both engines *own* their occupancy mutations: callers use
+:meth:`FreeSpaceIndex.allocate` / :meth:`FreeSpaceIndex.release` instead
+of writing the array and remembering to invalidate — the stale-cache
+footgun of the original wrapper is thereby unreachable from the manager
+stack (the fabric delegates every occupancy write here).
 """
 
 from __future__ import annotations
 
+from typing import Protocol, runtime_checkable
+
 import numpy as np
 
 from repro.device.geometry import Rect
+
+#: Names accepted by :func:`make_free_space` (and the campaign's
+#: ``free_space`` axis).
+FREE_SPACE_NAMES = ("recompute", "incremental")
 
 
 def free_mask(occupancy: np.ndarray) -> np.ndarray:
@@ -89,15 +112,100 @@ def rectangles_fitting(occupancy: np.ndarray, height: int,
     ]
 
 
+@runtime_checkable
+class FreeSpaceIndex(Protocol):
+    """What every free-space engine offers the manager stack.
+
+    An index is bound to one occupancy grid.  It owns the grid's
+    mutations: :meth:`allocate` and :meth:`release` write the array *and*
+    keep the maximal-empty-rectangle set consistent, so a query can never
+    observe a stale view.  External code that mutates the array directly
+    must call :meth:`rebuild` afterwards (the fabric never does).
+    """
+
+    @property
+    def occupancy(self) -> np.ndarray:
+        """The bound occupancy grid (0 = free, owner ids otherwise)."""
+
+    @property
+    def mers(self) -> list[Rect]:
+        """Current maximal empty rectangles (order unspecified)."""
+
+    def allocate(self, rect: Rect, owner: int = 1) -> None:
+        """Mark ``rect`` occupied by ``owner`` and update the MER set."""
+
+    def release(self, rect: Rect) -> None:
+        """Mark ``rect`` free and update the MER set."""
+
+    def fits(self, height: int, width: int) -> bool:
+        """True when some free rectangle can host the request."""
+
+    def rectangles_fitting(self, height: int, width: int) -> list[Rect]:
+        """MERs that can host a ``height`` x ``width`` request."""
+
+    def free_area(self) -> int:
+        """Total free sites."""
+
+    def rebuild(self) -> None:
+        """Resynchronise with the grid after an external mutation."""
+
+
 class FreeSpaceManager:
-    """Incremental wrapper caching the MER list between mutations."""
+    """The ``"recompute"`` engine: cache-and-invalidate over the full
+    sweep.
+
+    This is the reference implementation the differential suite holds
+    the incremental engine against: correctness is trivial (every query
+    after a mutation recomputes from the grid), speed is not (each
+    recomputation is O(R*C + K^2) regardless of how small the change
+    was).
+    """
+
+    name = "recompute"
 
     def __init__(self, occupancy: np.ndarray) -> None:
         self._occupancy = occupancy
         self._cache: list[Rect] | None = None
 
+    @property
+    def occupancy(self) -> np.ndarray:
+        """The bound occupancy grid."""
+        return self._occupancy
+
+    def _check_bounds(self, rect: Rect) -> None:
+        rows, cols = self._occupancy.shape
+        if rect.row < 0 or rect.col < 0 or rect.row_end > rows \
+                or rect.col_end > cols:
+            raise ValueError(f"rectangle {rect} outside the {rows}x{cols} grid")
+
+    def allocate(self, rect: Rect, owner: int = 1) -> None:
+        """Claim ``rect`` for ``owner``; the region must be free."""
+        if owner == 0:
+            raise ValueError("owner 0 is the free marker")
+        self._check_bounds(rect)
+        view = self._occupancy[rect.row : rect.row_end, rect.col : rect.col_end]
+        if bool((view != 0).any()):
+            raise ValueError(f"region {rect} is not entirely free")
+        view[...] = owner
+        self._cache = None
+
+    def release(self, rect: Rect) -> None:
+        """Return ``rect`` to the free pool."""
+        self._check_bounds(rect)
+        self._occupancy[rect.row : rect.row_end, rect.col : rect.col_end] = 0
+        self._cache = None
+
     def invalidate(self) -> None:
-        """Call after any occupancy change."""
+        """Drop the cached MER list.
+
+        Only needed after an *external* mutation of the occupancy array;
+        :meth:`allocate` / :meth:`release` invalidate on their own.
+        Kept as the historical name of :meth:`rebuild`.
+        """
+        self._cache = None
+
+    def rebuild(self) -> None:
+        """Resynchronise with the grid (same as :meth:`invalidate`)."""
         self._cache = None
 
     @property
@@ -113,6 +221,37 @@ class FreeSpaceManager:
             r.height >= height and r.width >= width for r in self.mers
         )
 
+    def rectangles_fitting(self, height: int, width: int) -> list[Rect]:
+        """MERs that can host a ``height`` x ``width`` request."""
+        return [
+            r for r in self.mers
+            if r.height >= height and r.width >= width
+        ]
+
     def free_area(self) -> int:
         """Total free sites."""
         return int(free_mask(self._occupancy).sum())
+
+
+def make_free_space(name: str, occupancy: np.ndarray) -> FreeSpaceIndex:
+    """Construct a free-space engine by registry name.
+
+    ``"recompute"`` builds the reference :class:`FreeSpaceManager`,
+    ``"incremental"`` the split/merge engine of
+    :mod:`repro.placement.incremental`.
+    """
+    # Imported here: incremental.py builds on this module's sweep.
+    from .incremental import IncrementalFreeSpace
+
+    engines = {
+        "recompute": FreeSpaceManager,
+        "incremental": IncrementalFreeSpace,
+    }
+    try:
+        engine = engines[name]
+    except KeyError:
+        known = ", ".join(FREE_SPACE_NAMES)
+        raise KeyError(
+            f"unknown free-space engine {name!r}; known: {known}"
+        ) from None
+    return engine(occupancy)

@@ -21,27 +21,38 @@ from collections import deque
 
 import numpy as np
 
-from .free_space import free_mask, maximal_empty_rectangles
+from .free_space import FreeSpaceIndex, free_mask, maximal_empty_rectangles
 
 
-def fragmentation_index(occupancy: np.ndarray) -> float:
+def _mers_of(occupancy: np.ndarray,
+             index: FreeSpaceIndex | None) -> list:
+    """The MER list — read off the index when one is attached, else
+    recomputed from the grid."""
+    if index is not None:
+        return index.mers
+    return maximal_empty_rectangles(occupancy)
+
+
+def fragmentation_index(occupancy: np.ndarray,
+                        index: FreeSpaceIndex | None = None) -> float:
     """1 - (largest free rectangle area / free area); 0.0 when empty of
     fragmentation (or when there is no free space at all)."""
-    free = int(free_mask(occupancy).sum())
+    free = (index.free_area() if index is not None
+            else int(free_mask(occupancy).sum()))
     if free == 0:
         return 0.0
-    mers = maximal_empty_rectangles(occupancy)
-    largest = max((r.area for r in mers), default=0)
+    largest = max((r.area for r in _mers_of(occupancy, index)), default=0)
     return 1.0 - largest / free
 
 
 def satisfiable_fraction(
-    occupancy: np.ndarray, requests: list[tuple[int, int]]
+    occupancy: np.ndarray, requests: list[tuple[int, int]],
+    index: FreeSpaceIndex | None = None,
 ) -> float:
     """Fraction of (height, width) requests the free space can host."""
     if not requests:
         return 1.0
-    mers = maximal_empty_rectangles(occupancy)
+    mers = _mers_of(occupancy, index)
     satisfied = 0
     for height, width in requests:
         if any(r.height >= height and r.width >= width for r in mers):
@@ -77,9 +88,10 @@ def free_region_count(occupancy: np.ndarray) -> int:
     return regions
 
 
-def average_free_rectangle(occupancy: np.ndarray) -> float:
+def average_free_rectangle(occupancy: np.ndarray,
+                           index: FreeSpaceIndex | None = None) -> float:
     """Mean area of the maximal empty rectangles (0.0 when full)."""
-    mers = maximal_empty_rectangles(occupancy)
+    mers = _mers_of(occupancy, index)
     if not mers:
         return 0.0
     return sum(r.area for r in mers) / len(mers)

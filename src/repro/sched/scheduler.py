@@ -261,11 +261,10 @@ class OnlineTaskScheduler:
         self._drain_queue()
 
     def _sample(self) -> None:
-        occ = self.manager.fabric.occupancy
-        self.metrics.fragmentation_samples.append(
-            metrics.fragmentation_index(occ)
-        )
-        self.metrics.utilization_samples.append(metrics.utilization(occ))
+        # Index-backed: the fragmentation sample reads the engine's MER
+        # set instead of re-sweeping the grid on every placement event.
+        self.metrics.fragmentation_samples.append(self.manager.fragmentation())
+        self.metrics.utilization_samples.append(self.manager.utilization())
 
 
 class ApplicationFlowScheduler:

@@ -78,6 +78,30 @@ def test_scheduler_kind_derived_from_workload():
     assert ScenarioSpec("XC2S15", "none", "fig1", 0).scheduler_kind == "apps"
 
 
+def test_free_space_axis_expands_and_validates():
+    with pytest.raises(ValueError):
+        ScenarioSpec("XC2S15", "none", "random", 0, free_space="psychic")
+    campaign = tiny_campaign(free_spaces=["recompute", "incremental"])
+    specs = campaign.expand()
+    assert len(specs) == campaign.size == 2 * 2 * 2
+    engines = {s.free_space for s in specs}
+    assert engines == {"recompute", "incremental"}
+    assert specs[0].to_dict()["free_space"] in engines
+
+
+def test_free_space_engines_agree_on_the_science():
+    """The engine axis must be a pure performance knob: both engines
+    see identical MER sets, so every scheduling metric matches."""
+    base = dict(device="XC2S15", policy="concurrent", workload="random",
+                seed=5, workload_params=(("n", 12),))
+    reference = run_scenario(ScenarioSpec(free_space="recompute", **base))
+    incremental = run_scenario(ScenarioSpec(free_space="incremental", **base))
+    for name in ScenarioResult.METRIC_FIELDS:
+        if name == "wall_seconds":
+            continue
+        assert getattr(reference, name) == getattr(incremental, name), name
+
+
 # -- determinism ------------------------------------------------------------
 
 
@@ -158,7 +182,8 @@ def test_summary_table(small_results):
 def test_policy_table(small_results):
     table = small_results.policy_table("mean_waiting")
     assert table.headers == [
-        "device", "workload", "fit", "port", "none", "concurrent"
+        "device", "workload", "fit", "port", "free_space",
+        "none", "concurrent"
     ]
     assert len(table.rows) == 1
     with pytest.raises(KeyError):

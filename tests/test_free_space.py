@@ -8,6 +8,7 @@ from repro.device.geometry import Rect
 from repro.placement.free_space import (
     FreeSpaceManager,
     largest_empty_rectangle,
+    make_free_space,
     maximal_empty_rectangles,
     rectangles_fitting,
 )
@@ -103,3 +104,24 @@ class TestFreeSpaceManager:
         occ = np.zeros((4, 4), dtype=int)
         occ[0, :] = 5
         assert FreeSpaceManager(occ).free_area() == 12
+
+    def test_owned_mutations_need_no_invalidate(self):
+        """The footgun fix: allocate/release keep the cache fresh on
+        their own."""
+        occ = np.zeros((4, 4), dtype=int)
+        mgr = FreeSpaceManager(occ)
+        assert mgr.fits(4, 4)
+        mgr.allocate(Rect(0, 0, 1, 1), owner=9)
+        assert not mgr.fits(4, 4) and occ[0, 0] == 9
+        assert mgr.rectangles_fitting(3, 4)
+        mgr.release(Rect(0, 0, 1, 1))
+        assert mgr.fits(4, 4) and occ[0, 0] == 0
+
+    def test_engine_factory(self):
+        occ = np.zeros((3, 3), dtype=int)
+        for name in ("recompute", "incremental"):
+            engine = make_free_space(name, occ)
+            assert engine.occupancy is occ
+            assert engine.fits(3, 3)
+        with pytest.raises(KeyError):
+            make_free_space("clairvoyant", occ)

@@ -1,0 +1,263 @@
+"""Differential suite: the incremental engine vs. the reference sweep.
+
+The incremental engine is a correctness-critical rewrite of the
+manager's hot path, so this suite holds it *observationally identical*
+to full recomputation along randomized alloc/release histories:
+
+* property-based (hypothesis) histories on random grids — after every
+  single mutation the MER sets, ``fits()``, ``rectangles_fitting()``
+  and the fragmentation metrics must match;
+* a seeded long-run churn at the XCV200 grid (28x42) of more than 1000
+  steps — the acceptance bar for the engine swap;
+* fit-heuristic equivalence: the index path of first/best/bottom-left
+  returns the same rectangle as the grid path in every reachable state;
+* end-to-end: a full scheduler scenario per engine yields equal
+  metrics, and the manager stack can never observe a stale MER view.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.manager import LogicSpaceManager, RearrangePolicy
+from repro.device.devices import device
+from repro.device.fabric import Fabric
+from repro.device.geometry import Rect
+from repro.placement import metrics
+from repro.placement.fit import FIT_ALGORITHMS
+from repro.placement.free_space import (
+    FREE_SPACE_NAMES,
+    FreeSpaceManager,
+    make_free_space,
+    maximal_empty_rectangles,
+)
+from repro.placement.incremental import IncrementalFreeSpace
+
+
+def reference_mers(occupancy: np.ndarray) -> set[Rect]:
+    """The ground truth the engines are compared against."""
+    return set(maximal_empty_rectangles(occupancy))
+
+
+def drive(engine, rng, steps: int, max_h: int, max_w: int,
+          check_every: int = 1, on_check=None) -> int:
+    """Random alloc/release churn against one engine.
+
+    Placement decisions derive only from the engine's own MER set, so
+    the same seed drives the same history on any correct engine.
+    Returns the number of mutations performed.
+    """
+    rows, cols = engine.occupancy.shape
+    placed: dict[int, Rect] = {}
+    owner = 0
+    mutations = 0
+    for step in range(steps):
+        release = placed and (rng.random() < 0.45
+                              or engine.free_area() < max_h * max_w)
+        if release:
+            victim = sorted(placed)[rng.randrange(len(placed))]
+            engine.release(placed.pop(victim))
+        else:
+            h = rng.randint(1, min(max_h, rows))
+            w = rng.randint(1, min(max_w, cols))
+            fitting = engine.rectangles_fitting(h, w)
+            if not fitting:
+                continue
+            host = min(fitting, key=lambda r: (r.row, r.col))
+            rect = Rect(host.row, host.col, h, w)
+            owner += 1
+            engine.allocate(rect, owner)
+            placed[owner] = rect
+        mutations += 1
+        if on_check is not None and mutations % check_every == 0:
+            on_check(engine)
+    return mutations
+
+
+def assert_engine_matches_reference(engine) -> None:
+    """One full observational comparison at the current state."""
+    occ = engine.occupancy
+    ref = reference_mers(occ)
+    assert set(engine.mers) == ref
+    assert engine.free_area() == int((occ == 0).sum())
+    for h, w in ((1, 1), (2, 3), (4, 4), (3, 7)):
+        expect = any(r.height >= h and r.width >= w for r in ref)
+        assert engine.fits(h, w) == expect
+        assert set(engine.rectangles_fitting(h, w)) == {
+            r for r in ref if r.height >= h and r.width >= w
+        }
+    assert metrics.fragmentation_index(occ, index=engine) == \
+        pytest.approx(metrics.fragmentation_index(occ))
+    assert metrics.average_free_rectangle(occ, index=engine) == \
+        pytest.approx(metrics.average_free_rectangle(occ))
+    requests = [(1, 2), (3, 3), (5, 2)]
+    assert metrics.satisfiable_fraction(occ, requests, index=engine) == \
+        pytest.approx(metrics.satisfiable_fraction(occ, requests))
+
+
+class TestPropertyDifferential:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(2, 8), st.integers(2, 8),
+        st.integers(0, 2 ** 16),
+    )
+    def test_random_histories_match_reference(self, rows, cols, seed):
+        import random
+
+        rng = random.Random(seed)
+        occ = np.zeros((rows, cols), dtype=np.int32)
+        engine = IncrementalFreeSpace(occ)
+        drive(engine, rng, steps=25, max_h=rows, max_w=cols,
+              on_check=lambda e: assert_engine_matches_reference(e))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2 ** 16))
+    def test_engines_mirror_each_other(self, seed):
+        """Same seed, either engine: identical placement histories and
+        identical final grids."""
+        import random
+
+        grids = []
+        for name in FREE_SPACE_NAMES:
+            occ = np.zeros((6, 9), dtype=np.int32)
+            engine = make_free_space(name, occ)
+            drive(engine, random.Random(seed), steps=30, max_h=4, max_w=5)
+            grids.append(occ.copy())
+        assert (grids[0] == grids[1]).all()
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(2, 7), st.integers(2, 7), st.integers(0, 2 ** 12),
+        st.integers(1, 4), st.integers(1, 4),
+    )
+    def test_fit_heuristics_equal_on_index_and_grid(self, rows, cols,
+                                                    pattern, h, w):
+        rng = np.random.RandomState(pattern)
+        occ = (rng.rand(rows, cols) < 0.4).astype(np.int32)
+        engine = IncrementalFreeSpace(occ)
+        for name, fit in FIT_ALGORITHMS.items():
+            assert fit(occ, h, w) == fit(occ, h, w, index=engine), name
+
+
+class TestLongRunChurn:
+    """The acceptance bar: >= 1000 randomized alloc/release steps on
+    the XCV200 grid with identical MER sets at every step."""
+
+    def test_thousand_step_churn_at_xcv200_grid(self):
+        import random
+
+        rng = random.Random(20030301)
+        occ = np.zeros((28, 42), dtype=np.int32)
+        engine = IncrementalFreeSpace(occ)
+        checked = 0
+
+        def check(eng):
+            nonlocal checked
+            assert set(eng.mers) == reference_mers(eng.occupancy)
+            assert eng.free_area() == int((eng.occupancy == 0).sum())
+            checked += 1
+
+        mutations = drive(engine, rng, steps=1300, max_h=8, max_w=10,
+                          on_check=check)
+        assert mutations >= 1000 and checked == mutations
+        # Close with the full observational battery.
+        assert_engine_matches_reference(engine)
+
+    def test_recompute_engine_stays_reference_equal(self):
+        import random
+
+        rng = random.Random(42)
+        occ = np.zeros((12, 16), dtype=np.int32)
+        engine = FreeSpaceManager(occ)
+        drive(engine, rng, steps=120, max_h=6, max_w=6, check_every=10,
+              on_check=lambda e: assert_engine_matches_reference(e))
+
+
+class TestManagerStack:
+    """The stale-cache footgun must be unreachable from the manager."""
+
+    @pytest.mark.parametrize("engine_name", FREE_SPACE_NAMES)
+    def test_manager_mutations_keep_index_fresh(self, engine_name):
+        fabric = Fabric(device("XC2S30"), free_space=engine_name)
+        manager = LogicSpaceManager(
+            fabric, policy=RearrangePolicy.CONCURRENT
+        )
+        outcomes = []
+        for owner in range(1, 9):
+            outcomes.append(manager.request(3, 4, owner))
+            assert set(fabric.free_space.mers) == \
+                reference_mers(fabric.occupancy)
+        for owner in (2, 5, 7):
+            manager.release(owner)
+            assert set(fabric.free_space.mers) == \
+                reference_mers(fabric.occupancy)
+        # A rearrangement (move_region path) must also keep it fresh.
+        manager.request(6, 6, 99)
+        assert set(fabric.free_space.mers) == reference_mers(fabric.occupancy)
+
+    def test_fabric_move_region_updates_index(self):
+        fabric = Fabric(device("XC2S15"), free_space="incremental")
+        fabric.allocate_region(Rect(0, 0, 3, 3), 1)
+        fabric.move_region(Rect(0, 0, 3, 3), Rect(2, 2, 3, 3), 1)
+        assert set(fabric.free_space.mers) == reference_mers(fabric.occupancy)
+        # Overlapping slide (the staged nearby move of the paper).
+        fabric.move_region(Rect(2, 2, 3, 3), Rect(2, 3, 3, 3), 1)
+        assert set(fabric.free_space.mers) == reference_mers(fabric.occupancy)
+
+    def test_engine_owns_mutations_and_validates(self):
+        occ = np.zeros((4, 4), dtype=np.int32)
+        for name in FREE_SPACE_NAMES:
+            occ[:] = 0
+            engine = make_free_space(name, occ)
+            engine.allocate(Rect(0, 0, 2, 2), 7)
+            assert occ[0, 0] == 7 and not engine.fits(4, 4)
+            with pytest.raises(ValueError):
+                engine.allocate(Rect(1, 1, 2, 2), 8)  # overlaps owner 7
+            with pytest.raises(ValueError):
+                engine.allocate(Rect(3, 3, 2, 2), 9)  # out of bounds
+            with pytest.raises(ValueError):
+                engine.allocate(Rect(2, 2, 1, 1), 0)  # 0 is the free marker
+            engine.release(Rect(0, 0, 2, 2))
+            assert engine.fits(4, 4) and occ[0, 0] == 0
+
+    def test_rebuild_resyncs_after_external_mutation(self):
+        """External writers get one documented escape hatch."""
+        occ = np.zeros((5, 5), dtype=np.int32)
+        for name in FREE_SPACE_NAMES:
+            occ[:] = 0
+            engine = make_free_space(name, occ)
+            assert engine.fits(5, 5)
+            occ[2, 2] = 3  # behind the engine's back
+            engine.rebuild()
+            assert not engine.fits(5, 5)
+            assert set(engine.mers) == reference_mers(occ)
+            assert engine.free_area() == 24
+
+
+class TestScenarioEquivalence:
+    def test_full_scenarios_agree_across_engines(self):
+        """Both schedulers, all policies: the engine is invisible in
+        the science."""
+        from repro.campaign.runner import run_scenario
+        from repro.campaign.spec import ScenarioSpec
+
+        cases = [
+            dict(device="XC2S15", policy="concurrent", workload="random",
+                 seed=3, workload_params=(("n", 10),)),
+            dict(device="XC2S15", policy="halt", workload="bursty",
+                 seed=1, workload_params=(("n", 10),)),
+            dict(device="XC2S30", policy="none", workload="codec-swap",
+                 seed=2, workload_params=(("n_apps", 2),)),
+        ]
+        for case in cases:
+            results = {
+                name: run_scenario(ScenarioSpec(free_space=name, **case))
+                for name in FREE_SPACE_NAMES
+            }
+            reference = results["recompute"]
+            for name, result in results.items():
+                for field in type(result).METRIC_FIELDS:
+                    if field == "wall_seconds":
+                        continue
+                    assert getattr(result, field) == \
+                        getattr(reference, field), (case, name, field)

@@ -1,0 +1,98 @@
+"""Golden regression: a fixed 24-run campaign grid, field by field.
+
+Scheduler and placement refactors must not silently change the science.
+This test runs the canonical 24-run grid (the CLI's default axes:
+2 devices x 3 policies x 2 workloads x 2 seeds, sized down to stay
+fast), and compares every exported metric of every run against the
+snapshot in ``tests/golden/campaign_24.json``.
+
+When a change *intentionally* moves the numbers (a new heuristic, a
+cost-model fix), regenerate the snapshot and review the diff like any
+other code change:
+
+    REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_campaign.py
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.campaign.aggregate import CampaignResult
+from repro.campaign.runner import ScenarioResult, run_campaign
+from repro.campaign.spec import CampaignSpec
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "campaign_24.json"
+
+#: The CLI's default grid axes with a fast task count; any edit here
+#: requires regenerating the snapshot.
+GOLDEN_GRID = dict(
+    devices=["XC2S15", "XC2S30"],
+    policies=["none", "halt", "concurrent"],
+    workloads=["random", "bursty"],
+    seeds=[0, 1],
+    workload_params={"random": {"n": 10}, "bursty": {"n": 10}},
+)
+
+#: Integer-valued metric columns are compared exactly; the rest admit
+#: only float-representation noise.
+EXACT_FIELDS = {"finished", "rejected", "rearrangements", "moves"}
+
+
+def run_golden_grid() -> list[dict]:
+    """Execute the grid serially and export comparable rows."""
+    spec = CampaignSpec(**GOLDEN_GRID)
+    results = run_campaign(spec.expand(), jobs=1)
+    rows = []
+    for result in results:
+        row = result.to_row()
+        row.pop("wall_seconds")  # measurement noise, never compared
+        rows.append(row)
+    return rows
+
+
+def test_golden_campaign_snapshot():
+    rows = run_golden_grid()
+    assert len(rows) == 24
+    if os.environ.get("REGEN_GOLDEN"):
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(rows, indent=2) + "\n")
+        pytest.skip(f"regenerated {GOLDEN_PATH}")
+    assert GOLDEN_PATH.exists(), (
+        "golden snapshot missing; run with REGEN_GOLDEN=1 to create it"
+    )
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert len(golden) == len(rows)
+    for index, (expected, actual) in enumerate(zip(golden, rows)):
+        assert expected.keys() == actual.keys(), f"run {index}: columns"
+        for field, want in expected.items():
+            got = actual[field]
+            context = f"run {index} ({actual['device']}/" \
+                      f"{actual['policy']}/{actual['workload']}/" \
+                      f"seed {actual['seed']}): {field}"
+            if isinstance(want, float) and field not in EXACT_FIELDS:
+                assert got == pytest.approx(want, rel=1e-9, abs=1e-12), context
+            else:
+                assert got == want, context
+
+
+def test_golden_covers_every_cell_once():
+    """The snapshot grid is the full cartesian product: every
+    (device, policy, workload, seed) combination appears exactly once."""
+    rows = run_golden_grid()
+    cells = {(r["device"], r["policy"], r["workload"], r["seed"])
+             for r in rows}
+    assert len(cells) == 24
+    # And the summary pools exactly the two seeds per cell.
+    spec = CampaignSpec(**GOLDEN_GRID)
+    summary = CampaignResult(run_campaign(spec.expand(), jobs=1)).summary_table()
+    assert len(summary.rows) == 12
+    assert all(row[summary.headers.index("seeds")] == "2"
+               for row in summary.rows)
+
+
+def test_golden_rows_expose_all_metric_fields():
+    rows = run_golden_grid()
+    metric_columns = set(ScenarioResult.METRIC_FIELDS) - {"wall_seconds"}
+    assert metric_columns <= set(rows[0].keys())
