@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Defrag-planner performance harness — ``BENCH_defrag.json``.
+
+The proactive policies call :meth:`DefragPlanner.plan_consolidation`
+on *every* triggered finish event, so its cost bounds how aggressively
+a runtime can afford to defragment.  Two layers of evidence:
+
+* **planner** — seeded fragmented states at several device grids:
+  time ``plan_consolidation`` and the reactive ``plan`` side by side,
+  and record how many reclaimable sites (free area outside the largest
+  free rectangle) one consolidation pass actually recovers;
+* **scenario** — one fragmenting-workload scheduler run per defrag
+  policy, wall clock plus the proactive counters, showing the
+  whole-subsystem overhead of background consolidation.
+
+Run from the repo root:
+
+    PYTHONPATH=src python benchmarks/perf/bench_defrag.py
+    PYTHONPATH=src python benchmarks/perf/bench_defrag.py --smoke
+
+``--smoke`` shrinks state counts for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.campaign.runner import run_scenario
+from repro.campaign.spec import ScenarioSpec, normalize_params
+from repro.core.defrag import DefragPlanner
+from repro.core.defrag_policy import DEFRAG_POLICY_NAMES
+from repro.placement.compaction import apply_moves
+from repro.placement.fit import first_fit
+from repro.placement.metrics import reclaimable_sites
+
+#: (label, rows, cols) — planner grids; XCV200 is the paper's device.
+GRIDS = (
+    ("XC2S15", 8, 12),
+    ("XCV200", 28, 42),
+    ("XCV1000", 64, 96),
+)
+
+
+def fragmented_state(rows: int, cols: int, seed: int) -> np.ndarray:
+    """A seeded hole-punched occupancy grid (pack, then release half)."""
+    rng = random.Random(seed)
+    occ = np.zeros((rows, cols), dtype=np.int32)
+    owner = 0
+    for _ in range(rows * cols // 6):
+        h = rng.randint(1, max(2, rows // 6))
+        w = rng.randint(1, max(2, cols // 6))
+        spot = first_fit(occ, h, w)
+        if spot is None:
+            continue
+        owner += 1
+        occ[spot.row : spot.row_end, spot.col : spot.col_end] = owner
+    for resident in [int(o) for o in np.unique(occ) if o != 0]:
+        if rng.random() < 0.5:
+            occ[occ == resident] = 0
+    return occ
+
+
+def bench_planner(states: int) -> list[dict]:
+    """Time both planner entry points over seeded fragmented states."""
+    out = []
+    planner = DefragPlanner()
+    for label, rows, cols in GRIDS:
+        consolidation_s = reactive_s = 0.0
+        plans = 0
+        reclaimed = 0
+        reclaimable = 0
+        for seed in range(states):
+            occ = fragmented_state(rows, cols, seed)
+            before = reclaimable_sites(occ)
+            started = time.perf_counter()
+            plan = planner.plan_consolidation(occ)
+            consolidation_s += time.perf_counter() - started
+            if plan is not None:
+                plans += 1
+                after = reclaimable_sites(apply_moves(occ, plan.moves))
+                reclaimed += before - after
+            reclaimable += before
+            h, w = max(2, rows // 2), max(2, cols // 2)
+            started = time.perf_counter()
+            planner.plan(occ, h, w)
+            reactive_s += time.perf_counter() - started
+        out.append({
+            "grid": label,
+            "rows": rows,
+            "cols": cols,
+            "states": states,
+            "consolidation_ms_per_plan": 1e3 * consolidation_s / states,
+            "reactive_ms_per_plan": 1e3 * reactive_s / states,
+            "plans_found": plans,
+            "reclaimable_sites_total": reclaimable,
+            "sites_reclaimed_total": reclaimed,
+        })
+        print(
+            f"planner {label:>8}: consolidation "
+            f"{out[-1]['consolidation_ms_per_plan']:8.2f} ms/plan, "
+            f"reactive {out[-1]['reactive_ms_per_plan']:8.2f} ms/plan, "
+            f"{plans}/{states} plans, "
+            f"{reclaimed}/{reclaimable} sites reclaimed"
+        )
+    return out
+
+
+def bench_scenario(n_tasks: int) -> list[dict]:
+    """One fragmenting-workload run per defrag policy."""
+    out = []
+    for defrag in DEFRAG_POLICY_NAMES:
+        spec = ScenarioSpec(
+            device="XC2S15",
+            policy="concurrent",
+            workload="fragmenting",
+            seed=0,
+            defrag=defrag,
+            workload_params=normalize_params({"n": n_tasks}),
+        )
+        started = time.perf_counter()
+        result = run_scenario(spec)
+        wall = time.perf_counter() - started
+        out.append({
+            "defrag": defrag,
+            "tasks": n_tasks,
+            "wall_seconds": wall,
+            "rejected": result.rejected,
+            "mean_waiting": result.mean_waiting,
+            "proactive_defrags": result.proactive_defrags,
+            "defrag_moves": result.defrag_moves,
+        })
+        print(
+            f"scenario {defrag:>10}: {wall:6.3f} s wall, "
+            f"rejected {result.rejected}, "
+            f"{result.proactive_defrags} consolidations"
+        )
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the harness and write the JSON evidence."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: fewer states/tasks")
+    parser.add_argument("--out", default="BENCH_defrag.json",
+                        metavar="PATH", help="output JSON path")
+    args = parser.parse_args(argv)
+    states = 4 if args.smoke else 16
+    n_tasks = 20 if args.smoke else 60
+    payload = {
+        "machine": platform.platform(),
+        "python": platform.python_version(),
+        "smoke": args.smoke,
+        "planner": bench_planner(states),
+        "scenario": bench_scenario(n_tasks),
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

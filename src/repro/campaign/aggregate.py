@@ -36,10 +36,10 @@ SUMMARY_METRICS = (
 #: Non-seed axes of an aggregation cell, in the column order of the
 #: tables (policy last so policy duels read across a row).
 GROUP_AXES = ("device", "workload", "fit", "port_kind", "free_space",
-              "policy")
+              "defrag", "policy")
 #: Table headers matching GROUP_AXES (``port_kind`` is shown as "port").
 GROUP_HEADERS = ("device", "workload", "fit", "port", "free_space",
-                 "policy")
+                 "defrag", "policy")
 
 
 def _group_key(result: ScenarioResult) -> tuple[str, ...]:
@@ -102,32 +102,55 @@ class CampaignResult:
             table.add(*cells)
         return table
 
+    def pivot_table(self, axis: str, metric: str = "mean_waiting") -> Table:
+        """One grid axis side by side: one column per value of ``axis``,
+        one row per cell of the remaining axes, cells are seed-averaged
+        ``metric``.
+
+        ``axis`` is any :data:`GROUP_AXES` entry; :meth:`policy_table`
+        and :meth:`defrag_table` are the two standard pivots.
+        """
+        if axis not in GROUP_AXES:
+            raise KeyError(
+                f"unknown axis {axis!r}; choose from {GROUP_AXES}"
+            )
+        pivot = GROUP_AXES.index(axis)
+        means = self.group_means(metric)
+        values: list[str] = []
+        cells: dict[tuple[str, ...], dict[str, float]] = {}
+        for key, value in means.items():
+            pivot_value = key[pivot]
+            rest = key[:pivot] + key[pivot + 1:]
+            if pivot_value not in values:
+                values.append(pivot_value)
+            cells.setdefault(rest, {})[pivot_value] = value
+        headers = [h for i, h in enumerate(GROUP_HEADERS) if i != pivot]
+        table = Table(
+            f"{GROUP_HEADERS[pivot]} comparison — {metric}",
+            headers + values,
+        )
+        for rest, by_value in cells.items():
+            table.add(
+                *rest,
+                *[by_value.get(v, float("nan")) for v in values],
+            )
+        return table
+
     def policy_table(self, metric: str = "mean_waiting") -> Table:
-        """Policies side by side: one column per policy, one row per
-        non-policy cell (device, workload, fit, port, free-space
-        engine), cells are seed-averaged ``metric``.
+        """Rearrangement policies side by side: one column per policy,
+        one row per non-policy cell, cells are seed-averaged ``metric``.
 
         This is the paper's defrag-study comparison generalized to the
         whole grid: read across a row to see what each rearrangement
         policy buys on that device/workload combination.
         """
-        means = self.group_means(metric)
-        policies: list[str] = []
-        cells: dict[tuple[str, ...], dict[str, float]] = {}
-        for (*rest, policy), value in means.items():
-            if policy not in policies:
-                policies.append(policy)
-            cells.setdefault(tuple(rest), {})[policy] = value
-        table = Table(
-            f"policy comparison — {metric}",
-            list(GROUP_HEADERS[:-1]) + policies,
-        )
-        for rest, by_policy in cells.items():
-            table.add(
-                *rest,
-                *[by_policy.get(p, float("nan")) for p in policies],
-            )
-        return table
+        return self.pivot_table("policy", metric)
+
+    def defrag_table(self, metric: str = "mean_waiting") -> Table:
+        """Defrag trigger policies side by side (never / on-failure /
+        threshold / idle): what does proactive consolidation buy on each
+        device/workload cell?"""
+        return self.pivot_table("defrag", metric)
 
     def to_csv(self, path: str | Path) -> Path:
         """Write one CSV row per run; returns the path written."""

@@ -17,6 +17,7 @@ import argparse
 import sys
 import time
 
+from repro.core.defrag_policy import DEFRAG_POLICY_NAMES
 from repro.placement.free_space import FREE_SPACE_NAMES
 from repro.sched.workload import WORKLOADS
 
@@ -61,6 +62,10 @@ def build_parser() -> argparse.ArgumentParser:
                       choices=FREE_SPACE_NAMES, metavar="ENGINE",
                       dest="free_spaces",
                       help=f"free-space engines {FREE_SPACE_NAMES}")
+    grid.add_argument("--defrag", nargs="+", default=["on-failure"],
+                      choices=DEFRAG_POLICY_NAMES, metavar="POLICY",
+                      dest="defrags",
+                      help=f"defrag trigger policies {DEFRAG_POLICY_NAMES}")
     size = parser.add_argument_group("workload sizing")
     size.add_argument("--tasks", type=int, default=30, metavar="N",
                       help="tasks per run for task-stream workloads")
@@ -99,6 +104,7 @@ def campaign_from_args(args: argparse.Namespace) -> CampaignSpec:
         fits=args.fits,
         port_kinds=args.ports,
         free_spaces=args.free_spaces,
+        defrags=args.defrags,
         workload_params=params,
     )
 
@@ -125,6 +131,8 @@ def main(argv: list[str] | None = None) -> int:
             + (f" x {len(args.ports)} ports" if len(args.ports) > 1 else "")
             + (f" x {len(args.free_spaces)} engines"
                if len(args.free_spaces) > 1 else "")
+            + (f" x {len(args.defrags)} defrag policies"
+               if len(args.defrags) > 1 else "")
             + f"), {jobs} worker(s)"
         )
     started = time.perf_counter()
@@ -133,6 +141,8 @@ def main(argv: list[str] | None = None) -> int:
     if not args.quiet:
         results.summary_table().show()
         results.policy_table(args.metric).show()
+        if len(args.defrags) > 1:
+            results.defrag_table(args.metric).show()
         sim_seconds = sum(r.wall_seconds for r in results.results)
         print(
             f"\n{len(results)} runs in {elapsed:.2f} s wall "

@@ -55,6 +55,9 @@ class ScenarioResult:
     makespan: float = 0.0
     rearrangements: int = 0
     moves: int = 0
+    proactive_defrags: int = 0
+    defrag_moves: int = 0
+    defrag_port_seconds: float = 0.0
     mean_fragmentation: float = 0.0
     mean_utilization: float = 0.0
     stall_seconds: float = 0.0
@@ -65,7 +68,8 @@ class ScenarioResult:
     METRIC_FIELDS = (
         "finished", "rejected", "mean_waiting", "mean_turnaround",
         "halted_seconds", "port_busy_seconds", "makespan",
-        "rearrangements", "moves", "mean_fragmentation",
+        "rearrangements", "moves", "proactive_defrags", "defrag_moves",
+        "defrag_port_seconds", "mean_fragmentation",
         "mean_utilization", "stall_seconds", "prefetched_fraction",
         "wall_seconds",
     )
@@ -93,6 +97,9 @@ def _from_metrics(spec: ScenarioSpec, metrics: ScheduleMetrics,
         makespan=metrics.makespan,
         rearrangements=metrics.rearrangements,
         moves=metrics.moves,
+        proactive_defrags=metrics.proactive_defrags,
+        defrag_moves=metrics.defrag_moves,
+        defrag_port_seconds=metrics.defrag_port_seconds,
         mean_fragmentation=metrics.mean_fragmentation,
         mean_utilization=metrics.mean_utilization,
         stall_seconds=metrics.stall_seconds,
@@ -109,6 +116,7 @@ def build_manager(spec: ScenarioSpec) -> LogicSpaceManager:
         cost_model=CostModel(dev, port_kind=spec.port_kind),
         policy=spec.rearrange_policy,
         fit=spec.fit,
+        defrag_policy=spec.defrag,
     )
 
 

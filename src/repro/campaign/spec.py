@@ -5,7 +5,7 @@ evaluation (and the related policy-matrix studies: floor-plan
 prediction, strip packing with delays) sweep:
 
     device x rearrange policy x fit x port x free-space engine
-           x workload x seed
+           x defrag policy x workload x seed
 
 :class:`ScenarioSpec` pins one point of that grid; :class:`CampaignSpec`
 holds the axes and expands them into a deterministic run list.  Specs
@@ -18,6 +18,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 
+from repro.core.defrag_policy import DEFRAG_POLICY_NAMES
 from repro.core.manager import RearrangePolicy
 from repro.device.devices import device as device_by_name
 from repro.placement.fit import fitter
@@ -47,6 +48,7 @@ class ScenarioSpec:
     fit: str = "first"
     port_kind: str = "boundary-scan"
     free_space: str = "incremental"
+    defrag: str = "on-failure"
     workload_params: tuple[tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
@@ -63,6 +65,11 @@ class ScenarioSpec:
             raise ValueError(
                 f"unknown free-space engine {self.free_space!r}; "
                 f"choose from {FREE_SPACE_NAMES}"
+            )
+        if self.defrag not in DEFRAG_POLICY_NAMES:
+            raise ValueError(
+                f"unknown defrag policy {self.defrag!r}; "
+                f"choose from {DEFRAG_POLICY_NAMES}"
             )
         fitter(self.fit)  # raises on unknown strategy
         workload_by_name(self.workload)  # raises on unknown workload
@@ -91,6 +98,7 @@ class ScenarioSpec:
             "fit": self.fit,
             "port_kind": self.port_kind,
             "free_space": self.free_space,
+            "defrag": self.defrag,
             "workload_params": self.params(),
         }
 
@@ -107,8 +115,9 @@ class CampaignSpec:
     """The axes of a sweep; :meth:`expand` yields the run grid.
 
     Axis order in the expansion is fixed (device, policy, fit, port,
-    free-space engine, workload, seed) so a campaign's run list — and
-    therefore its result ordering — is deterministic for a given spec.
+    free-space engine, defrag policy, workload, seed) so a campaign's
+    run list — and therefore its result ordering — is deterministic for
+    a given spec.
     """
 
     devices: list[str] = field(default_factory=lambda: ["XCV200"])
@@ -118,6 +127,7 @@ class CampaignSpec:
     fits: list[str] = field(default_factory=lambda: ["first"])
     port_kinds: list[str] = field(default_factory=lambda: ["boundary-scan"])
     free_spaces: list[str] = field(default_factory=lambda: ["incremental"])
+    defrags: list[str] = field(default_factory=lambda: ["on-failure"])
     #: per-workload generator parameters, keyed by workload name,
     #: e.g. ``{"random": {"n": 30}, "codec-swap": {"n_apps": 4}}``.
     workload_params: dict[str, dict] = field(default_factory=dict)
@@ -133,16 +143,19 @@ class CampaignSpec:
                 fit=fit,
                 port_kind=port,
                 free_space=space,
+                defrag=defrag,
                 workload_params=normalize_params(
                     self.workload_params.get(wl)
                 ),
             )
-            for dev, pol, fit, port, space, wl, seed in itertools.product(
+            for dev, pol, fit, port, space, defrag, wl, seed
+            in itertools.product(
                 self.devices,
                 self.policies,
                 self.fits,
                 self.port_kinds,
                 self.free_spaces,
+                self.defrags,
                 self.workloads,
                 self.seeds,
             )
@@ -157,6 +170,7 @@ class CampaignSpec:
             * len(self.fits)
             * len(self.port_kinds)
             * len(self.free_spaces)
+            * len(self.defrags)
             * len(self.workloads)
             * len(self.seeds)
         )

@@ -9,6 +9,8 @@
 * ``cost`` — frames -> Boundary-Scan seconds (the 22.6 ms model);
 * ``manager`` / ``defrag`` — the on-line logic-space manager and its
   rearrangement planner;
+* ``defrag_policy`` — when to defragment: reactive and proactive
+  (threshold / idle-port) trigger policies for background consolidation;
 * ``tool`` — the rearrangement & programming tool of Fig. 7 (API + CLI).
 """
 
@@ -21,6 +23,15 @@ from .active_replication import (
 )
 from .cost import CostModel, CostParameters, PlanCost, StepCost
 from .defrag import DefragPlanner, RearrangementPlan
+from .defrag_policy import (
+    DEFRAG_POLICY_NAMES,
+    DefragPolicy,
+    IdleDefrag,
+    NeverDefrag,
+    OnFailureDefrag,
+    ThresholdDefrag,
+    make_defrag_policy,
+)
 from .function_move import FunctionMoveReport, FunctionRelocator
 from .gated_clock import (
     AuxCircuitState,
@@ -34,6 +45,7 @@ from .gated_clock import (
     step_naive,
 )
 from .manager import (
+    DefragOutcome,
     LogicSpaceManager,
     MoveExecution,
     PlacementOutcome,
@@ -72,7 +84,15 @@ __all__ = [
     "CellTestResult",
     "CostModel",
     "CostParameters",
+    "DEFRAG_POLICY_NAMES",
+    "DefragOutcome",
     "DefragPlanner",
+    "DefragPolicy",
+    "IdleDefrag",
+    "NeverDefrag",
+    "OnFailureDefrag",
+    "ThresholdDefrag",
+    "make_defrag_policy",
     "FunctionMoveReport",
     "FunctionRelocator",
     "RotationReport",

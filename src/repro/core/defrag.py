@@ -38,6 +38,7 @@ from repro.placement.compaction import (
     sequence_moves,
 )
 from repro.placement.fit import best_fit, first_fit
+from repro.placement.free_space import largest_empty_rectangle
 
 
 @dataclass
@@ -68,13 +69,19 @@ class RearrangementPlan:
 class DefragPlanner:
     """Finds minimal-disturbance rearrangements for a placement request."""
 
-    def __init__(self, max_moves: int = 8, max_candidates: int = 256) -> None:
+    def __init__(self, max_moves: int = 8, max_candidates: int = 256,
+                 max_consolidation_moves: int = 16) -> None:
         if max_moves < 1:
             raise ValueError("max_moves must be positive")
         if max_candidates < 1:
             raise ValueError("max_candidates must be positive")
+        if max_consolidation_moves < 1:
+            raise ValueError("max_consolidation_moves must be positive")
         self.max_moves = max_moves
         self.max_candidates = max_candidates
+        #: proactive consolidations serve no single request, so they may
+        #: disturb more functions than a reactive plan is allowed to.
+        self.max_consolidation_moves = max_consolidation_moves
 
     def plan(self, occupancy: np.ndarray, height: int,
              width: int) -> RearrangementPlan | None:
@@ -108,6 +115,58 @@ class DefragPlanner:
                 sum(m.distance for m in p.moves),
             ),
         )
+
+    def plan_consolidation(
+        self, occupancy: np.ndarray
+    ) -> RearrangementPlan | None:
+        """Best consolidation: maximise the largest free rectangle.
+
+        Unlike :meth:`plan`, no pending request drives the search — the
+        goal is to compact the resident functions so that *future*
+        arrivals find the free space as contiguous as possible (the
+        proactive-defragmentation premise).  Candidates are ordered
+        compactions toward the left edge, the top edge, and both in
+        sequence (corner packing), each truncated to
+        ``max_consolidation_moves``; a prefix of a compaction move list
+        is always executable in order, so truncation stays collision
+        free.  Returns ``None`` unless some candidate *strictly* grows
+        the largest free rectangle — consolidation never shrinks it, and
+        pointless move lists are never executed.  The returned plan's
+        ``target`` is the largest free rectangle of the compacted grid.
+        """
+        current = largest_empty_rectangle(occupancy)
+        baseline = current.area if current is not None else 0
+        cap = self.max_consolidation_moves
+        candidates: list[tuple[str, list[Move]]] = []
+        left = ordered_compaction(occupancy, toward="left")
+        top = ordered_compaction(occupancy, toward="top")
+        candidates.append(("consolidate-left", left[:cap]))
+        candidates.append(("consolidate-top", top[:cap]))
+        if left and len(left) < cap:
+            # Corner packing: compact left, then compact the result up
+            # (skipped when truncation could never reach the top moves —
+            # the candidate would duplicate the plain left compaction).
+            shifted = apply_moves(occupancy, left)
+            corner = left + ordered_compaction(shifted, toward="top")
+            candidates.append(("consolidate-corner", corner[:cap]))
+        best: RearrangementPlan | None = None
+        best_key: tuple[int, int, int] | None = None
+        for method, moves in candidates:
+            if not moves:
+                continue
+            compacted = apply_moves(occupancy, moves)
+            target = largest_empty_rectangle(compacted)
+            if target is None or target.area <= baseline:
+                continue
+            key = (
+                -target.area,
+                sum(m.src.area for m in moves),
+                sum(m.distance for m in moves),
+            )
+            if best_key is None or key < best_key:
+                best = RearrangementPlan(target, moves, method)
+                best_key = key
+        return best
 
     # -- strategies ---------------------------------------------------------
 

@@ -35,6 +35,7 @@ from repro.placement import metrics
 
 from .cost import CostModel
 from .defrag import DefragPlanner, RearrangementPlan
+from .defrag_policy import DefragPolicy, make_defrag_policy
 from .procedure import StepClass, build_plan
 
 
@@ -87,6 +88,26 @@ class PlacementOutcome:
         return sum(m.halt_seconds for m in self.moves)
 
 
+@dataclass
+class DefragOutcome:
+    """Result of one executed proactive consolidation."""
+
+    moves: list[MoveExecution] = field(default_factory=list)
+    method: str = "consolidate"
+    largest_before: int = 0
+    largest_after: int = 0
+
+    @property
+    def port_seconds(self) -> float:
+        """Configuration-port time the consolidation consumed."""
+        return sum(m.seconds for m in self.moves)
+
+    @property
+    def halted_seconds(self) -> float:
+        """Total stopped time inflicted on running functions."""
+        return sum(m.halt_seconds for m in self.moves)
+
+
 class LogicSpaceManager:
     """On-line allocation with optional transparent rearrangement."""
 
@@ -98,6 +119,7 @@ class LogicSpaceManager:
         fit: str = "first",
         planner: DefragPlanner | None = None,
         moved_cell_mode: CellMode = CellMode.FF_GATED_CLOCK,
+        defrag_policy: DefragPolicy | str = "on-failure",
     ) -> None:
         self.fabric = fabric
         self.cost = cost_model or CostModel(fabric.device)
@@ -107,7 +129,13 @@ class LogicSpaceManager:
         #: worst-case assumption about moved cells: gated-clock cells pay
         #: the full Fig. 4 flow; pass FF_FREE_CLOCK for lighter payloads.
         self.moved_cell_mode = moved_cell_mode
+        #: when to rearrange: reactive and/or proactive trigger policy.
+        self.defrag_policy = (
+            make_defrag_policy(defrag_policy)
+            if isinstance(defrag_policy, str) else defrag_policy
+        )
         self.outcomes: list[PlacementOutcome] = []
+        self.defrag_outcomes: list[DefragOutcome] = []
         self._move_cost_cache: dict[tuple[int, int], float] = {}
         self._config_cost_cache: dict[int, float] = {}
 
@@ -181,7 +209,8 @@ class LogicSpaceManager:
             )
             self.outcomes.append(outcome)
             return outcome
-        if self.policy is RearrangePolicy.NONE:
+        if self.policy is RearrangePolicy.NONE \
+                or not self.defrag_policy.reactive:
             outcome = PlacementOutcome(False, owner)
             self.outcomes.append(outcome)
             return outcome
@@ -216,6 +245,47 @@ class LogicSpaceManager:
                 )
             )
         return executions
+
+    def maybe_defrag(self, now: float = 0.0,
+                     port_idle: bool = True) -> DefragOutcome | None:
+        """Run one proactive consolidation pass if the policy calls for it.
+
+        Consults :attr:`defrag_policy` against the current fragmentation
+        metrics (``now`` is simulation time, ``port_idle`` whether the
+        reconfiguration port has no queued work); when triggered, asks
+        the planner for a consolidation plan and executes it through the
+        same relocation path as reactive rearrangements.  Returns the
+        executed :class:`DefragOutcome` — whose ``port_seconds`` the
+        caller must charge against the reconfiguration port, so
+        proactive moves compete with arrivals for it — or ``None`` when
+        the policy declined or no profitable plan exists.
+        """
+        if self.policy is RearrangePolicy.NONE:
+            return None
+        if not self.defrag_policy.should_trigger(
+            fragmentation=self.fragmentation(),
+            free_area=self.free_space.free_area(),
+            now=now,
+            port_idle=port_idle,
+        ):
+            return None
+        # Cooldown starts at the attempt, not the success: a state the
+        # planner cannot improve should not be replanned every event.
+        self.defrag_policy.note_attempt(now)
+        plan = self.planner.plan_consolidation(self.fabric.occupancy)
+        if plan is None or not plan.moves:
+            return None
+        before = max((r.area for r in self.free_space.mers), default=0)
+        executions = self.execute_plan(plan)
+        after = max((r.area for r in self.free_space.mers), default=0)
+        outcome = DefragOutcome(
+            moves=executions,
+            method=plan.method,
+            largest_before=before,
+            largest_after=after,
+        )
+        self.defrag_outcomes.append(outcome)
+        return outcome
 
     def release(self, owner: int) -> None:
         """Free a finished function's footprint."""

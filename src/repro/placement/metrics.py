@@ -12,7 +12,11 @@ unused" (section 1).  Metrics:
   fragmentation for an on-line scheduler;
 * :func:`free_region_count` — number of 4-connected free regions;
 * :func:`average_free_rectangle` — mean area of the maximal empty
-  rectangles.
+  rectangles;
+* :func:`reclaimable_sites` — free sites outside the largest free
+  rectangle: the upper bound on what a perfect consolidation could fold
+  back into one contiguous block, the quantity the proactive defrag
+  policies chase.
 """
 
 from __future__ import annotations
@@ -95,6 +99,19 @@ def average_free_rectangle(occupancy: np.ndarray,
     if not mers:
         return 0.0
     return sum(r.area for r in mers) / len(mers)
+
+
+def reclaimable_sites(occupancy: np.ndarray,
+                      index: FreeSpaceIndex | None = None) -> int:
+    """Free sites a perfect consolidation could add to the largest
+    free rectangle (free area minus the current largest's area; 0 when
+    the free space is already one rectangle, or the grid is full)."""
+    free = (index.free_area() if index is not None
+            else int(free_mask(occupancy).sum()))
+    if free == 0:
+        return 0
+    largest = max((r.area for r in _mers_of(occupancy, index)), default=0)
+    return free - largest
 
 
 def utilization(occupancy: np.ndarray) -> float:

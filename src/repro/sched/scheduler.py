@@ -16,6 +16,13 @@ Two experiment drivers:
 Both charge every configuration and every rearrangement move to the
 single reconfiguration port (:class:`~repro.sched.events.SequentialResource`),
 and apply the halting penalty to moved tasks under the HALT policy.
+
+Both also run the manager's *proactive* defragmentation hook on finish
+events: when the manager's :class:`~repro.core.defrag_policy.DefragPolicy`
+(``threshold`` / ``idle``) triggers, a background consolidation compacts
+the resident functions to maximise the largest free rectangle, its moves
+charged to the same port so proactive compaction competes with arrivals
+for the serial channel.
 """
 
 from __future__ import annotations
@@ -23,7 +30,11 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
-from repro.core.manager import LogicSpaceManager, PlacementOutcome
+from repro.core.manager import (
+    DefragOutcome,
+    LogicSpaceManager,
+    PlacementOutcome,
+)
 from repro.placement import metrics
 
 from .events import EventHandle, EventQueue, SequentialResource
@@ -49,6 +60,12 @@ class ScheduleMetrics:
     makespan: float = 0.0
     rearrangements: int = 0
     moves: int = 0
+    #: proactive-defrag counters: background consolidations executed,
+    #: the moves they issued, and the port time they consumed (reactive
+    #: rearrangements are counted separately above).
+    proactive_defrags: int = 0
+    defrag_moves: int = 0
+    defrag_port_seconds: float = 0.0
     fragmentation_samples: list[float] = field(default_factory=list)
     utilization_samples: list[float] = field(default_factory=list)
     #: application-flow extras (zero for independent-task runs):
@@ -228,7 +245,7 @@ class OnlineTaskScheduler:
         self.running[task.task_id] = (task, handle)
         self._sample()
 
-    def _apply_halts(self, outcome: PlacementOutcome) -> None:
+    def _apply_halts(self, outcome: PlacementOutcome | DefragOutcome) -> None:
         """Under the HALT policy, extend each moved task's finish time by
         its stopped interval — the cost the paper's concurrent relocation
         eliminates."""
@@ -257,6 +274,32 @@ class OnlineTaskScheduler:
         self.metrics.finished += 1
         self.metrics.waiting_seconds.append(task.waiting_seconds)
         self.metrics.turnaround_seconds.append(task.turnaround_seconds)
+        self._sample()
+        self._drain_queue()
+        self._maybe_defrag()
+
+    def _maybe_defrag(self) -> None:
+        """Proactive-defrag hook, checked on every finish event.
+
+        When the manager's trigger policy fires and the planner finds a
+        profitable consolidation, the moves are charged to the
+        reconfiguration port (background compaction competes with
+        arrivals for the single serial channel), HALT-policy stops are
+        applied to the moved tasks, and the queue head is retried — the
+        consolidated free space may now host a task that failed before.
+        """
+        outcome = self.manager.maybe_defrag(
+            now=self.events.now,
+            port_idle=self.port.free_at <= self.events.now,
+        )
+        if outcome is None:
+            return
+        self.metrics.proactive_defrags += 1
+        self.metrics.defrag_moves += len(outcome.moves)
+        self.metrics.defrag_port_seconds += outcome.port_seconds
+        self._apply_halts(outcome)
+        self.port.acquire(outcome.port_seconds)
+        self._space_version += 1
         self._sample()
         self._drain_queue()
 
@@ -305,6 +348,9 @@ class ApplicationFlowScheduler:
         summary.rearrangements = self.metrics.rearrangements
         summary.moves = self.metrics.moves
         summary.halted_seconds = self.metrics.halted_seconds
+        summary.proactive_defrags = self.metrics.proactive_defrags
+        summary.defrag_moves = self.metrics.defrag_moves
+        summary.defrag_port_seconds = self.metrics.defrag_port_seconds
         self.metrics = summary
         return runs
 
@@ -362,7 +408,7 @@ class ApplicationFlowScheduler:
         state.owners[index] = owner
         return True
 
-    def _apply_halts(self, outcome: PlacementOutcome) -> None:
+    def _apply_halts(self, outcome: PlacementOutcome | DefragOutcome) -> None:
         """Under the HALT policy, a moved *executing* function is
         stopped for its move span: push its finish event out by that
         time (prefetched-but-idle functions move for free either way)."""
@@ -391,6 +437,30 @@ class ApplicationFlowScheduler:
             self._start_function(state, index + 1)
         else:
             state.record.finished_at = self.events.now
+        self._maybe_defrag()
+
+    def _maybe_defrag(self) -> None:
+        """Proactive-defrag hook, checked on every function finish.
+
+        Mirrors the task scheduler: triggered consolidations charge the
+        reconfiguration port and apply HALT-policy stops.  Crucially the
+        stalled queue is re-checked *after* the compaction — a
+        background defrag frees contiguous space exactly like a finish
+        event does, and a stalled application must not stay stranded
+        until the next finish to benefit from it.
+        """
+        outcome = self.manager.maybe_defrag(
+            now=self.events.now,
+            port_idle=self.port.free_at <= self.events.now,
+        )
+        if outcome is None:
+            return
+        self.metrics.proactive_defrags += 1
+        self.metrics.defrag_moves += len(outcome.moves)
+        self.metrics.defrag_port_seconds += outcome.port_seconds
+        self._apply_halts(outcome)
+        self.port.acquire(outcome.port_seconds)
+        self._retry_stalled()
 
     def _retry_stalled(self) -> None:
         """Space was released: wake stalled applications (FIFO)."""

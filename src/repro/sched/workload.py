@@ -14,6 +14,10 @@
   demand exceeds 100 % of the device — the virtual-hardware premise that
   "a set of applications, which in total require far more than 100% of
   the FPGA available resources" can share one part.
+* :func:`fragmenting_tasks` — many small *long-lived* functions
+  interleaved with large impatient arrivals: the anchors shatter the
+  free space exactly when a big contiguous block is demanded, the
+  stress case for the proactive defragmentation policies.
 * :func:`codec_swap_applications` — randomized codec-swap-style function
   chains (the paper's communication/video/audio context-switch example),
   scaled to a device.
@@ -195,6 +199,65 @@ def heavy_tail_tasks(
     return tasks
 
 
+def fragmenting_tasks(
+    n: int,
+    seed: int = 0,
+    mean_interarrival: float = 0.5,
+    small_range: tuple[int, int] = (1, 2),
+    small_exec: tuple[float, float] = (8.0, 16.0),
+    large_size: tuple[int, int] = (6, 9),
+    large_every: int = 4,
+    large_exec: tuple[float, float] = (0.3, 1.0),
+    max_wait: float | None = 1.5,
+) -> list[Task]:
+    """A fragmentation-hostile stream: small anchors, large arrivals.
+
+    Most tasks are small (``small_range`` per side) and *long-lived*
+    (``small_exec``), so their footprints scatter across the device and
+    pin it in a shattered state; every ``large_every``-th task is a
+    large ``large_size`` rectangle with a short service time that needs
+    a big contiguous block *right now* (``max_wait`` bounds its
+    patience, after which it is rejected).  Purely reactive
+    rearrangement meets each large arrival with a maximally scattered
+    resident set, and with this many tiny blockers a single
+    bounded-disturbance plan often cannot free the window — the regime
+    where repeated proactive consolidation between arrivals pays off.
+    Deterministic per seed.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if large_every < 2:
+        raise ValueError("large_every must be at least 2")
+    lo, hi = small_range
+    if lo < 1 or hi < lo:
+        raise ValueError("invalid small_range")
+    if large_size[0] < 1 or large_size[1] < 1:
+        raise ValueError("invalid large_size")
+    rng = random.Random(seed)
+    tasks: list[Task] = []
+    now = 0.0
+    for i in range(n):
+        now += rng.expovariate(1.0 / mean_interarrival)
+        if (i + 1) % large_every == 0:
+            height, width = large_size
+            exec_seconds = rng.uniform(*large_exec)
+        else:
+            height = rng.randint(lo, hi)
+            width = rng.randint(lo, hi)
+            exec_seconds = rng.uniform(*small_exec)
+        tasks.append(
+            Task(
+                task_id=i + 1,
+                height=height,
+                width=width,
+                exec_seconds=exec_seconds,
+                arrival=now,
+                max_wait=max_wait,
+            )
+        )
+    return tasks
+
+
 def codec_swap_applications(
     device: VirtexDevice,
     n_apps: int = 3,
@@ -309,6 +372,22 @@ def _codec_swap_factory(device: VirtexDevice, seed: int,
     return codec_swap_applications(device, seed=seed, **params)
 
 
+def _fragmenting_factory(device: VirtexDevice, seed: int,
+                         **params) -> list[Task]:
+    """Registry adapter for :func:`fragmenting_tasks`: default ``n``,
+    clamp the small anchors to the device and size the large arrivals
+    at ~75 % of each device side unless overridden."""
+    params.setdefault("n", 40)
+    params["small_range"] = _scaled_size_range(
+        device, params.get("small_range", (1, 2)))
+    if "large_size" not in params:
+        params["large_size"] = (
+            max(2, round(device.clb_rows * 0.75)),
+            max(2, round(device.clb_cols * 0.75)),
+        )
+    return fragmenting_tasks(seed=seed, **params)
+
+
 #: Named workload families available to campaign grids.
 WORKLOADS: dict[str, WorkloadSpec] = {}
 
@@ -347,6 +426,9 @@ for _spec in (
                  size_param="n"),
     WorkloadSpec("heavy-tail", "tasks", _task_factory(heavy_tail_tasks),
                  "Pareto service times: few long-lived anchor tasks",
+                 size_param="n"),
+    WorkloadSpec("fragmenting", "tasks", _fragmenting_factory,
+                 "small long-lived anchors vs. large impatient arrivals",
                  size_param="n"),
     WorkloadSpec("fig1", "apps", _fig1_factory,
                  "the fixed three-application Fig. 1 scenario"),

@@ -1,0 +1,20 @@
+"""Shared test configuration: hypothesis profiles.
+
+Two profiles, selected with ``HYPOTHESIS_PROFILE`` (default ``dev``):
+
+* ``dev`` — local development: random examples, no deadline (CI runners
+  and laptops differ too much for per-example timing to be a signal);
+* ``ci`` — the dedicated slow-marker CI job: derandomized (every run
+  checks the same example sequence, so a red job is reproducible) and
+  with a fixed example budget.
+"""
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("dev", deadline=None)
+settings.register_profile(
+    "ci", derandomize=True, max_examples=60, deadline=None
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

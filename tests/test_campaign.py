@@ -182,7 +182,7 @@ def test_summary_table(small_results):
 def test_policy_table(small_results):
     table = small_results.policy_table("mean_waiting")
     assert table.headers == [
-        "device", "workload", "fit", "port", "free_space",
+        "device", "workload", "fit", "port", "free_space", "defrag",
         "none", "concurrent"
     ]
     assert len(table.rows) == 1

@@ -1,0 +1,157 @@
+"""Property suite for the rearrangement planner (hypothesis).
+
+The planner's contract, pinned over randomized occupancy states:
+
+* every plan's move list is *collision-free when sequenced*: executed
+  one at a time, each move leaves a rectangle its owner wholly occupies
+  and lands on sites that are free at that moment;
+* the promised ``target`` rectangle is genuinely free (and of the
+  requested shape) after the moves are applied;
+* consolidation never shrinks the largest free rectangle — and when a
+  plan is returned at all, it strictly grows it;
+* no resident function is ever lost or reshaped by a plan.
+
+These are exactly the invariants the manager relies on when it executes
+a plan against the real fabric, where a violation would corrupt running
+functions (``Fabric.move_region`` would raise mid-plan).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.defrag import DefragPlanner
+from repro.placement.compaction import footprints
+from repro.placement.fit import first_fit
+from repro.placement.free_space import largest_empty_rectangle
+
+
+@st.composite
+def occupied_grids(draw):
+    """A random occupancy grid with rectangular, hole-punched residents.
+
+    Functions are packed with first-fit and a random subset is then
+    released, which is how real fragmentation arises (the paper's
+    "many small pools of resources are created as they are released").
+    """
+    rows = draw(st.integers(min_value=6, max_value=12))
+    cols = draw(st.integers(min_value=6, max_value=14))
+    occ = np.zeros((rows, cols), dtype=np.int32)
+    owner = 0
+    for _ in range(draw(st.integers(min_value=1, max_value=14))):
+        h = draw(st.integers(min_value=1, max_value=4))
+        w = draw(st.integers(min_value=1, max_value=4))
+        spot = first_fit(occ, h, w)
+        if spot is None:
+            continue
+        owner += 1
+        occ[spot.row : spot.row_end, spot.col : spot.col_end] = owner
+    for resident in [int(o) for o in np.unique(occ) if o != 0]:
+        if draw(st.booleans()):
+            occ[occ == resident] = 0
+    return occ
+
+
+def sequential_apply(occupancy: np.ndarray, moves) -> np.ndarray:
+    """Execute a move list one move at a time, asserting the physical
+    preconditions the fabric enforces: the source is wholly owned by
+    the mover, the destination is free when the move runs."""
+    grid = occupancy.copy()
+    for m in moves:
+        assert (m.src.height, m.src.width) == (m.dst.height, m.dst.width), (
+            f"{m} changes shape"
+        )
+        src = grid[m.src.row : m.src.row_end, m.src.col : m.src.col_end]
+        assert (src == m.owner).all(), f"{m}: source not owned by mover"
+        src[...] = 0
+        dst = grid[m.dst.row : m.dst.row_end, m.dst.col : m.dst.col_end]
+        assert (dst == 0).all(), f"{m}: destination occupied when sequenced"
+        dst[...] = m.owner
+    return grid
+
+
+def assert_residents_preserved(before: np.ndarray, after: np.ndarray):
+    """No function lost, duplicated, or reshaped by the plan."""
+    prints_before = footprints(before)
+    prints_after = footprints(after)
+    assert prints_before.keys() == prints_after.keys()
+    for owner, rect in prints_before.items():
+        moved = prints_after[owner]
+        assert (rect.height, rect.width) == (moved.height, moved.width)
+        assert (after == owner).sum() == (before == owner).sum()
+
+
+@pytest.mark.slow
+@settings(max_examples=80)
+@given(
+    occ=occupied_grids(),
+    height=st.integers(min_value=1, max_value=6),
+    width=st.integers(min_value=1, max_value=6),
+)
+def test_request_plans_are_sound(occ, height, width):
+    """plan(): sequenced collision-freedom + a genuinely free target."""
+    plan = DefragPlanner().plan(occ, height, width)
+    if plan is None:
+        return
+    assert (plan.target.height, plan.target.width) == (height, width)
+    after = sequential_apply(occ, plan.moves)
+    target = after[
+        plan.target.row : plan.target.row_end,
+        plan.target.col : plan.target.col_end,
+    ]
+    assert (target == 0).all(), "promised rectangle is not free"
+    assert_residents_preserved(occ, after)
+
+
+@pytest.mark.slow
+@settings(max_examples=80)
+@given(occ=occupied_grids())
+def test_consolidation_never_shrinks_largest_free_rectangle(occ):
+    """plan_consolidation(): sequenced soundness, monotone improvement."""
+    before = largest_empty_rectangle(occ)
+    before_area = before.area if before is not None else 0
+    plan = DefragPlanner().plan_consolidation(occ)
+    if plan is None:
+        return
+    assert plan.moves, "a consolidation plan without moves is pointless"
+    after = sequential_apply(occ, plan.moves)
+    best = largest_empty_rectangle(after)
+    after_area = best.area if best is not None else 0
+    assert after_area >= before_area, "consolidation shrank the LFR"
+    assert after_area > before_area, (
+        "a returned plan must strictly grow the LFR"
+    )
+    # The promised target is the compacted grid's largest free rectangle.
+    view = after[
+        plan.target.row : plan.target.row_end,
+        plan.target.col : plan.target.col_end,
+    ]
+    assert (view == 0).all()
+    assert plan.target.area == after_area
+    assert_residents_preserved(occ, after)
+
+
+@pytest.mark.slow
+@settings(max_examples=40)
+@given(occ=occupied_grids())
+def test_consolidation_respects_move_cap(occ):
+    """Truncated compactions never exceed max_consolidation_moves."""
+    planner = DefragPlanner(max_consolidation_moves=3)
+    plan = planner.plan_consolidation(occ)
+    if plan is not None:
+        assert len(plan.moves) <= 3
+
+
+@pytest.mark.slow
+@settings(max_examples=40)
+@given(
+    occ=occupied_grids(),
+    height=st.integers(min_value=1, max_value=6),
+    width=st.integers(min_value=1, max_value=6),
+)
+def test_plans_never_exceed_free_area(occ, height, width):
+    """A plan can only consolidate free sites, never mint new ones."""
+    plan = DefragPlanner().plan(occ, height, width)
+    if plan is None or not plan.moves:
+        return
+    assert int((occ == 0).sum()) >= height * width

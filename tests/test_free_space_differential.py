@@ -19,6 +19,8 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+pytestmark = pytest.mark.slow
+
 from repro.core.manager import LogicSpaceManager, RearrangePolicy
 from repro.device.devices import device
 from repro.device.fabric import Fabric

@@ -1,13 +1,18 @@
-"""Golden regression: a fixed 24-run campaign grid, field by field.
+"""Golden regression: fixed campaign grids, field by field.
 
 Scheduler and placement refactors must not silently change the science.
-This test runs the canonical 24-run grid (the CLI's default axes:
-2 devices x 3 policies x 2 workloads x 2 seeds, sized down to stay
-fast), and compares every exported metric of every run against the
-snapshot in ``tests/golden/campaign_24.json``.
+Two snapshots are pinned:
+
+* ``campaign_24.json`` — the canonical 24-run grid (the CLI's default
+  axes: 2 devices x 3 policies x 2 workloads x 2 seeds, sized down to
+  stay fast);
+* ``campaign_defrag.json`` — an 8-run defrag-axis grid (1 device x
+  concurrent x the fragmentation-hostile workload x 2 seeds x 4 defrag
+  trigger policies), so proactive-consolidation regressions are caught
+  the same way.
 
 When a change *intentionally* moves the numbers (a new heuristic, a
-cost-model fix), regenerate the snapshot and review the diff like any
+cost-model fix), regenerate the snapshots and review the diff like any
 other code change:
 
     REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_campaign.py
@@ -23,7 +28,9 @@ from repro.campaign.aggregate import CampaignResult
 from repro.campaign.runner import ScenarioResult, run_campaign
 from repro.campaign.spec import CampaignSpec
 
-GOLDEN_PATH = Path(__file__).parent / "golden" / "campaign_24.json"
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GOLDEN_PATH = GOLDEN_DIR / "campaign_24.json"
+GOLDEN_DEFRAG_PATH = GOLDEN_DIR / "campaign_defrag.json"
 
 #: The CLI's default grid axes with a fast task count; any edit here
 #: requires regenerating the snapshot.
@@ -35,14 +42,27 @@ GOLDEN_GRID = dict(
     workload_params={"random": {"n": 10}, "bursty": {"n": 10}},
 )
 
+#: The defrag-axis grid: every trigger policy over the hostile workload.
+GOLDEN_DEFRAG_GRID = dict(
+    devices=["XC2S15"],
+    policies=["concurrent"],
+    workloads=["fragmenting"],
+    seeds=[0, 1],
+    defrags=["never", "on-failure", "threshold", "idle"],
+    workload_params={"fragmenting": {"n": 14}},
+)
+
 #: Integer-valued metric columns are compared exactly; the rest admit
 #: only float-representation noise.
-EXACT_FIELDS = {"finished", "rejected", "rearrangements", "moves"}
+EXACT_FIELDS = {
+    "finished", "rejected", "rearrangements", "moves",
+    "proactive_defrags", "defrag_moves",
+}
 
 
-def run_golden_grid() -> list[dict]:
-    """Execute the grid serially and export comparable rows."""
-    spec = CampaignSpec(**GOLDEN_GRID)
+def run_grid(grid: dict) -> list[dict]:
+    """Execute a grid serially and export comparable rows."""
+    spec = CampaignSpec(**grid)
     results = run_campaign(spec.expand(), jobs=1)
     rows = []
     for result in results:
@@ -52,17 +72,23 @@ def run_golden_grid() -> list[dict]:
     return rows
 
 
-def test_golden_campaign_snapshot():
-    rows = run_golden_grid()
-    assert len(rows) == 24
+def run_golden_grid() -> list[dict]:
+    """The canonical 24-run grid (kept as a named helper: other suites
+    import it as the reference execution of the default axes)."""
+    return run_grid(GOLDEN_GRID)
+
+
+def check_against_snapshot(rows: list[dict], path: Path) -> None:
+    """Compare rows to the snapshot at ``path`` (or regenerate it)."""
     if os.environ.get("REGEN_GOLDEN"):
-        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
-        GOLDEN_PATH.write_text(json.dumps(rows, indent=2) + "\n")
-        pytest.skip(f"regenerated {GOLDEN_PATH}")
-    assert GOLDEN_PATH.exists(), (
-        "golden snapshot missing; run with REGEN_GOLDEN=1 to create it"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(rows, indent=2) + "\n")
+        pytest.skip(f"regenerated {path}")
+    assert path.exists(), (
+        f"golden snapshot {path.name} missing; "
+        "run with REGEN_GOLDEN=1 to create it"
     )
-    golden = json.loads(GOLDEN_PATH.read_text())
+    golden = json.loads(path.read_text())
     assert len(golden) == len(rows)
     for index, (expected, actual) in enumerate(zip(golden, rows)):
         assert expected.keys() == actual.keys(), f"run {index}: columns"
@@ -70,11 +96,34 @@ def test_golden_campaign_snapshot():
             got = actual[field]
             context = f"run {index} ({actual['device']}/" \
                       f"{actual['policy']}/{actual['workload']}/" \
-                      f"seed {actual['seed']}): {field}"
+                      f"{actual['defrag']}/seed {actual['seed']}): {field}"
             if isinstance(want, float) and field not in EXACT_FIELDS:
                 assert got == pytest.approx(want, rel=1e-9, abs=1e-12), context
             else:
                 assert got == want, context
+
+
+def test_golden_campaign_snapshot():
+    rows = run_golden_grid()
+    assert len(rows) == 24
+    check_against_snapshot(rows, GOLDEN_PATH)
+
+
+def test_golden_defrag_snapshot():
+    rows = run_grid(GOLDEN_DEFRAG_GRID)
+    assert len(rows) == 8
+    # The axis must genuinely vary: proactive policies fire on this
+    # workload, reactive-only ones never do.
+    by_defrag: dict[str, int] = {}
+    for row in rows:
+        by_defrag[row["defrag"]] = (
+            by_defrag.get(row["defrag"], 0) + row["proactive_defrags"]
+        )
+    assert by_defrag["never"] == 0
+    assert by_defrag["on-failure"] == 0
+    assert by_defrag["threshold"] > 0
+    assert by_defrag["idle"] > 0
+    check_against_snapshot(rows, GOLDEN_DEFRAG_PATH)
 
 
 def test_golden_covers_every_cell_once():

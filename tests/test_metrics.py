@@ -8,6 +8,7 @@ from repro.placement.metrics import (
     average_free_rectangle,
     fragmentation_index,
     free_region_count,
+    reclaimable_sites,
     satisfiable_fraction,
     utilization,
 )
@@ -84,3 +85,22 @@ class TestOtherMetrics:
         occ = np.zeros((4, 4), dtype=int)
         occ[:2, :] = 3
         assert utilization(occ) == pytest.approx(0.5)
+
+    def test_reclaimable_sites_contiguous_is_zero(self):
+        assert reclaimable_sites(np.zeros((4, 4), dtype=int)) == 0
+        assert reclaimable_sites(np.ones((4, 4), dtype=int)) == 0
+
+    def test_reclaimable_sites_split_space(self):
+        # Free columns 0 and 2-3 of a 4x4: largest free rect is 4x2,
+        # the 4-site sliver is what consolidation could reclaim.
+        occ = np.zeros((4, 4), dtype=int)
+        occ[:, 1] = 7
+        assert reclaimable_sites(occ) == 4
+
+    def test_reclaimable_sites_matches_fragmentation_index(self):
+        occ = np.zeros((6, 6), dtype=int)
+        occ[2:4, 2:4] = 1
+        free = int((occ == 0).sum())
+        assert reclaimable_sites(occ) == pytest.approx(
+            fragmentation_index(occ) * free
+        )

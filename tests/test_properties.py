@@ -12,6 +12,8 @@ import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
+pytestmark = pytest.mark.slow
+
 from repro.core.cost import CostModel, CostParameters
 from repro.core.procedure import build_plan
 from repro.core.relocation import make_lockstep_engine

@@ -1,0 +1,78 @@
+"""Determinism: same seed + same policy => identical metrics, always.
+
+The campaign engine's serial == parallel guarantee (and the golden
+snapshots) rest on scenario execution being a pure function of the
+spec.  The proactive defrag policies add trigger state (cooldowns,
+attempt timestamps) to that path, so this suite re-runs every scheduler
+x defrag-policy combination twice from fresh state and requires the
+full :class:`~repro.sched.scheduler.ScheduleMetrics` — including the
+new defrag counters — to come out identical, field for field.
+"""
+
+import pytest
+
+from repro.campaign.runner import run_scenario
+from repro.campaign.spec import ScenarioSpec, normalize_params
+from repro.core.defrag_policy import DEFRAG_POLICY_NAMES
+from repro.core.manager import LogicSpaceManager
+from repro.device.devices import device
+from repro.device.fabric import Fabric
+from repro.sched.scheduler import ApplicationFlowScheduler, OnlineTaskScheduler
+from repro.sched.workload import make_workload
+
+
+def run_tasks_once(defrag: str):
+    """One fresh fragmenting-stream run under ``defrag``."""
+    dev = device("XC2S15")
+    manager = LogicSpaceManager(Fabric(dev), defrag_policy=defrag)
+    tasks = make_workload("fragmenting", dev, seed=7, n=30)
+    return OnlineTaskScheduler(manager).run(tasks)
+
+
+def run_apps_once(defrag: str):
+    """One fresh codec-swap application run under ``defrag``."""
+    dev = device("XC2S15")
+    manager = LogicSpaceManager(Fabric(dev), defrag_policy=defrag)
+    apps = make_workload("codec-swap", dev, seed=7, n_apps=4)
+    scheduler = ApplicationFlowScheduler(manager)
+    scheduler.run(apps)
+    return scheduler.metrics
+
+
+@pytest.mark.parametrize("defrag", DEFRAG_POLICY_NAMES)
+def test_task_scheduler_is_deterministic(defrag):
+    assert run_tasks_once(defrag) == run_tasks_once(defrag)
+
+
+@pytest.mark.parametrize("defrag", DEFRAG_POLICY_NAMES)
+def test_app_scheduler_is_deterministic(defrag):
+    assert run_apps_once(defrag) == run_apps_once(defrag)
+
+
+@pytest.mark.parametrize("defrag", DEFRAG_POLICY_NAMES)
+@pytest.mark.parametrize(
+    "workload,params",
+    [("fragmenting", {"n": 25}), ("codec-swap", {"n_apps": 3})],
+)
+def test_scenario_results_are_reproducible(defrag, workload, params):
+    """The campaign path: a spec re-run yields an equal ScenarioResult
+    (wall clock is excluded from comparison by construction)."""
+    spec = ScenarioSpec(
+        device="XC2S15",
+        policy="concurrent",
+        workload=workload,
+        seed=11,
+        defrag=defrag,
+        workload_params=normalize_params(params),
+    )
+    assert run_scenario(spec) == run_scenario(spec)
+
+
+def test_proactive_policies_change_the_run():
+    """Sanity: the new policies are not dead knobs on the hostile
+    workload — proactive consolidation actually fires."""
+    metrics = run_tasks_once("idle")
+    assert metrics.proactive_defrags > 0
+    baseline = run_tasks_once("on-failure")
+    assert baseline.proactive_defrags == 0
+    assert metrics != baseline
