@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Scheduling-kernel performance harness — ``BENCH_sched.json``.
+
+The kernel refactor put every scheduler event (arrival, admission pass,
+finish, timeout, defrag trigger) through one shared code path, so its
+event throughput bounds how large a simulated workload a campaign can
+afford.  Three layers of evidence:
+
+* **events** — the raw discrete-event core: schedule/cancel/run cycles
+  through :class:`~repro.sched.events.EventQueue`, reported as events
+  per second;
+* **queues** — discipline mechanics in isolation: push + tombstone
+  discard + scan over large queues for every discipline, showing the
+  lazy-tombstone scheme holds its O(1) discard as queues grow (the
+  historical ``deque.remove`` path was O(n) per timeout);
+* **kernel** — whole-scheduler runs: one heavy-tail stream per
+  (queue discipline x port model) cell, wall clock plus the kernel's
+  processed-event counter, i.e. end-to-end events per second.
+
+Run from the repo root:
+
+    PYTHONPATH=src python benchmarks/perf/bench_sched.py
+    PYTHONPATH=src python benchmarks/perf/bench_sched.py --smoke
+
+``--smoke`` shrinks stream sizes for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.core.manager import LogicSpaceManager
+from repro.device.devices import device
+from repro.device.fabric import Fabric
+from repro.sched.events import EventQueue
+from repro.sched.ports import PORT_MODEL_NAMES
+from repro.sched.queues import QUEUE_NAMES, make_queue
+from repro.sched.scheduler import OnlineTaskScheduler
+from repro.sched.workload import heavy_tail_tasks
+
+
+def bench_events(n_events: int) -> dict:
+    """Raw event-core throughput: schedule, cancel 25 %, run to empty."""
+    queue = EventQueue()
+    sink = []
+    started = time.perf_counter()
+    handles = [
+        queue.at(float(i % 977), lambda i=i: sink.append(i))
+        for i in range(n_events)
+    ]
+    for handle in handles[::4]:
+        handle.cancel()
+    queue.run()
+    elapsed = time.perf_counter() - started
+    fired = len(sink)
+    return {
+        "scheduled": n_events,
+        "fired": fired,
+        "wall_seconds": elapsed,
+        "events_per_second": fired / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+class _Stub:
+    """Queueable stand-in with the area the disciplines order by."""
+
+    __slots__ = ("area",)
+
+    def __init__(self, area: int) -> None:
+        self.area = area
+
+
+def bench_queues(n_items: int) -> list[dict]:
+    """Discipline mechanics: push all, tombstone half, scan+take rest."""
+    out = []
+    for name in QUEUE_NAMES:
+        discipline = make_queue(name)
+        items = [_Stub(area=(i * 37) % 100 + 1) for i in range(n_items)]
+        started = time.perf_counter()
+        for i, item in enumerate(items):
+            discipline.push(item, priority=i % 4, area=item.area,
+                            now=float(i))
+        for item in items[::2]:
+            discipline.discard(item)  # O(1) tombstone, half the queue
+        drained = 0
+        now = float(n_items)
+        while len(discipline):
+            for item in discipline.scan(now):
+                discipline.take(item)
+                drained += 1
+                break
+        elapsed = time.perf_counter() - started
+        ops = n_items * 2 + drained  # pushes + discards + scans
+        out.append({
+            "queue": name,
+            "items": n_items,
+            "drained": drained,
+            "wall_seconds": elapsed,
+            "ops_per_second": ops / elapsed if elapsed > 0 else 0.0,
+        })
+        print(
+            f"queue {name:>9}: {elapsed:6.3f} s for {n_items} push + "
+            f"{n_items // 2} discard + {drained} scans "
+            f"({out[-1]['ops_per_second']:10.0f} ops/s)"
+        )
+    return out
+
+
+def bench_kernel(n_tasks: int) -> list[dict]:
+    """End-to-end scheduler event throughput per (queue, ports) cell."""
+    out = []
+    dev = device("XCV200")
+    for queue in QUEUE_NAMES:
+        for ports in PORT_MODEL_NAMES:
+            manager = LogicSpaceManager(Fabric(dev))
+            tasks = heavy_tail_tasks(
+                n_tasks, seed=5, mean_interarrival=0.05,
+                size_range=(3, 10), max_wait=8.0, priority_levels=3,
+            )
+            scheduler = OnlineTaskScheduler(manager, queue=queue,
+                                            ports=ports)
+            started = time.perf_counter()
+            metrics = scheduler.run(tasks)
+            elapsed = time.perf_counter() - started
+            processed = scheduler.events.processed
+            out.append({
+                "queue": queue,
+                "ports": ports,
+                "tasks": n_tasks,
+                "events_processed": processed,
+                "wall_seconds": elapsed,
+                "events_per_second": (
+                    processed / elapsed if elapsed > 0 else 0.0
+                ),
+                "finished": metrics.finished,
+                "rejected": metrics.rejected,
+            })
+            print(
+                f"kernel {queue:>9} x {ports:<8}: {elapsed:6.3f} s, "
+                f"{processed:6d} events "
+                f"({out[-1]['events_per_second']:9.0f} ev/s), "
+                f"{metrics.finished} finished / {metrics.rejected} rejected"
+            )
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the harness and write the JSON evidence."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: smaller streams")
+    parser.add_argument("--out", default="BENCH_sched.json",
+                        metavar="PATH", help="output JSON path")
+    args = parser.parse_args(argv)
+    n_events = 20_000 if args.smoke else 200_000
+    n_items = 5_000 if args.smoke else 50_000
+    n_tasks = 60 if args.smoke else 300
+    payload = {
+        "machine": platform.platform(),
+        "python": platform.python_version(),
+        "smoke": args.smoke,
+        "events": bench_events(n_events),
+        "queues": bench_queues(n_items),
+        "kernel": bench_kernel(n_tasks),
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,10 +36,18 @@ SUMMARY_METRICS = (
 #: Non-seed axes of an aggregation cell, in the column order of the
 #: tables (policy last so policy duels read across a row).
 GROUP_AXES = ("device", "workload", "fit", "port_kind", "free_space",
-              "defrag", "policy")
+              "defrag", "queue", "ports", "policy")
 #: Table headers matching GROUP_AXES (``port_kind`` is shown as "port").
 GROUP_HEADERS = ("device", "workload", "fit", "port", "free_space",
-                 "defrag", "policy")
+                 "defrag", "queue", "ports", "policy")
+
+#: Axis columns :meth:`ScenarioSpec.to_dict` omits at their default
+#: value (keeps golden row shapes stable); exports back-fill them.
+SPARSE_AXES = ("queue", "ports")
+
+#: Spec columns always present in a row, in export order.
+BASE_AXES = ("device", "policy", "workload", "seed", "fit", "port_kind",
+             "free_space", "defrag")
 
 
 def _group_key(result: ScenarioResult) -> tuple[str, ...]:
@@ -59,12 +67,37 @@ class CampaignResult:
         return len(self.results)
 
     def rows(self) -> list[dict]:
-        """Flat per-run dicts (spec axes + metric columns)."""
-        return [r.to_row() for r in self.results]
+        """Flat per-run dicts (spec axes + metric columns).
+
+        Campaigns sweeping a sparse axis (``queue``/``ports``) mix rows
+        with and without those columns — here every row is rebuilt to
+        the explicit column order ``BASE_AXES`` + swept sparse axes +
+        ``METRIC_FIELDS``, with sparse values read off the spec (whose
+        attribute always exists), so exports stay rectangular.
+        Campaigns that never touch the sparse axes keep the historical
+        column set bit-identically.
+        """
+        rows = [r.to_row() for r in self.results]
+        swept = [
+            name for name in SPARSE_AXES
+            if any(name in row for row in rows)
+        ]
+        if not swept:
+            return rows
+        out = []
+        for result, row in zip(self.results, rows):
+            filled = {axis: row[axis] for axis in BASE_AXES}
+            for name in swept:
+                filled[name] = getattr(result.spec, name)
+            for metric in ScenarioResult.METRIC_FIELDS:
+                filled[metric] = row[metric]
+            out.append(filled)
+        return out
 
     def groups(self) -> dict[tuple[str, ...], list[ScenarioResult]]:
         """Results bucketed by (device, workload, fit, port, free-space
-        engine, policy), seeds pooled.
+        engine, defrag, queue discipline, port model, policy), seeds
+        pooled.
 
         Group order follows first appearance in the run list, which the
         deterministic grid expansion fixes.
@@ -151,6 +184,16 @@ class CampaignResult:
         threshold / idle): what does proactive consolidation buy on each
         device/workload cell?"""
         return self.pivot_table("defrag", metric)
+
+    def queue_table(self, metric: str = "mean_waiting") -> Table:
+        """Queue disciplines side by side (fifo / priority / sjf /
+        backfill): what does admission order buy on each cell?"""
+        return self.pivot_table("queue", metric)
+
+    def ports_table(self, metric: str = "mean_waiting") -> Table:
+        """Reconfiguration-port models side by side (serial / multi-N /
+        icap): what does configuration bandwidth buy on each cell?"""
+        return self.pivot_table("ports", metric)
 
     def to_csv(self, path: str | Path) -> Path:
         """Write one CSV row per run; returns the path written."""

@@ -19,6 +19,8 @@ import time
 
 from repro.core.defrag_policy import DEFRAG_POLICY_NAMES
 from repro.placement.free_space import FREE_SPACE_NAMES
+from repro.sched.ports import PORT_MODEL_NAMES, normalize_port_model
+from repro.sched.queues import QUEUE_NAMES
 from repro.sched.workload import WORKLOADS
 
 from .aggregate import CampaignResult
@@ -55,9 +57,10 @@ def build_parser() -> argparse.ArgumentParser:
     grid.add_argument("--fits", nargs="+", default=["first"],
                       choices=("first", "best", "bottom-left"),
                       metavar="FIT", help="placement fit strategies")
-    grid.add_argument("--ports", nargs="+", default=["boundary-scan"],
-                      choices=PORT_KINDS, metavar="PORT",
-                      help="configuration-port kinds")
+    grid.add_argument("--port-kinds", nargs="+", default=["boundary-scan"],
+                      choices=PORT_KINDS, metavar="KIND",
+                      dest="port_kinds",
+                      help="configuration-port kinds (cost model)")
     grid.add_argument("--free-space", nargs="+", default=["incremental"],
                       choices=FREE_SPACE_NAMES, metavar="ENGINE",
                       dest="free_spaces",
@@ -66,11 +69,26 @@ def build_parser() -> argparse.ArgumentParser:
                       choices=DEFRAG_POLICY_NAMES, metavar="POLICY",
                       dest="defrags",
                       help=f"defrag trigger policies {DEFRAG_POLICY_NAMES}")
+    grid.add_argument("--queue", nargs="+", default=["fifo"],
+                      choices=QUEUE_NAMES, metavar="DISCIPLINE",
+                      dest="queues",
+                      help=f"queue disciplines {QUEUE_NAMES}")
+    grid.add_argument("--ports", nargs="+", default=["serial"],
+                      type=normalize_port_model, metavar="MODEL",
+                      dest="ports",
+                      help="reconfiguration-port models "
+                           f"{PORT_MODEL_NAMES} (multi-N or a bare "
+                           "port count, e.g. '--ports 2')")
     size = parser.add_argument_group("workload sizing")
     size.add_argument("--tasks", type=int, default=30, metavar="N",
                       help="tasks per run for task-stream workloads")
     size.add_argument("--apps", type=int, default=3, metavar="N",
                       help="applications per run for chain workloads")
+    size.add_argument("--priority-levels", type=int, default=1,
+                      metavar="N", dest="priority_levels",
+                      help="QoS priority classes drawn per task/app "
+                           "(1 = priority-unaware, keeps historical "
+                           "random streams)")
     execution = parser.add_argument_group("execution")
     execution.add_argument("--jobs", type=int, default=None, metavar="N",
                            help="worker processes (default: min(8, cores); "
@@ -95,6 +113,8 @@ def campaign_from_args(args: argparse.Namespace) -> CampaignSpec:
         if family.size_param:
             size = args.tasks if family.kind == "tasks" else args.apps
             params[name] = {family.size_param: size}
+            if args.priority_levels > 1:
+                params[name]["priority_levels"] = args.priority_levels
         # families without a size_param (fig1) are fixed scenarios.
     return CampaignSpec(
         devices=args.devices,
@@ -102,9 +122,11 @@ def campaign_from_args(args: argparse.Namespace) -> CampaignSpec:
         workloads=args.workloads,
         seeds=args.seeds,
         fits=args.fits,
-        port_kinds=args.ports,
+        port_kinds=args.port_kinds,
         free_spaces=args.free_spaces,
         defrags=args.defrags,
+        queues=args.queues,
+        ports=args.ports,
         workload_params=params,
     )
 
@@ -128,11 +150,16 @@ def main(argv: list[str] | None = None) -> int:
             f"({len(args.devices)} devices x {len(args.policies)} policies "
             f"x {len(args.workloads)} workloads x {len(args.seeds)} seeds"
             + (f" x {len(args.fits)} fits" if len(args.fits) > 1 else "")
-            + (f" x {len(args.ports)} ports" if len(args.ports) > 1 else "")
+            + (f" x {len(args.port_kinds)} port kinds"
+               if len(args.port_kinds) > 1 else "")
             + (f" x {len(args.free_spaces)} engines"
                if len(args.free_spaces) > 1 else "")
             + (f" x {len(args.defrags)} defrag policies"
                if len(args.defrags) > 1 else "")
+            + (f" x {len(args.queues)} queue disciplines"
+               if len(args.queues) > 1 else "")
+            + (f" x {len(args.ports)} port models"
+               if len(args.ports) > 1 else "")
             + f"), {jobs} worker(s)"
         )
     started = time.perf_counter()
@@ -143,6 +170,10 @@ def main(argv: list[str] | None = None) -> int:
         results.policy_table(args.metric).show()
         if len(args.defrags) > 1:
             results.defrag_table(args.metric).show()
+        if len(args.queues) > 1:
+            results.queue_table(args.metric).show()
+        if len(args.ports) > 1:
+            results.ports_table(args.metric).show()
         sim_seconds = sum(r.wall_seconds for r in results.results)
         print(
             f"\n{len(results)} runs in {elapsed:.2f} s wall "

@@ -124,17 +124,22 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
     """Execute one scenario end to end; pure in the spec.
 
     Dispatches on the workload family's kind: independent-task streams
-    run under the FIFO :class:`OnlineTaskScheduler`, application chains
-    under the prefetching :class:`ApplicationFlowScheduler`.
+    run under :class:`OnlineTaskScheduler`, application chains under
+    the prefetching :class:`ApplicationFlowScheduler`; both receive the
+    spec's queue discipline and reconfiguration-port model.
     """
     started = time.perf_counter()
     manager = build_manager(spec)
     dev = manager.fabric.device
     payload = make_workload(spec.workload, dev, spec.seed, **spec.params())
     if spec.scheduler_kind == "tasks":
-        metrics = OnlineTaskScheduler(manager).run(payload)
+        metrics = OnlineTaskScheduler(
+            manager, queue=spec.queue, ports=spec.ports
+        ).run(payload)
     else:
-        scheduler = ApplicationFlowScheduler(manager)
+        scheduler = ApplicationFlowScheduler(
+            manager, queue=spec.queue, ports=spec.ports
+        )
         scheduler.run(payload)
         metrics = scheduler.metrics
     return _from_metrics(spec, metrics, time.perf_counter() - started)

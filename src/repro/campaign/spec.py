@@ -23,6 +23,8 @@ from repro.core.manager import RearrangePolicy
 from repro.device.devices import device as device_by_name
 from repro.placement.fit import fitter
 from repro.placement.free_space import FREE_SPACE_NAMES
+from repro.sched.ports import normalize_port_model
+from repro.sched.queues import QUEUE_NAMES
 from repro.sched.workload import get_workload as workload_by_name
 
 #: Valid rearrangement policy names (the RearrangePolicy values).
@@ -49,6 +51,8 @@ class ScenarioSpec:
     port_kind: str = "boundary-scan"
     free_space: str = "incremental"
     defrag: str = "on-failure"
+    queue: str = "fifo"
+    ports: str = "serial"
     workload_params: tuple[tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
@@ -71,6 +75,14 @@ class ScenarioSpec:
                 f"unknown defrag policy {self.defrag!r}; "
                 f"choose from {DEFRAG_POLICY_NAMES}"
             )
+        if self.queue not in QUEUE_NAMES:
+            raise ValueError(
+                f"unknown queue discipline {self.queue!r}; "
+                f"choose from {QUEUE_NAMES}"
+            )
+        # Canonicalise the port model ("2" -> "multi-2"); frozen
+        # dataclass, so write through object.__setattr__.
+        object.__setattr__(self, "ports", normalize_port_model(self.ports))
         fitter(self.fit)  # raises on unknown strategy
         workload_by_name(self.workload)  # raises on unknown workload
 
@@ -89,8 +101,17 @@ class ScenarioSpec:
         return dict(self.workload_params)
 
     def to_dict(self) -> dict:
-        """JSON-friendly representation."""
-        return {
+        """JSON-friendly representation.
+
+        The scheduling-policy axes (``queue``, ``ports``) are emitted
+        only when they differ from their defaults, keeping the exported
+        row shape — and the committed golden snapshots — bit-identical
+        for campaigns that never touch them.  Aggregation reads the
+        attributes directly, and :meth:`CampaignResult.rows
+        <repro.campaign.aggregate.CampaignResult.rows>` back-fills the
+        columns for mixed sweeps.
+        """
+        out = {
             "device": self.device,
             "policy": self.policy,
             "workload": self.workload,
@@ -99,8 +120,13 @@ class ScenarioSpec:
             "port_kind": self.port_kind,
             "free_space": self.free_space,
             "defrag": self.defrag,
-            "workload_params": self.params(),
         }
+        if self.queue != "fifo":
+            out["queue"] = self.queue
+        if self.ports != "serial":
+            out["ports"] = self.ports
+        out["workload_params"] = self.params()
+        return out
 
 
 def normalize_params(params: dict | None) -> tuple[tuple[str, object], ...]:
@@ -115,9 +141,9 @@ class CampaignSpec:
     """The axes of a sweep; :meth:`expand` yields the run grid.
 
     Axis order in the expansion is fixed (device, policy, fit, port,
-    free-space engine, defrag policy, workload, seed) so a campaign's
-    run list — and therefore its result ordering — is deterministic for
-    a given spec.
+    free-space engine, defrag policy, queue discipline, port model,
+    workload, seed) so a campaign's run list — and therefore its result
+    ordering — is deterministic for a given spec.
     """
 
     devices: list[str] = field(default_factory=lambda: ["XCV200"])
@@ -128,6 +154,8 @@ class CampaignSpec:
     port_kinds: list[str] = field(default_factory=lambda: ["boundary-scan"])
     free_spaces: list[str] = field(default_factory=lambda: ["incremental"])
     defrags: list[str] = field(default_factory=lambda: ["on-failure"])
+    queues: list[str] = field(default_factory=lambda: ["fifo"])
+    ports: list[str] = field(default_factory=lambda: ["serial"])
     #: per-workload generator parameters, keyed by workload name,
     #: e.g. ``{"random": {"n": 30}, "codec-swap": {"n_apps": 4}}``.
     workload_params: dict[str, dict] = field(default_factory=dict)
@@ -144,11 +172,13 @@ class CampaignSpec:
                 port_kind=port,
                 free_space=space,
                 defrag=defrag,
+                queue=queue,
+                ports=ports,
                 workload_params=normalize_params(
                     self.workload_params.get(wl)
                 ),
             )
-            for dev, pol, fit, port, space, defrag, wl, seed
+            for dev, pol, fit, port, space, defrag, queue, ports, wl, seed
             in itertools.product(
                 self.devices,
                 self.policies,
@@ -156,6 +186,8 @@ class CampaignSpec:
                 self.port_kinds,
                 self.free_spaces,
                 self.defrags,
+                self.queues,
+                self.ports,
                 self.workloads,
                 self.seeds,
             )
@@ -171,6 +203,8 @@ class CampaignSpec:
             * len(self.port_kinds)
             * len(self.free_spaces)
             * len(self.defrags)
+            * len(self.queues)
+            * len(self.ports)
             * len(self.workloads)
             * len(self.seeds)
         )

@@ -1,11 +1,31 @@
 """On-line scheduling substrate: event kernel, tasks, workloads,
-schedulers (DESIGN.md, section 3)."""
+queue disciplines, port models, the scheduling kernel and the two
+scheduler strategy layers (DESIGN.md, section 3)."""
 
 from .events import EventHandle, EventQueue, SequentialResource
+from .kernel import ScheduleMetrics, SchedulingKernel
+from .ports import (
+    PORT_MODEL_NAMES,
+    IcapPortModel,
+    MultiPortModel,
+    PortModel,
+    SerialPortModel,
+    make_port_model,
+    normalize_port_model,
+)
+from .queues import (
+    QUEUE_DISCIPLINES,
+    QUEUE_NAMES,
+    BackfillDiscipline,
+    FifoDiscipline,
+    PriorityDiscipline,
+    QueueDiscipline,
+    SjfDiscipline,
+    make_queue,
+)
 from .scheduler import (
     ApplicationFlowScheduler,
     OnlineTaskScheduler,
-    ScheduleMetrics,
     summarize_application_runs,
 )
 from .tasks import (
@@ -32,6 +52,19 @@ from .workload import (
 
 __all__ = [
     "ApplicationFlowScheduler",
+    "BackfillDiscipline",
+    "FifoDiscipline",
+    "IcapPortModel",
+    "MultiPortModel",
+    "PORT_MODEL_NAMES",
+    "PortModel",
+    "PriorityDiscipline",
+    "QUEUE_DISCIPLINES",
+    "QUEUE_NAMES",
+    "QueueDiscipline",
+    "SchedulingKernel",
+    "SerialPortModel",
+    "SjfDiscipline",
     "WORKLOADS",
     "WorkloadSpec",
     "ApplicationRun",
@@ -49,7 +82,10 @@ __all__ = [
     "codec_swap_applications",
     "fig1_applications",
     "heavy_tail_tasks",
+    "make_port_model",
+    "make_queue",
     "make_workload",
+    "normalize_port_model",
     "random_tasks",
     "register_workload",
     "summarize_application_runs",

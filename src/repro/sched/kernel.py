@@ -1,0 +1,350 @@
+"""The scheduling kernel: shared machinery under both schedulers.
+
+Historically :class:`~repro.sched.scheduler.OnlineTaskScheduler` and
+:class:`~repro.sched.scheduler.ApplicationFlowScheduler` each hand-rolled
+the same ~150 lines: an event queue, a serial reconfiguration port,
+HALT-extension arithmetic for moved-while-running functions, the
+proactive-defrag hook and fragmentation/utilization sampling — and both
+hardwired strict-FIFO admission over a single serial port.
+
+:class:`SchedulingKernel` owns all of that once, behind two policy
+axes supplied at construction:
+
+* a :class:`~repro.sched.queues.QueueDiscipline` deciding *admission
+  order* of waiting work (``fifo`` / ``priority`` / ``sjf`` /
+  ``backfill``), and
+* a :class:`~repro.sched.ports.PortModel` deciding how port seconds are
+  served (``serial`` / ``multi-N`` / ``icap``).
+
+The schedulers are thin strategy layers: they translate their workload
+shape (independent tasks, application chains) into kernel calls and
+keep only the bookkeeping unique to that shape.  With the default
+``fifo`` + ``serial`` policies the kernel is event-for-event identical
+to the historical schedulers — the golden campaign snapshots pin it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.core.manager import (
+    DefragOutcome,
+    LogicSpaceManager,
+    PlacementOutcome,
+)
+
+from .events import EventHandle, EventQueue
+from .ports import PortModel, make_port_model
+from .queues import QueueDiscipline, make_queue
+
+
+@dataclass
+class ScheduleMetrics:
+    """Aggregated outcome of one scheduling run."""
+
+    finished: int = 0
+    rejected: int = 0
+    waiting_seconds: list[float] = field(default_factory=list)
+    turnaround_seconds: list[float] = field(default_factory=list)
+    halted_seconds: float = 0.0
+    port_busy_seconds: float = 0.0
+    makespan: float = 0.0
+    rearrangements: int = 0
+    moves: int = 0
+    #: proactive-defrag counters: background consolidations executed,
+    #: the moves they issued, and the port time they consumed (reactive
+    #: rearrangements are counted separately above).
+    proactive_defrags: int = 0
+    defrag_moves: int = 0
+    defrag_port_seconds: float = 0.0
+    fragmentation_samples: list[float] = field(default_factory=list)
+    utilization_samples: list[float] = field(default_factory=list)
+    #: application-flow extras (zero for independent-task runs):
+    #: reconfiguration-induced stall and prefetch success counts.
+    stall_seconds: float = 0.0
+    prefetched_functions: int = 0
+    total_functions: int = 0
+
+    @property
+    def mean_waiting(self) -> float:
+        """Mean task waiting time (0 when nothing finished)."""
+        return (
+            sum(self.waiting_seconds) / len(self.waiting_seconds)
+            if self.waiting_seconds
+            else 0.0
+        )
+
+    @property
+    def mean_fragmentation(self) -> float:
+        """Mean sampled fragmentation index."""
+        return (
+            sum(self.fragmentation_samples) / len(self.fragmentation_samples)
+            if self.fragmentation_samples
+            else 0.0
+        )
+
+    @property
+    def mean_turnaround(self) -> float:
+        """Mean task turnaround time (0 when nothing finished)."""
+        return (
+            sum(self.turnaround_seconds) / len(self.turnaround_seconds)
+            if self.turnaround_seconds
+            else 0.0
+        )
+
+    @property
+    def mean_utilization(self) -> float:
+        """Mean sampled site occupancy."""
+        return (
+            sum(self.utilization_samples) / len(self.utilization_samples)
+            if self.utilization_samples
+            else 0.0
+        )
+
+    @property
+    def prefetched_fraction(self) -> float:
+        """Fraction of functions whose configuration was fully hidden
+        (0.0 for runs with no function chains at all, i.e. the
+        independent-task experiments, which never prefetch)."""
+        if self.total_functions == 0:
+            return 0.0
+        return self.prefetched_functions / self.total_functions
+
+
+class Admissible(Protocol):
+    """Work item the kernel's admission loop can try to place: a
+    ``height`` x ``width`` footprint requested on behalf of an owner."""
+
+    height: int
+    width: int
+    task_id: int
+
+
+class SchedulingKernel:
+    """Event queue + port + HALT arithmetic + defrag hook + sampling.
+
+    The strategy layer provides two callbacks:
+
+    * ``on_admitted(item, outcome)`` — a waiting item was successfully
+      placed by the admission loop (:meth:`drain`): charge its port
+      time, register its execution, record its telemetry;
+    * ``on_space_reclaimed()`` — a proactive consolidation just freed
+      contiguous space: wake whatever workload shape is waiting for it
+      (the task layer re-drains its queue, the application layer
+      retries stalled apps).
+
+    The optional ``halt_listener(owner, seconds)`` observes HALT-policy
+    stops so the task layer can attribute them to task records.
+    """
+
+    def __init__(
+        self,
+        manager: LogicSpaceManager,
+        queue: str | QueueDiscipline = "fifo",
+        ports: str | PortModel = "serial",
+        on_admitted: Callable[[Admissible, PlacementOutcome], None]
+        | None = None,
+        on_space_reclaimed: Callable[[], None] | None = None,
+        halt_listener: Callable[[int, float], None] | None = None,
+        sample_on_defrag: bool = True,
+    ) -> None:
+        self.manager = manager
+        self.events = EventQueue()
+        self.queue = make_queue(queue)
+        self.port = make_port_model(ports, self.events)
+        self.metrics = ScheduleMetrics()
+        self.on_admitted = on_admitted
+        self.on_space_reclaimed = on_space_reclaimed
+        self.halt_listener = halt_listener
+        #: whether a proactive consolidation records a telemetry sample
+        #: (the task scheduler samples, the application scheduler never
+        #: sampled — preserved for metric compatibility).
+        self.sample_on_defrag = sample_on_defrag
+        #: owner -> (finish action, finish handle) of executing work,
+        #: so HALT-policy moves can push finish events out.
+        self.running: dict[
+            int, tuple[Callable[[], None], EventHandle]
+        ] = {}
+        #: occupancy version counter: a failed admission pass is only
+        #: retried after the logic space actually changed.
+        self._space_version = 0
+        self._failed_at_version: int | None = None
+        #: per-item failure memo: id(item) -> space version at which its
+        #: placement failed.  ``manager.request`` is a pure function of
+        #: the occupancy, so re-asking before the space changed would
+        #: re-run the (expensive) rearrangement planner to reach the
+        #: same "no" — the multi-candidate disciplines (backfill above
+        #: all) would otherwise replan the whole queue per arrival.
+        self._item_failed_at: dict[int, int] = {}
+
+    # -- event plumbing -----------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.events.now
+
+    def run(self) -> None:
+        """Drain the event queue, then stamp the run-wide metrics."""
+        self.events.run()
+        self.metrics.makespan = self.events.now
+        self.metrics.port_busy_seconds = self.port.busy_seconds
+
+    # -- admission ----------------------------------------------------------
+
+    def enqueue(self, item: Admissible, *, priority: int = 0,
+                area: int = 0) -> None:
+        """Add a work item to the waiting queue and try to place it.
+
+        Disciplines whose candidate set depends on arrivals (priority,
+        sjf, backfill) reopen a blocked pass here: the newcomer may be
+        a better — or the first feasible — candidate even though the
+        occupancy did not change.  FIFO keeps the short-circuit: a push
+        behind a blocked head can never alter the head.
+        """
+        self.queue.push(item, priority=priority, area=area,
+                        now=self.events.now)
+        if getattr(self.queue, "arrival_reopens_pass", True):
+            self._failed_at_version = None
+        self.drain()
+
+    def cancel(self, item: Admissible) -> None:
+        """Drop a waiting item (timeout/abandon): tombstoned in O(1).
+
+        The admission order changed, so the next pass is given a fresh
+        chance even if the space did not move.
+        """
+        self.queue.discard(item)
+        self._item_failed_at.pop(id(item), None)
+        self._failed_at_version = None
+        self.drain()
+
+    def note_space_changed(self) -> None:
+        """Record that occupancy changed (placements do this themselves;
+        releases must call it so blocked passes are retried)."""
+        self._space_version += 1
+
+    def drain(self) -> None:
+        """Place waiting items in discipline order until blocked.
+
+        One *pass* asks the discipline for its candidate order and
+        attempts each; a successful placement restarts the pass (the
+        order may have changed), a fully failed pass marks the current
+        space version as blocked so no request is re-planned until the
+        occupancy actually changes.
+        """
+        while len(self.queue):
+            if self._failed_at_version == self._space_version:
+                return  # nothing changed since the last blocked pass
+            placed = False
+            for item in self.queue.scan(self.events.now):
+                if self._item_failed_at.get(id(item)) == self._space_version:
+                    continue  # same occupancy, same answer: skip replan
+                outcome = self.manager.request(
+                    item.height, item.width, item.task_id
+                )
+                if outcome.success:
+                    self.queue.take(item)
+                    self._item_failed_at.pop(id(item), None)
+                    self._space_version += 1
+                    if self.on_admitted is not None:
+                        self.on_admitted(item, outcome)
+                    placed = True
+                    break
+                self._item_failed_at[id(item)] = self._space_version
+            if not placed:
+                self._failed_at_version = self._space_version
+                return
+
+    # -- port + HALT accounting ---------------------------------------------
+
+    def charge_placement(self, outcome: PlacementOutcome) -> float:
+        """Count a placement's moves, apply HALT stops, charge the port.
+
+        Returns the instant the item's own configuration completes (the
+        end of its contiguous port job).
+        """
+        if outcome.moves:
+            self.metrics.rearrangements += 1
+            self.metrics.moves += len(outcome.moves)
+            self.apply_halts(outcome)
+        __, config_done = self.port.acquire(
+            config_seconds=outcome.config_seconds,
+            move_seconds=outcome.rearrange_seconds,
+        )
+        return config_done
+
+    def start_running(self, owner: int, finish_time: float,
+                      on_finish: Callable[[], None]) -> None:
+        """Register ``owner`` as executing until ``finish_time``."""
+        handle = self.events.at(finish_time, on_finish)
+        self.running[owner] = (on_finish, handle)
+
+    def finish_running(self, owner: int) -> None:
+        """Drop ``owner`` from the running set (finish event fired)."""
+        self.running.pop(owner, None)
+
+    def apply_halts(self, outcome: PlacementOutcome | DefragOutcome) -> None:
+        """Under the HALT policy, extend each moved running item's
+        finish time by its stopped interval — the cost the paper's
+        concurrent relocation eliminates."""
+        for execution in outcome.moves:
+            if not execution.halted:
+                continue
+            owner = execution.move.owner
+            entry = self.running.get(owner)
+            if entry is None:
+                continue
+            on_finish, handle = entry
+            self.metrics.halted_seconds += execution.seconds
+            if self.halt_listener is not None:
+                self.halt_listener(owner, execution.seconds)
+            new_handle = self.events.at(
+                handle.time + execution.seconds, on_finish
+            )
+            handle.cancel()
+            self.running[owner] = (on_finish, new_handle)
+
+    # -- proactive defrag + telemetry ---------------------------------------
+
+    def maybe_defrag(self) -> DefragOutcome | None:
+        """Proactive-defrag hook, checked on finish events.
+
+        When the manager's trigger policy fires and the planner finds a
+        profitable consolidation, the moves are charged to the port
+        model (background compaction competes with arrivals for
+        configuration bandwidth), HALT-policy stops are applied to the
+        moved items, and ``on_space_reclaimed`` wakes waiting work —
+        the consolidated free space may now host something that failed
+        before.
+        """
+        outcome = self.manager.maybe_defrag(
+            now=self.events.now,
+            port_idle=self.port.free_at <= self.events.now,
+        )
+        if outcome is None:
+            return None
+        self.metrics.proactive_defrags += 1
+        self.metrics.defrag_moves += len(outcome.moves)
+        self.metrics.defrag_port_seconds += outcome.port_seconds
+        self.apply_halts(outcome)
+        self.port.acquire(move_seconds=outcome.port_seconds)
+        self._space_version += 1
+        if self.sample_on_defrag:
+            self.sample()
+        if self.on_space_reclaimed is not None:
+            self.on_space_reclaimed()
+        self.drain()
+        return outcome
+
+    def sample(self) -> None:
+        """Record one fragmentation + utilization telemetry sample.
+
+        Index-backed: the fragmentation sample reads the free-space
+        engine's MER set instead of re-sweeping the grid per event.
+        """
+        self.metrics.fragmentation_samples.append(
+            self.manager.fragmentation()
+        )
+        self.metrics.utilization_samples.append(self.manager.utilization())

@@ -1,11 +1,13 @@
 """On-line schedulers over the logic-space manager.
 
-Two experiment drivers:
+Two experiment drivers, both thin strategy layers over the shared
+:class:`~repro.sched.kernel.SchedulingKernel`:
 
 * :class:`OnlineTaskScheduler` — independent task stream (the
   defragmentation study): tasks arrive, are placed (possibly after a
-  rearrangement), configured through the serial port, run, and release
-  their region; unplaceable tasks wait in FIFO order.
+  rearrangement), configured through the reconfiguration port, run, and
+  release their region; unplaceable tasks wait in the order the queue
+  discipline dictates.
 * :class:`ApplicationFlowScheduler` — the Fig. 1 scenario: applications
   execute function chains; the successor of a running function is
   configured *in advance* during the reconfiguration interval ``rt``
@@ -13,31 +15,31 @@ Two experiment drivers:
   prefetching fails (parallelism took the space), the application
   stalls, which is exactly the effect Fig. 1 illustrates.
 
-Both charge every configuration and every rearrangement move to the
-single reconfiguration port (:class:`~repro.sched.events.SequentialResource`),
-and apply the halting penalty to moved tasks under the HALT policy.
+The kernel owns the event queue, the reconfiguration-port model, the
+HALT-extension arithmetic, the proactive-defrag hook and the
+fragmentation/utilization sampling; the schedulers translate their
+workload shape into kernel calls.  Both take the same two policy knobs:
 
-Both also run the manager's *proactive* defragmentation hook on finish
-events: when the manager's :class:`~repro.core.defrag_policy.DefragPolicy`
-(``threshold`` / ``idle``) triggers, a background consolidation compacts
-the resident functions to maximise the largest free rectangle, its moves
-charged to the same port so proactive compaction competes with arrivals
-for the serial channel.
+* ``queue`` — a :mod:`~repro.sched.queues` discipline name (``fifo``,
+  ``priority``, ``sjf``, ``backfill``) ordering waiting tasks (or, for
+  the application scheduler, stalled applications);
+* ``ports`` — a :mod:`~repro.sched.ports` model (``serial``,
+  ``multi-N``, ``icap``) serving configuration and relocation traffic.
+
+With the defaults (``fifo`` + ``serial``) both schedulers reproduce the
+historical hand-rolled behaviour event for event; the golden campaign
+snapshots pin it.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
 
-from repro.core.manager import (
-    DefragOutcome,
-    LogicSpaceManager,
-    PlacementOutcome,
-)
-from repro.placement import metrics
+from repro.core.manager import LogicSpaceManager, PlacementOutcome
 
-from .events import EventHandle, EventQueue, SequentialResource
+from .kernel import ScheduleMetrics, SchedulingKernel
+from .ports import PortModel
+from .queues import QueueDiscipline, make_queue
 from .tasks import (
     ApplicationRun,
     ApplicationSpec,
@@ -46,78 +48,37 @@ from .tasks import (
     TaskState,
 )
 
+__all__ = [
+    "ApplicationFlowScheduler",
+    "OnlineTaskScheduler",
+    "ScheduleMetrics",
+    "summarize_application_runs",
+]
 
-@dataclass
-class ScheduleMetrics:
-    """Aggregated outcome of one scheduling run."""
 
-    finished: int = 0
-    rejected: int = 0
-    waiting_seconds: list[float] = field(default_factory=list)
-    turnaround_seconds: list[float] = field(default_factory=list)
-    halted_seconds: float = 0.0
-    port_busy_seconds: float = 0.0
-    makespan: float = 0.0
-    rearrangements: int = 0
-    moves: int = 0
-    #: proactive-defrag counters: background consolidations executed,
-    #: the moves they issued, and the port time they consumed (reactive
-    #: rearrangements are counted separately above).
-    proactive_defrags: int = 0
-    defrag_moves: int = 0
-    defrag_port_seconds: float = 0.0
-    fragmentation_samples: list[float] = field(default_factory=list)
-    utilization_samples: list[float] = field(default_factory=list)
-    #: application-flow extras (zero for independent-task runs):
-    #: reconfiguration-induced stall and prefetch success counts.
-    stall_seconds: float = 0.0
-    prefetched_functions: int = 0
-    total_functions: int = 0
+def _exposed_config_seconds(record: ApplicationRun) -> float:
+    """Configuration time the chain could not hide behind execution.
 
-    @property
-    def mean_waiting(self) -> float:
-        """Mean task waiting time (0 when nothing finished)."""
-        return (
-            sum(self.waiting_seconds) / len(self.waiting_seconds)
-            if self.waiting_seconds
-            else 0.0
-        )
-
-    @property
-    def mean_fragmentation(self) -> float:
-        """Mean sampled fragmentation index."""
-        return (
-            sum(self.fragmentation_samples) / len(self.fragmentation_samples)
-            if self.fragmentation_samples
-            else 0.0
-        )
-
-    @property
-    def mean_turnaround(self) -> float:
-        """Mean task turnaround time (0 when nothing finished)."""
-        return (
-            sum(self.turnaround_seconds) / len(self.turnaround_seconds)
-            if self.turnaround_seconds
-            else 0.0
-        )
-
-    @property
-    def mean_utilization(self) -> float:
-        """Mean sampled site occupancy."""
-        return (
-            sum(self.utilization_samples) / len(self.utilization_samples)
-            if self.utilization_samples
-            else 0.0
-        )
-
-    @property
-    def prefetched_fraction(self) -> float:
-        """Fraction of functions whose configuration was fully hidden
-        (0.0 for runs with no function chains at all, i.e. the
-        independent-task experiments, which never prefetch)."""
-        if self.total_functions == 0:
-            return 0.0
-        return self.prefetched_functions / self.total_functions
+    Function ``i`` becomes *ready* when function ``i-1`` finishes (the
+    first function at t = 0).  Its configuration occupies the interval
+    ``[configured_at - config_seconds, configured_at]``; only the part
+    of that interval after the ready instant was exposed — a prefetch
+    that completed early contributes nothing, a configuration that ran
+    entirely after the predecessor finished contributes all of itself.
+    Time spent *waiting for space* before the configuration began is
+    deliberately not counted here: that is genuine stall.
+    """
+    exposed = 0.0
+    ready = 0.0
+    for run in record.runs:
+        if run.configured_at is not None:
+            exposed += min(
+                run.config_seconds, max(0.0, run.configured_at - ready)
+            )
+        if run.finished_at is None:
+            break
+        ready = run.finished_at
+    return exposed
 
 
 def summarize_application_runs(
@@ -131,12 +92,19 @@ def summarize_application_runs(
     the independent-task experiment, so the campaign engine
     (:mod:`repro.campaign`) can aggregate both uniformly: ``finished``
     counts completed applications, ``turnaround_seconds`` holds per-app
-    completion times, ``stall_seconds`` sums the reconfiguration-induced
-    delay.  :meth:`ApplicationFlowScheduler.run` launches every
-    application at t = 0, so an application's absolute finish time *is*
-    its turnaround — measured from launch, not from its first function's
-    start, so time spent stalled waiting for the first placement counts
-    too (``ApplicationRun.makespan`` would exclude it).
+    completion times.  :meth:`ApplicationFlowScheduler.run` launches
+    every application at t = 0, so an application's absolute finish
+    time *is* its turnaround — measured from launch, not from its first
+    function's start, so time spent stalled waiting for the first
+    placement counts too (``ApplicationRun.makespan`` would exclude it).
+
+    ``stall_seconds`` is the time an application lost to *contention*:
+    elapsed time minus pure execution minus the configuration time that
+    was genuinely un-hidden (see :func:`_exposed_config_seconds`).
+    Subtracting the exposed configuration keeps the metric true to its
+    meaning — a solo application that simply pays its own configuration
+    up front reports zero stall, while waiting for space or for the
+    port behind other applications' traffic is counted in full.
     """
     out = ScheduleMetrics(
         makespan=makespan, port_busy_seconds=port_busy_seconds
@@ -146,7 +114,10 @@ def summarize_application_runs(
             out.finished += 1
             out.turnaround_seconds.append(record.finished_at)
             out.stall_seconds += max(
-                0.0, record.finished_at - record.spec.total_exec_seconds
+                0.0,
+                record.finished_at
+                - record.spec.total_exec_seconds
+                - _exposed_config_seconds(record),
             )
         else:
             out.rejected += 1
@@ -157,176 +128,136 @@ def summarize_application_runs(
     return out
 
 
-def _extend_finish(events: EventQueue, handle: EventHandle,
-                   seconds: float, action) -> EventHandle:
-    """Push a finish event ``seconds`` later — the HALT-policy penalty.
-
-    Shared by both schedulers so the cancel/reschedule arithmetic cannot
-    drift between them."""
-    new_handle = events.at(handle.time + seconds, action)
-    handle.cancel()
-    return new_handle
-
-
 class OnlineTaskScheduler:
-    """FIFO on-line scheduler for independent tasks."""
+    """On-line scheduler for independent tasks (pluggable policies)."""
 
-    def __init__(self, manager: LogicSpaceManager) -> None:
+    def __init__(self, manager: LogicSpaceManager,
+                 queue: str | QueueDiscipline = "fifo",
+                 ports: str | PortModel = "serial") -> None:
+        self.kernel = SchedulingKernel(
+            manager,
+            queue=queue,
+            ports=ports,
+            on_admitted=self._on_admitted,
+            halt_listener=self._on_halt,
+        )
         self.manager = manager
-        self.events = EventQueue()
-        self.port = SequentialResource(self.events)
-        self.waiting: deque[Task] = deque()
-        self.running: dict[int, tuple[Task, EventHandle]] = {}
-        self.metrics = ScheduleMetrics()
-        #: occupancy version counter: a failed head-of-queue placement is
-        #: only retried after the logic space actually changed.
-        self._space_version = 0
-        self._failed_at_version: int | None = None
+        #: task_id -> running Task, for HALT-stop attribution.
+        self._running_tasks: dict[int, Task] = {}
+
+    @property
+    def events(self):
+        """The kernel's event queue (shared simulation timeline)."""
+        return self.kernel.events
+
+    @property
+    def port(self):
+        """The kernel's reconfiguration-port model."""
+        return self.kernel.port
+
+    @property
+    def metrics(self) -> ScheduleMetrics:
+        """The kernel's aggregated run metrics."""
+        return self.kernel.metrics
 
     def run(self, tasks: list[Task]) -> ScheduleMetrics:
         """Simulate the whole stream; returns the aggregated metrics."""
         for task in tasks:
             self.events.at(task.arrival, lambda t=task: self._on_arrival(t))
-        self.events.run()
-        self.metrics.makespan = self.events.now
-        self.metrics.port_busy_seconds = self.port.busy_seconds
+        self.kernel.run()
         return self.metrics
 
     # -- event handlers -----------------------------------------------------
 
     def _on_arrival(self, task: Task) -> None:
         task.state = TaskState.QUEUED
-        self.waiting.append(task)
         if task.max_wait is not None:
             self.events.after(task.max_wait, lambda: self._on_timeout(task))
-        self._drain_queue()
+        self.kernel.enqueue(task, priority=task.priority, area=task.area)
 
     def _on_timeout(self, task: Task) -> None:
-        """The task's patience ran out while still queued: reject it."""
+        """The task's patience ran out while still queued: reject it.
+
+        State change and counter are atomic: the task is marked
+        ``REJECTED`` and counted in the same step, and the queue entry
+        is lazily tombstoned (an already-absent entry is a no-op), so
+        no path exists on which a task ends rejected but uncounted.
+        """
         if task.state is not TaskState.QUEUED:
             return
         task.state = TaskState.REJECTED
-        try:
-            self.waiting.remove(task)
-        except ValueError:
-            return
         self.metrics.rejected += 1
-        # The head of the queue changed: give the next task a chance.
-        self._failed_at_version = None
-        self._drain_queue()
+        self.kernel.cancel(task)
 
-    def _drain_queue(self) -> None:
-        """Place waiting tasks in FIFO order; stop at the first failure
-        (strict FIFO avoids starving large tasks)."""
-        while self.waiting:
-            if self._failed_at_version == self._space_version:
-                return  # nothing changed since the head last failed
-            task = self.waiting[0]
-            outcome = self.manager.request(task.height, task.width, task.task_id)
-            if not outcome.success:
-                self._failed_at_version = self._space_version
-                return
-            self.waiting.popleft()
-            self._space_version += 1
-            self._commit_placement(task, outcome)
-
-    def _commit_placement(self, task: Task, outcome: PlacementOutcome) -> None:
-        if outcome.moves:
-            self.metrics.rearrangements += 1
-            self.metrics.moves += len(outcome.moves)
-            self._apply_halts(outcome)
-        __, config_done = self.port.acquire(outcome.total_port_seconds)
+    def _on_admitted(self, task: Task, outcome: PlacementOutcome) -> None:
+        """A waiting task was placed: configure it and start it."""
+        config_done = self.kernel.charge_placement(outcome)
         task.rect = outcome.rect
         task.state = TaskState.CONFIGURING
         task.configured_at = config_done
         task.started_at = config_done
         finish_time = config_done + task.exec_seconds
-        handle = self.events.at(finish_time, lambda t=task: self._on_finish(t))
-        self.running[task.task_id] = (task, handle)
-        self._sample()
+        self._running_tasks[task.task_id] = task
+        self.kernel.start_running(
+            task.task_id, finish_time, lambda t=task: self._on_finish(t)
+        )
+        self.kernel.sample()
 
-    def _apply_halts(self, outcome: PlacementOutcome | DefragOutcome) -> None:
-        """Under the HALT policy, extend each moved task's finish time by
-        its stopped interval — the cost the paper's concurrent relocation
-        eliminates."""
-        for execution in outcome.moves:
-            if not execution.halted:
-                continue
-            owner = execution.move.owner
-            entry = self.running.get(owner)
-            if entry is None:
-                continue
-            moved_task, handle = entry
-            moved_task.halted_seconds += execution.seconds
-            self.metrics.halted_seconds += execution.seconds
-            new_handle = _extend_finish(
-                self.events, handle, execution.seconds,
-                lambda t=moved_task: self._on_finish(t),
-            )
-            self.running[owner] = (moved_task, new_handle)
+    def _on_halt(self, owner: int, seconds: float) -> None:
+        """Attribute a HALT-policy stop to the moved task's record."""
+        task = self._running_tasks.get(owner)
+        if task is not None:
+            task.halted_seconds += seconds
 
     def _on_finish(self, task: Task) -> None:
         task.state = TaskState.FINISHED
         task.finished_at = self.events.now
-        self.running.pop(task.task_id, None)
+        self.kernel.finish_running(task.task_id)
+        self._running_tasks.pop(task.task_id, None)
         self.manager.release(task.task_id)
-        self._space_version += 1
+        self.kernel.note_space_changed()
         self.metrics.finished += 1
         self.metrics.waiting_seconds.append(task.waiting_seconds)
         self.metrics.turnaround_seconds.append(task.turnaround_seconds)
-        self._sample()
-        self._drain_queue()
-        self._maybe_defrag()
-
-    def _maybe_defrag(self) -> None:
-        """Proactive-defrag hook, checked on every finish event.
-
-        When the manager's trigger policy fires and the planner finds a
-        profitable consolidation, the moves are charged to the
-        reconfiguration port (background compaction competes with
-        arrivals for the single serial channel), HALT-policy stops are
-        applied to the moved tasks, and the queue head is retried — the
-        consolidated free space may now host a task that failed before.
-        """
-        outcome = self.manager.maybe_defrag(
-            now=self.events.now,
-            port_idle=self.port.free_at <= self.events.now,
-        )
-        if outcome is None:
-            return
-        self.metrics.proactive_defrags += 1
-        self.metrics.defrag_moves += len(outcome.moves)
-        self.metrics.defrag_port_seconds += outcome.port_seconds
-        self._apply_halts(outcome)
-        self.port.acquire(outcome.port_seconds)
-        self._space_version += 1
-        self._sample()
-        self._drain_queue()
-
-    def _sample(self) -> None:
-        # Index-backed: the fragmentation sample reads the engine's MER
-        # set instead of re-sweeping the grid on every placement event.
-        self.metrics.fragmentation_samples.append(self.manager.fragmentation())
-        self.metrics.utilization_samples.append(self.manager.utilization())
+        self.kernel.sample()
+        self.kernel.drain()
+        self.kernel.maybe_defrag()
 
 
 class ApplicationFlowScheduler:
     """Fig. 1: applications sharing the device in space and time."""
 
     def __init__(self, manager: LogicSpaceManager,
-                 prefetch: bool = True) -> None:
+                 prefetch: bool = True,
+                 queue: str | QueueDiscipline = "fifo",
+                 ports: str | PortModel = "serial") -> None:
         self.manager = manager
         self.prefetch = prefetch
-        self.events = EventQueue()
-        self.port = SequentialResource(self.events)
-        self.metrics = ScheduleMetrics()
+        self.kernel = SchedulingKernel(
+            manager,
+            ports=ports,
+            on_space_reclaimed=self._retry_stalled,
+            sample_on_defrag=False,
+        )
         self._owner_seq = 1000
-        self._stalled: deque[tuple["_AppState", int]] = deque()
-        #: owner -> (state, index, finish handle) of executing functions,
-        #: so HALT-policy moves can push their finish events out.
-        self._running: dict[
-            int, tuple["_AppState", int, EventHandle]
-        ] = {}
+        #: stalled (application, function-index) records, woken in the
+        #: queue discipline's order whenever space is released.
+        self._stalled: QueueDiscipline = make_queue(queue)
+
+    @property
+    def events(self):
+        """The kernel's event queue (shared simulation timeline)."""
+        return self.kernel.events
+
+    @property
+    def port(self):
+        """The kernel's reconfiguration-port model."""
+        return self.kernel.port
+
+    @property
+    def metrics(self) -> ScheduleMetrics:
+        """Aggregated run metrics (uniform summary after :meth:`run`)."""
+        return self.kernel.metrics
 
     def run(self, apps: list[ApplicationSpec]) -> list[ApplicationRun]:
         """Run every application to completion; returns their records.
@@ -338,7 +269,7 @@ class ApplicationFlowScheduler:
         states = [_AppState(ApplicationRun(app)) for app in apps]
         for state in states:
             self.events.at(0.0, lambda s=state: self._start_function(s, 0))
-        self.events.run()
+        self.kernel.run()
         runs = [s.record for s in states]
         summary = summarize_application_runs(
             runs,
@@ -351,7 +282,7 @@ class ApplicationFlowScheduler:
         summary.proactive_defrags = self.metrics.proactive_defrags
         summary.defrag_moves = self.metrics.defrag_moves
         summary.defrag_port_seconds = self.metrics.defrag_port_seconds
-        self.metrics = summary
+        self.kernel.metrics = summary
         return runs
 
     # -- internals ----------------------------------------------------------
@@ -365,7 +296,13 @@ class ApplicationFlowScheduler:
         run = state.ensure_run(index)
         if run.rect is None and not self._place_function(state, index):
             # No space: stall until some function releases its region.
-            self._stalled.append((state, index))
+            spec = state.record.spec
+            self._stalled.push(
+                _Stall(state, index),
+                priority=spec.priority,
+                area=spec.functions[index].area,
+                now=self.events.now,
+            )
             return
         start = max(self.events.now, run.configured_at or 0.0)
         if start > self.events.now:
@@ -380,10 +317,11 @@ class ApplicationFlowScheduler:
         # Register as running *before* prefetching: the successor's
         # placement may trigger a rearrangement that moves this very
         # function, and under HALT that move must find it executing.
-        handle = self.events.after(
-            spec.exec_seconds, lambda: self._finish_function(state, index)
+        self.kernel.start_running(
+            state.owners[index],
+            self.events.now + spec.exec_seconds,
+            lambda: self._finish_function(state, index),
         )
-        self._running[state.owners[index]] = (state, index, handle)
         # Prefetch the successor during the reconfiguration interval rt.
         if self.prefetch and index + 1 < len(state.record.spec.functions):
             self._place_function(state, index + 1)
@@ -398,85 +336,59 @@ class ApplicationFlowScheduler:
         outcome = self.manager.request(spec.height, spec.width, owner)
         if not outcome.success:
             return False
-        if outcome.moves:
-            self.metrics.rearrangements += 1
-            self.metrics.moves += len(outcome.moves)
-            self._apply_halts(outcome)
-        __, config_done = self.port.acquire(outcome.total_port_seconds)
+        config_done = self.kernel.charge_placement(outcome)
         run.rect = outcome.rect
         run.configured_at = config_done
+        run.config_seconds = outcome.config_seconds
         state.owners[index] = owner
         return True
-
-    def _apply_halts(self, outcome: PlacementOutcome | DefragOutcome) -> None:
-        """Under the HALT policy, a moved *executing* function is
-        stopped for its move span: push its finish event out by that
-        time (prefetched-but-idle functions move for free either way)."""
-        for execution in outcome.moves:
-            if not execution.halted:
-                continue
-            entry = self._running.get(execution.move.owner)
-            if entry is None:
-                continue
-            state, index, handle = entry
-            self.metrics.halted_seconds += execution.seconds
-            new_handle = _extend_finish(
-                self.events, handle, execution.seconds,
-                lambda s=state, i=index: self._finish_function(s, i),
-            )
-            self._running[execution.move.owner] = (state, index, new_handle)
 
     def _finish_function(self, state: "_AppState", index: int) -> None:
         run = state.record.runs[index]
         run.finished_at = self.events.now
         owner = state.owners.pop(index)
-        self._running.pop(owner, None)
+        self.kernel.finish_running(owner)
         self.manager.release(owner)
         self._retry_stalled()
         if index + 1 < len(state.record.spec.functions):
             self._start_function(state, index + 1)
         else:
             state.record.finished_at = self.events.now
-        self._maybe_defrag()
-
-    def _maybe_defrag(self) -> None:
-        """Proactive-defrag hook, checked on every function finish.
-
-        Mirrors the task scheduler: triggered consolidations charge the
-        reconfiguration port and apply HALT-policy stops.  Crucially the
-        stalled queue is re-checked *after* the compaction — a
-        background defrag frees contiguous space exactly like a finish
-        event does, and a stalled application must not stay stranded
-        until the next finish to benefit from it.
-        """
-        outcome = self.manager.maybe_defrag(
-            now=self.events.now,
-            port_idle=self.port.free_at <= self.events.now,
-        )
-        if outcome is None:
-            return
-        self.metrics.proactive_defrags += 1
-        self.metrics.defrag_moves += len(outcome.moves)
-        self.metrics.defrag_port_seconds += outcome.port_seconds
-        self._apply_halts(outcome)
-        self.port.acquire(outcome.port_seconds)
-        self._retry_stalled()
+        self.kernel.maybe_defrag()
 
     def _retry_stalled(self) -> None:
-        """Space was released: wake stalled applications (FIFO)."""
-        still_stalled: deque[tuple[_AppState, int]] = deque()
-        while self._stalled:
-            state, index = self._stalled.popleft()
+        """Space was released: wake stalled applications.
+
+        Every stalled record is attempted in the queue discipline's
+        order (FIFO by default); failures simply stay queued.  Because
+        *every* record is always attempted — one application's failed
+        placement never blocks the rest, the historical behaviour —
+        disciplines contribute only the retry order here: ``backfill``
+        has no blocked head to jump and therefore coincides with
+        ``fifo`` for application workloads.  The kernel invokes this
+        after a proactive defrag too — a background consolidation
+        frees contiguous space exactly like a finish event does, and a
+        stalled application must not stay stranded until the next
+        finish to benefit from it.
+        """
+        for stall in self._stalled.ordered(self.events.now):
+            state, index = stall.state, stall.index
             if self._place_function(state, index):
+                self._stalled.take(stall)
                 run = state.record.runs[index]
                 start = max(self.events.now, run.configured_at or 0.0)
                 self.events.at(
                     start,
                     lambda s=state, i=index: self._begin_execution(s, i),
                 )
-            else:
-                still_stalled.append((state, index))
-        self._stalled = still_stalled
+
+
+@dataclass
+class _Stall:
+    """One stalled (application, function-index) admission request."""
+
+    state: "_AppState"
+    index: int
 
 
 @dataclass

@@ -46,6 +46,9 @@ class Task:
     #: wait forever).  Diessel et al. [5] measure the *allocation rate*
     #: under exactly this kind of impatience.
     max_wait: float | None = None
+    #: QoS priority class (higher = more urgent); only the ``priority``
+    #: queue discipline reads it — FIFO admission ignores classes.
+    priority: int = 0
     state: TaskState = TaskState.PENDING
     rect: Rect | None = None
     configured_at: float | None = None
@@ -100,6 +103,10 @@ class ApplicationSpec:
 
     name: str
     functions: list[FunctionSpec]
+    #: QoS priority class (higher = more urgent); read by the
+    #: ``priority`` queue discipline when stalled applications compete
+    #: for released space.
+    priority: int = 0
 
     @property
     def total_area(self) -> int:
@@ -121,6 +128,10 @@ class FunctionRun:
     spec: FunctionSpec
     rect: Rect | None = None
     configured_at: float | None = None
+    #: port seconds the function's own configuration cost (excluding
+    #: rearrangement moves); the stall accounting uses it to tell
+    #: un-hidden configuration apart from waiting for space.
+    config_seconds: float = 0.0
     started_at: float | None = None
     finished_at: float | None = None
 

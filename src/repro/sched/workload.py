@@ -38,6 +38,20 @@ from repro.device.devices import VirtexDevice
 from .tasks import ApplicationSpec, FunctionSpec, Task
 
 
+def _draw_priority(rng: random.Random, priority_levels: int) -> int:
+    """Uniform priority class in ``[0, priority_levels)``.
+
+    With one level (the default) *no* random draw happens at all, so
+    priority-unaware workloads keep their historical random streams
+    bit-identical — the golden campaign snapshots depend on it.
+    """
+    if priority_levels < 1:
+        raise ValueError("priority_levels must be positive")
+    if priority_levels == 1:
+        return 0
+    return rng.randrange(priority_levels)
+
+
 def random_tasks(
     n: int,
     seed: int = 0,
@@ -45,12 +59,14 @@ def random_tasks(
     size_range: tuple[int, int] = (3, 10),
     exec_range: tuple[float, float] = (0.2, 2.0),
     max_wait: float | None = None,
+    priority_levels: int = 1,
 ) -> list[Task]:
     """An on-line stream of ``n`` independent tasks.
 
     Exponential interarrivals (rate 1/``mean_interarrival``), uniform
     integer heights/widths in ``size_range``, uniform service times in
-    ``exec_range``; optional queueing impatience ``max_wait``.
+    ``exec_range``; optional queueing impatience ``max_wait`` and a
+    uniform priority mix over ``priority_levels`` QoS classes.
     Deterministic per seed.
     """
     if n < 0:
@@ -71,6 +87,7 @@ def random_tasks(
                 exec_seconds=rng.uniform(*exec_range),
                 arrival=now,
                 max_wait=max_wait,
+                priority=_draw_priority(rng, priority_levels),
             )
         )
     return tasks
@@ -122,13 +139,15 @@ def bursty_tasks(
     size_range: tuple[int, int] = (3, 10),
     exec_range: tuple[float, float] = (0.2, 2.0),
     max_wait: float | None = None,
+    priority_levels: int = 1,
 ) -> list[Task]:
     """An on-line stream of ``n`` tasks arriving in bursts.
 
     Bursts of 1..``burst_size`` tasks (uniform) arrive together after an
     exponential idle gap of mean ``mean_gap`` seconds.  Simultaneous
     arrivals make contiguous space scarce exactly when several requests
-    race for it — the fragmentation stress case.  Deterministic per seed.
+    race for it — the fragmentation stress case; ``priority_levels``
+    adds a uniform QoS mix.  Deterministic per seed.
     """
     if n < 0:
         raise ValueError("n must be non-negative")
@@ -151,6 +170,7 @@ def bursty_tasks(
                     exec_seconds=rng.uniform(*exec_range),
                     arrival=now,
                     max_wait=max_wait,
+                    priority=_draw_priority(rng, priority_levels),
                 )
             )
     return tasks
@@ -165,13 +185,15 @@ def heavy_tail_tasks(
     alpha: float = 1.5,
     exec_cap: float = 50.0,
     max_wait: float | None = None,
+    priority_levels: int = 1,
 ) -> list[Task]:
     """An on-line stream with Pareto(``alpha``) service times.
 
     Execution times are ``exec_min * Pareto(alpha)``, capped at
     ``exec_cap``: most tasks are short, a few occupy their region for a
     long time and anchor the fragmentation the rearrangement policies
-    must work around.  Arrivals and sizes follow :func:`random_tasks`.
+    must work around.  Arrivals, sizes and the optional
+    ``priority_levels`` QoS mix follow :func:`random_tasks`.
     Deterministic per seed.
     """
     if n < 0:
@@ -194,6 +216,7 @@ def heavy_tail_tasks(
                 exec_seconds=min(exec_min * rng.paretovariate(alpha), exec_cap),
                 arrival=now,
                 max_wait=max_wait,
+                priority=_draw_priority(rng, priority_levels),
             )
         )
     return tasks
@@ -209,6 +232,7 @@ def fragmenting_tasks(
     large_every: int = 4,
     large_exec: tuple[float, float] = (0.3, 1.0),
     max_wait: float | None = 1.5,
+    priority_levels: int = 1,
 ) -> list[Task]:
     """A fragmentation-hostile stream: small anchors, large arrivals.
 
@@ -222,7 +246,7 @@ def fragmenting_tasks(
     resident set, and with this many tiny blockers a single
     bounded-disturbance plan often cannot free the window — the regime
     where repeated proactive consolidation between arrivals pays off.
-    Deterministic per seed.
+    ``priority_levels`` adds a uniform QoS mix.  Deterministic per seed.
     """
     if n < 0:
         raise ValueError("n must be non-negative")
@@ -253,6 +277,7 @@ def fragmenting_tasks(
                 exec_seconds=exec_seconds,
                 arrival=now,
                 max_wait=max_wait,
+                priority=_draw_priority(rng, priority_levels),
             )
         )
     return tasks
@@ -265,6 +290,7 @@ def codec_swap_applications(
     chain_range: tuple[int, int] = (2, 4),
     frac_range: tuple[float, float] = (0.35, 0.55),
     exec_range: tuple[float, float] = (0.3, 0.8),
+    priority_levels: int = 1,
 ) -> list[ApplicationSpec]:
     """Randomized codec-swap-style application chains, scaled to ``device``.
 
@@ -273,7 +299,9 @@ def codec_swap_applications(
     fractions (``frac_range``) of the CLB array per side — sized like the
     paper's coding/decoding context-switch example, so that total demand
     comfortably exceeds the device while the resident set fits.
-    Deterministic per seed.
+    ``priority_levels`` assigns each application a uniform QoS class
+    that the ``priority`` queue discipline reads when stalled
+    applications compete for released space.  Deterministic per seed.
     """
     if n_apps < 1:
         raise ValueError("n_apps must be positive")
@@ -294,7 +322,12 @@ def codec_swap_applications(
             )
             for i in range(rng.randint(lo, hi))
         ]
-        apps.append(ApplicationSpec(name, functions))
+        apps.append(
+            ApplicationSpec(
+                name, functions,
+                priority=_draw_priority(rng, priority_levels),
+            )
+        )
     return apps
 
 

@@ -55,10 +55,11 @@ class TestTablesAcrossEngines:
         axis is a pure performance knob, visible only in wall clock."""
         means = both_engines.group_means("mean_waiting")
         by_cell: dict[tuple, dict[str, float]] = {}
-        for (device, workload, fit, port, engine, defrag, policy), value \
-                in means.items():
-            by_cell.setdefault((device, workload, fit, port, defrag, policy),
-                               {})[engine] = value
+        for (device, workload, fit, port, engine, defrag, queue, ports,
+             policy), value in means.items():
+            by_cell.setdefault(
+                (device, workload, fit, port, defrag, queue, ports, policy),
+                {})[engine] = value
         for cell, engines in by_cell.items():
             assert len(engines) == len(FREE_SPACE_NAMES), cell
             values = list(engines.values())

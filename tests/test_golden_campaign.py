@@ -1,7 +1,7 @@
 """Golden regression: fixed campaign grids, field by field.
 
 Scheduler and placement refactors must not silently change the science.
-Two snapshots are pinned:
+Three snapshots are pinned:
 
 * ``campaign_24.json`` — the canonical 24-run grid (the CLI's default
   axes: 2 devices x 3 policies x 2 workloads x 2 seeds, sized down to
@@ -9,7 +9,14 @@ Two snapshots are pinned:
 * ``campaign_defrag.json`` — an 8-run defrag-axis grid (1 device x
   concurrent x the fragmentation-hostile workload x 2 seeds x 4 defrag
   trigger policies), so proactive-consolidation regressions are caught
-  the same way.
+  the same way;
+* ``campaign_sched.json`` — the 24-run queue-discipline x port-model
+  grid over a priority-mixed impatient stream, pinning the scheduling
+  kernel's policy layers the same way.
+
+The first two grids run entirely on the default ``fifo`` + ``serial``
+policies, so they double as the proof that the kernel refactor is
+behaviour-preserving: their rows must stay bit-identical.
 
 When a change *intentionally* moves the numbers (a new heuristic, a
 cost-model fix), regenerate the snapshots and review the diff like any
@@ -31,6 +38,7 @@ from repro.campaign.spec import CampaignSpec
 GOLDEN_DIR = Path(__file__).parent / "golden"
 GOLDEN_PATH = GOLDEN_DIR / "campaign_24.json"
 GOLDEN_DEFRAG_PATH = GOLDEN_DIR / "campaign_defrag.json"
+GOLDEN_SCHED_PATH = GOLDEN_DIR / "campaign_sched.json"
 
 #: The CLI's default grid axes with a fast task count; any edit here
 #: requires regenerating the snapshot.
@@ -52,6 +60,19 @@ GOLDEN_DEFRAG_GRID = dict(
     workload_params={"fragmenting": {"n": 14}},
 )
 
+#: The scheduling-policy grid: every queue discipline x every port
+#: model over an impatient priority-mixed stream (1 device x concurrent
+#: x fragmenting x 2 seeds x 4 queues x 3 port models = 24 runs).
+GOLDEN_SCHED_GRID = dict(
+    devices=["XC2S15"],
+    policies=["concurrent"],
+    workloads=["fragmenting"],
+    seeds=[0, 1],
+    queues=["fifo", "priority", "sjf", "backfill"],
+    ports=["serial", "multi-2", "icap"],
+    workload_params={"fragmenting": {"n": 25, "priority_levels": 3}},
+)
+
 #: Integer-valued metric columns are compared exactly; the rest admit
 #: only float-representation noise.
 EXACT_FIELDS = {
@@ -61,14 +82,17 @@ EXACT_FIELDS = {
 
 
 def run_grid(grid: dict) -> list[dict]:
-    """Execute a grid serially and export comparable rows."""
+    """Execute a grid serially and export comparable rows.
+
+    Rows go through :meth:`CampaignResult.rows`, the same path the
+    CSV/JSON exports use: sparse axis columns (queue/ports) are
+    back-filled for grids that sweep them and absent — bit-identical to
+    the historical shape — for grids that do not.
+    """
     spec = CampaignSpec(**grid)
-    results = run_campaign(spec.expand(), jobs=1)
-    rows = []
-    for result in results:
-        row = result.to_row()
+    rows = CampaignResult(run_campaign(spec.expand(), jobs=1)).rows()
+    for row in rows:
         row.pop("wall_seconds")  # measurement noise, never compared
-        rows.append(row)
     return rows
 
 
@@ -124,6 +148,40 @@ def test_golden_defrag_snapshot():
     assert by_defrag["threshold"] > 0
     assert by_defrag["idle"] > 0
     check_against_snapshot(rows, GOLDEN_DEFRAG_PATH)
+
+
+def test_golden_sched_snapshot():
+    rows = run_grid(GOLDEN_SCHED_GRID)
+    assert len(rows) == 24
+    # The new axes are genuine columns of the exported rows ...
+    assert {row["queue"] for row in rows} == {
+        "fifo", "priority", "sjf", "backfill"
+    }
+    assert {row["ports"] for row in rows} == {"serial", "multi-2", "icap"}
+    # ... and genuine knobs: admission order moves the science, and the
+    # port models change how much channel time the same traffic costs.
+    waiting = {}
+    busy = {}
+    for row in rows:
+        waiting.setdefault(row["queue"], set()).add(round(row["mean_waiting"], 9))
+        busy.setdefault(row["ports"], set()).add(
+            round(row["port_busy_seconds"], 9)
+        )
+    assert any(waiting["fifo"] != waiting[q]
+               for q in ("priority", "sjf", "backfill"))
+    assert busy["serial"] != busy["icap"]
+    check_against_snapshot(rows, GOLDEN_SCHED_PATH)
+
+
+@pytest.mark.parametrize("queue", ["fifo", "priority", "sjf", "backfill"])
+def test_sched_grid_serial_equals_parallel(queue):
+    """Every discipline stays a pure function of the spec: the parallel
+    pool returns the exact serial result list."""
+    grid = dict(GOLDEN_SCHED_GRID)
+    grid["queues"] = [queue]
+    grid["ports"] = ["serial", "multi-2"]
+    specs = CampaignSpec(**grid).expand()
+    assert run_campaign(specs, jobs=2) == run_campaign(specs, jobs=1)
 
 
 def test_golden_covers_every_cell_once():

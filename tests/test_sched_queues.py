@@ -1,0 +1,200 @@
+"""Unit tests for the queue disciplines (repro.sched.queues)."""
+
+import pytest
+
+from repro.sched.queues import (
+    QUEUE_DISCIPLINES,
+    QUEUE_NAMES,
+    BackfillDiscipline,
+    FifoDiscipline,
+    PriorityDiscipline,
+    SjfDiscipline,
+    make_queue,
+)
+
+
+class Item:
+    """Minimal queueable stand-in (identity-keyed like real tasks)."""
+
+    def __init__(self, label):
+        self.label = label
+
+    def __repr__(self):
+        return f"<{self.label}>"
+
+
+def labels(items):
+    return [i.label for i in items]
+
+
+class TestRegistry:
+    def test_all_names_resolve(self):
+        for name in QUEUE_NAMES:
+            assert make_queue(name).name == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown queue discipline"):
+            make_queue("lifo")
+
+    def test_instances_pass_through(self):
+        q = BackfillDiscipline(max_age=2.0)
+        assert make_queue(q) is q
+
+    def test_registry_covers_the_four_disciplines(self):
+        assert set(QUEUE_DISCIPLINES) == {
+            "fifo", "priority", "sjf", "backfill"
+        }
+
+
+class TestFifo:
+    def test_scan_yields_only_the_head(self):
+        q = FifoDiscipline()
+        a, b = Item("a"), Item("b")
+        q.push(a, now=0.0)
+        q.push(b, now=1.0)
+        assert labels(q.scan(2.0)) == ["a"]
+
+    def test_ordered_is_arrival_order(self):
+        q = FifoDiscipline()
+        items = [Item(i) for i in range(5)]
+        for i, item in enumerate(items):
+            q.push(item, now=float(i))
+        assert q.ordered(9.0) == items
+
+    def test_take_removes_the_head(self):
+        q = FifoDiscipline()
+        a, b = Item("a"), Item("b")
+        q.push(a)
+        q.push(b)
+        q.take(a)
+        assert len(q) == 1
+        assert labels(q.scan(0.0)) == ["b"]
+
+
+class TestTombstones:
+    """The lazy-removal scheme shared by every discipline."""
+
+    @pytest.mark.parametrize("name", QUEUE_NAMES)
+    def test_discard_is_lazy_and_len_tracks_live(self, name):
+        q = make_queue(name)
+        items = [Item(i) for i in range(10)]
+        for item in items:
+            q.push(item, area=1, now=0.0)
+        for item in items[::2]:
+            q.discard(item)
+        assert len(q) == 5
+        # Dead entries are invisible to both access paths.
+        assert set(labels(q.ordered(0.0))) == {1, 3, 5, 7, 9}
+        assert all(i.label % 2 == 1 for i in q.scan(0.0))
+
+    @pytest.mark.parametrize("name", QUEUE_NAMES)
+    def test_discard_of_unknown_item_is_a_noop(self, name):
+        q = make_queue(name)
+        q.push(Item("a"))
+        q.discard(Item("ghost"))  # never pushed: must not raise
+        assert len(q) == 1
+
+    @pytest.mark.parametrize("name", QUEUE_NAMES)
+    def test_double_discard_counts_once(self, name):
+        q = make_queue(name)
+        a = Item("a")
+        q.push(a)
+        q.discard(a)
+        q.discard(a)
+        assert len(q) == 0
+
+    def test_dead_head_is_skipped_not_returned(self):
+        q = FifoDiscipline()
+        a, b = Item("a"), Item("b")
+        q.push(a)
+        q.push(b)
+        q.discard(a)
+        assert labels(q.scan(0.0)) == ["b"]
+
+    @pytest.mark.parametrize("name", QUEUE_NAMES)
+    def test_compaction_physically_drops_tombstones(self, name):
+        """Once tombstones dominate, a walk rebuilds the container —
+        dead entries must not accumulate for the rest of the run."""
+        q = make_queue(name)
+        keep = Item("keep")
+        q.push(keep, area=1, now=0.0)
+        victims = [Item(i) for i in range(100)]
+        for item in victims:
+            q.push(item, area=2, now=0.0)
+        for item in victims:
+            q.discard(item)
+        assert labels(q.ordered(0.0)) == ["keep"]
+        container = q._queue if hasattr(q, "_queue") else q._heap
+        assert len(container) <= 10  # tombstones gone, not just hidden
+
+
+class TestPriority:
+    def test_higher_priority_scans_first(self):
+        q = PriorityDiscipline()
+        low, high = Item("low"), Item("high")
+        q.push(low, priority=0, now=0.0)
+        q.push(high, priority=5, now=1.0)
+        assert labels(q.scan(1.0)) == ["high"]
+
+    def test_fifo_within_a_class(self):
+        q = PriorityDiscipline()
+        first, second = Item("first"), Item("second")
+        q.push(first, priority=3, now=0.0)
+        q.push(second, priority=3, now=1.0)
+        assert labels(q.ordered(1.0)) == ["first", "second"]
+
+    def test_ordered_sorts_by_class_then_arrival(self):
+        q = PriorityDiscipline()
+        a, b, c = Item("a"), Item("b"), Item("c")
+        q.push(a, priority=1)
+        q.push(b, priority=9)
+        q.push(c, priority=1)
+        assert labels(q.ordered(0.0)) == ["b", "a", "c"]
+
+
+class TestSjf:
+    def test_smallest_area_scans_first(self):
+        q = SjfDiscipline()
+        big, small = Item("big"), Item("small")
+        q.push(big, area=100, now=0.0)
+        q.push(small, area=4, now=1.0)
+        assert labels(q.scan(1.0)) == ["small"]
+        assert labels(q.ordered(1.0)) == ["small", "big"]
+
+    def test_area_ties_break_fifo(self):
+        q = SjfDiscipline()
+        first, second = Item("first"), Item("second")
+        q.push(first, area=9)
+        q.push(second, area=9)
+        assert labels(q.scan(0.0)) == ["first"]
+
+
+class TestBackfill:
+    def test_scan_yields_head_then_smaller_followers(self):
+        q = BackfillDiscipline(max_age=10.0)
+        head = Item("head")
+        small, equal, tiny = Item("small"), Item("equal"), Item("tiny")
+        q.push(head, area=50, now=0.0)
+        q.push(small, area=10, now=1.0)
+        q.push(equal, area=50, now=2.0)  # not smaller: never backfills
+        q.push(tiny, area=1, now=3.0)
+        assert labels(q.scan(4.0)) == ["head", "small", "tiny"]
+
+    def test_overage_head_blocks_backfilling(self):
+        q = BackfillDiscipline(max_age=5.0)
+        head, small = Item("head"), Item("small")
+        q.push(head, area=50, now=0.0)
+        q.push(small, area=1, now=1.0)
+        assert labels(q.scan(4.0)) == ["head", "small"]  # age 4 <= 5
+        assert labels(q.scan(6.0)) == ["head"]  # age 6 > 5: strict FIFO
+
+    def test_negative_max_age_rejected(self):
+        with pytest.raises(ValueError):
+            BackfillDiscipline(max_age=-1.0)
+
+    def test_ordered_stays_fifo(self):
+        q = BackfillDiscipline()
+        items = [Item(i) for i in range(3)]
+        for item in items:
+            q.push(item, area=1)
+        assert q.ordered(0.0) == items
