@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Fleet-scheduling performance harness — ``BENCH_fleet.json``.
+
+The fleet layer must add devices without adding per-event cost beyond
+the selection policy itself: admission is O(policy) — a policy ordering
+plus MER-index probes — never O(devices x residents).  Three layers of
+evidence:
+
+* **scaling** — one surge stream per fleet size (1/2/4/8 members,
+  ``least-loaded``): wall clock, processed events, end-to-end events
+  per second, and the per-event cost ratio against the 1-member fleet.
+  Admission throughput must degrade *sub-linearly* in fleet size (a
+  size-8 fleet costs far less than 8x a size-1 event) while rejections
+  collapse — that is the whole point of the fleet;
+* **policies** — the four selection policies at a fixed fleet size on
+  identical streams, separating policy-order overhead from fleet
+  plumbing;
+* **selection** — the raw decision microbenchmark: ``policy.order``
+  calls per second against a loaded fleet, the O(policy) claim in
+  isolation.
+
+Run from the repo root:
+
+    PYTHONPATH=src python benchmarks/perf/bench_fleet.py
+    PYTHONPATH=src python benchmarks/perf/bench_fleet.py --smoke
+
+``--smoke`` shrinks stream sizes for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.core.manager import LogicSpaceManager
+from repro.device.devices import device
+from repro.device.fabric import Fabric
+from repro.fleet import DEVICE_POLICY_NAMES, FleetManager
+from repro.sched.scheduler import OnlineTaskScheduler
+from repro.sched.workload import fleet_surge_tasks
+
+#: Device every member fabric models (small enough that the surge
+#: saturates one member, the regime fleets exist for).
+MEMBER_DEVICE = "XC2S30"
+
+
+def build_fleet(size: int, policy: str) -> FleetManager:
+    """A fleet of ``size`` identical member managers."""
+    dev = device(MEMBER_DEVICE)
+    return FleetManager(
+        [LogicSpaceManager(Fabric(dev)) for _ in range(size)],
+        policy=policy,
+    )
+
+
+def surge(n_tasks: int, seed: int = 7) -> list:
+    """The benchmark stream (sized to the member device)."""
+    dev = device(MEMBER_DEVICE)
+    cap = max(1, min(dev.clb_rows, dev.clb_cols) - 1)
+    return fleet_surge_tasks(
+        n_tasks, seed=seed, size_range=(3, min(10, cap))
+    )
+
+
+def bench_scaling(n_tasks: int, policy: str = "least-loaded") -> list[dict]:
+    """End-to-end throughput per fleet size on one surge stream."""
+    out: list[dict] = []
+    base_cost = None
+    for size in (1, 2, 4, 8):
+        scheduler = OnlineTaskScheduler(build_fleet(size, policy))
+        tasks = surge(n_tasks)
+        started = time.perf_counter()
+        metrics = scheduler.run(tasks)
+        elapsed = time.perf_counter() - started
+        processed = scheduler.events.processed
+        per_event = elapsed / processed if processed else 0.0
+        if base_cost is None:
+            base_cost = per_event
+        out.append({
+            "fleet_size": size,
+            "policy": policy,
+            "tasks": n_tasks,
+            "events_processed": processed,
+            "wall_seconds": elapsed,
+            "events_per_second": processed / elapsed if elapsed else 0.0,
+            #: per-event cost relative to the 1-member fleet; the
+            #: sub-linearity claim is ratio << fleet_size.
+            "cost_ratio_vs_single": (
+                per_event / base_cost if base_cost else 0.0
+            ),
+            "finished": metrics.finished,
+            "rejected": metrics.rejected,
+        })
+        print(
+            f"scaling fleet={size}: {elapsed:6.3f} s, {processed:6d} events "
+            f"({out[-1]['events_per_second']:9.0f} ev/s, "
+            f"{out[-1]['cost_ratio_vs_single']:.2f}x single-fleet cost), "
+            f"{metrics.finished} finished / {metrics.rejected} rejected"
+        )
+    return out
+
+
+def bench_policies(n_tasks: int, size: int = 4) -> list[dict]:
+    """The four selection policies on identical streams and fleets."""
+    out: list[dict] = []
+    for policy in DEVICE_POLICY_NAMES:
+        scheduler = OnlineTaskScheduler(build_fleet(size, policy))
+        tasks = surge(n_tasks)
+        started = time.perf_counter()
+        metrics = scheduler.run(tasks)
+        elapsed = time.perf_counter() - started
+        processed = scheduler.events.processed
+        out.append({
+            "policy": policy,
+            "fleet_size": size,
+            "tasks": n_tasks,
+            "events_processed": processed,
+            "wall_seconds": elapsed,
+            "events_per_second": processed / elapsed if elapsed else 0.0,
+            "finished": metrics.finished,
+            "rejected": metrics.rejected,
+        })
+        print(
+            f"policy {policy:>12} x fleet={size}: {elapsed:6.3f} s "
+            f"({out[-1]['events_per_second']:9.0f} ev/s), "
+            f"{metrics.finished} finished / {metrics.rejected} rejected"
+        )
+    return out
+
+
+def bench_selection(n_decisions: int) -> list[dict]:
+    """Raw ``policy.order`` decisions per second on a loaded fleet."""
+    out: list[dict] = []
+    for policy_name in DEVICE_POLICY_NAMES:
+        fleet = build_fleet(8, policy_name)
+        # Pre-load through the fleet itself so the probes see realistic
+        # MER sets *and* true load counters (a direct member.request
+        # would leave least-loaded ordering an apparently empty fleet).
+        for owner in range(1, 1 + 6 * len(fleet.members)):
+            fleet.request(2, 3, 10_000 + owner)
+        policy = fleet.policy
+        started = time.perf_counter()
+        for i in range(n_decisions):
+            policy.order(fleet, 2 + i % 4, 3)
+        elapsed = time.perf_counter() - started
+        out.append({
+            "policy": policy_name,
+            "fleet_size": len(fleet.members),
+            "decisions": n_decisions,
+            "wall_seconds": elapsed,
+            "decisions_per_second": (
+                n_decisions / elapsed if elapsed else 0.0
+            ),
+        })
+        print(
+            f"selection {policy_name:>12}: {elapsed:6.3f} s for "
+            f"{n_decisions} decisions "
+            f"({out[-1]['decisions_per_second']:10.0f}/s)"
+        )
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the harness and write the JSON evidence."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: smaller streams")
+    parser.add_argument("--out", default="BENCH_fleet.json",
+                        metavar="PATH", help="output JSON path")
+    args = parser.parse_args(argv)
+    n_tasks = 60 if args.smoke else 400
+    n_decisions = 2_000 if args.smoke else 20_000
+    payload = {
+        "machine": platform.platform(),
+        "python": platform.python_version(),
+        "smoke": args.smoke,
+        "scaling": bench_scaling(n_tasks),
+        "policies": bench_policies(n_tasks),
+        "selection": bench_selection(n_decisions),
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

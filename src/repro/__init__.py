@@ -15,7 +15,10 @@ The package implements, in pure Python:
   rearrangement-and-programming tool;
 * 2-D placement and free-space management (``repro.placement``) with the
   Diessel-style rearrangement baselines;
-* a discrete-event on-line scheduling substrate (``repro.sched``).
+* a discrete-event on-line scheduling substrate (``repro.sched``);
+* multi-fabric fleet scheduling with pluggable device-selection
+  policies (``repro.fleet``) and the declarative experiment-campaign
+  engine over every axis (``repro.campaign``).
 
 See README.md and DESIGN.md for the architecture, and EXPERIMENTS.md for
 the paper-versus-measured record.

@@ -36,25 +36,46 @@ SUMMARY_METRICS = (
 #: Non-seed axes of an aggregation cell, in the column order of the
 #: tables (policy last so policy duels read across a row).
 GROUP_AXES = ("device", "workload", "fit", "port_kind", "free_space",
-              "defrag", "queue", "ports", "policy")
+              "defrag", "queue", "ports", "fleet_size", "fleet_devices",
+              "device_policy", "policy")
 #: Table headers matching GROUP_AXES (``port_kind`` is shown as "port").
 GROUP_HEADERS = ("device", "workload", "fit", "port", "free_space",
-                 "defrag", "queue", "ports", "policy")
+                 "defrag", "queue", "ports", "fleet", "members",
+                 "dev_policy", "policy")
 
 #: Axis columns :meth:`ScenarioSpec.to_dict` omits at their default
 #: value (keeps golden row shapes stable); exports back-fill them.
-SPARSE_AXES = ("queue", "ports")
+SPARSE_AXES = ("queue", "ports", "fleet_size", "device_policy",
+               "fleet_devices")
 
 #: Spec columns always present in a row, in export order.
 BASE_AXES = ("device", "policy", "workload", "seed", "fit", "port_kind",
              "free_space", "defrag")
 
 
+def _sparse_value(spec, name: str):
+    """Row value of a sparse axis, read off the spec.
+
+    ``fleet_devices`` is flattened through the spec's own
+    :meth:`~repro.campaign.spec.ScenarioSpec.fleet_label` — the string
+    :meth:`~repro.campaign.spec.ScenarioSpec.to_dict` emits — so
+    back-filled rows stay scalar-valued, CSV-safe, and identical to
+    the sparse-emitted form.
+    """
+    if name == "fleet_devices":
+        return spec.fleet_label()
+    return getattr(spec, name)
+
+
 def _group_key(result: ScenarioResult) -> tuple[str, ...]:
     """Aggregation cell of one result: every axis except the seed, so
-    only seeds are ever averaged together."""
+    only seeds are ever averaged together — ``fleet_devices`` included,
+    so a heterogeneous fleet never pools with a homogeneous one of the
+    same size.  Values are str()-ed (via the same sparse formatting the
+    row exports use) so the integer ``fleet_size`` and the composition
+    tuple render like every other axis."""
     spec = result.spec
-    return tuple(getattr(spec, axis) for axis in GROUP_AXES)
+    return tuple(str(_sparse_value(spec, axis)) for axis in GROUP_AXES)
 
 
 @dataclass
@@ -88,7 +109,7 @@ class CampaignResult:
         for result, row in zip(self.results, rows):
             filled = {axis: row[axis] for axis in BASE_AXES}
             for name in swept:
-                filled[name] = getattr(result.spec, name)
+                filled[name] = _sparse_value(result.spec, name)
             for metric in ScenarioResult.METRIC_FIELDS:
                 filled[metric] = row[metric]
             out.append(filled)
@@ -96,8 +117,8 @@ class CampaignResult:
 
     def groups(self) -> dict[tuple[str, ...], list[ScenarioResult]]:
         """Results bucketed by (device, workload, fit, port, free-space
-        engine, defrag, queue discipline, port model, policy), seeds
-        pooled.
+        engine, defrag, queue discipline, port model, fleet size, fleet
+        composition, device-selection policy, policy), seeds pooled.
 
         Group order follows first appearance in the run list, which the
         deterministic grid expansion fixes.
@@ -194,6 +215,20 @@ class CampaignResult:
         """Reconfiguration-port models side by side (serial / multi-N /
         icap): what does configuration bandwidth buy on each cell?"""
         return self.pivot_table("ports", metric)
+
+    def fleet_table(self, metric: str = "mean_waiting") -> Table:
+        """Fleet sizes side by side: one column per fleet size, one row
+        per remaining cell — with the device-selection policy among the
+        row axes, this reads rejections/waiting/utilisation against
+        fleet size *and* policy at once (the scaling question the
+        multi-fabric experiments ask)."""
+        return self.pivot_table("fleet_size", metric)
+
+    def device_policy_table(self, metric: str = "mean_waiting") -> Table:
+        """Device-selection policies side by side (first-fit /
+        round-robin / least-loaded / best-fit): what does smarter
+        device routing buy at each fleet size?"""
+        return self.pivot_table("device_policy", metric)
 
     def to_csv(self, path: str | Path) -> Path:
         """Write one CSV row per run; returns the path written."""

@@ -18,6 +18,7 @@ import sys
 import time
 
 from repro.core.defrag_policy import DEFRAG_POLICY_NAMES
+from repro.fleet.policies import DEFAULT_DEVICE_POLICY, DEVICE_POLICY_NAMES
 from repro.placement.free_space import FREE_SPACE_NAMES
 from repro.sched.ports import PORT_MODEL_NAMES, normalize_port_model
 from repro.sched.queues import QUEUE_NAMES
@@ -60,7 +61,9 @@ def build_parser() -> argparse.ArgumentParser:
     grid.add_argument("--port-kinds", nargs="+", default=["boundary-scan"],
                       choices=PORT_KINDS, metavar="KIND",
                       dest="port_kinds",
-                      help="configuration-port kinds (cost model)")
+                      help=f"configuration-port kinds {PORT_KINDS}: the "
+                           "cost model pricing port seconds (how those "
+                           "seconds are *served* is --ports)")
     grid.add_argument("--free-space", nargs="+", default=["incremental"],
                       choices=FREE_SPACE_NAMES, metavar="ENGINE",
                       dest="free_spaces",
@@ -76,9 +79,25 @@ def build_parser() -> argparse.ArgumentParser:
     grid.add_argument("--ports", nargs="+", default=["serial"],
                       type=normalize_port_model, metavar="MODEL",
                       dest="ports",
-                      help="reconfiguration-port models "
+                      help="reconfiguration-port service models "
                            f"{PORT_MODEL_NAMES} (multi-N or a bare "
-                           "port count, e.g. '--ports 2')")
+                           "port count, e.g. '--ports 2'; the pricing "
+                           "side is --port-kinds)")
+    grid.add_argument("--fleet-size", nargs="+", type=int, default=[1],
+                      metavar="N", dest="fleet_sizes",
+                      help="fleet sizes: identical fabrics sharing the "
+                           "workload (1 = the single-device paper model)")
+    grid.add_argument("--device-policy", nargs="+",
+                      default=[DEFAULT_DEVICE_POLICY],
+                      choices=DEVICE_POLICY_NAMES, metavar="POLICY",
+                      dest="device_policies",
+                      help="fleet device-selection policies "
+                           f"{DEVICE_POLICY_NAMES}")
+    grid.add_argument("--fleet-devices", nargs="+", default=[],
+                      metavar="NAME", dest="fleet_devices",
+                      help="extra member devices joining each --devices "
+                           "value in a heterogeneous fleet (pins the "
+                           "fleet size; leave --fleet-size unset)")
     size = parser.add_argument_group("workload sizing")
     size.add_argument("--tasks", type=int, default=30, metavar="N",
                       help="tasks per run for task-stream workloads")
@@ -127,6 +146,9 @@ def campaign_from_args(args: argparse.Namespace) -> CampaignSpec:
         defrags=args.defrags,
         queues=args.queues,
         ports=args.ports,
+        fleet_sizes=args.fleet_sizes,
+        device_policies=args.device_policies,
+        fleet_devices=args.fleet_devices,
         workload_params=params,
     )
 
@@ -160,6 +182,10 @@ def main(argv: list[str] | None = None) -> int:
                if len(args.queues) > 1 else "")
             + (f" x {len(args.ports)} port models"
                if len(args.ports) > 1 else "")
+            + (f" x {len(args.fleet_sizes)} fleet sizes"
+               if len(args.fleet_sizes) > 1 else "")
+            + (f" x {len(args.device_policies)} device policies"
+               if len(args.device_policies) > 1 else "")
             + f"), {jobs} worker(s)"
         )
     started = time.perf_counter()
@@ -174,6 +200,10 @@ def main(argv: list[str] | None = None) -> int:
             results.queue_table(args.metric).show()
         if len(args.ports) > 1:
             results.ports_table(args.metric).show()
+        if len(args.fleet_sizes) > 1:
+            results.fleet_table(args.metric).show()
+        if len(args.device_policies) > 1:
+            results.device_policy_table(args.metric).show()
         sim_seconds = sum(r.wall_seconds for r in results.results)
         print(
             f"\n{len(results)} runs in {elapsed:.2f} s wall "

@@ -26,6 +26,8 @@ from repro.core.cost import CostModel
 from repro.core.manager import LogicSpaceManager
 from repro.device.devices import device as device_by_name
 from repro.device.fabric import Fabric
+from repro.fleet.manager import FleetManager
+from repro.fleet.policies import DEFAULT_DEVICE_POLICY
 from repro.sched.scheduler import (
     ApplicationFlowScheduler,
     OnlineTaskScheduler,
@@ -108,9 +110,9 @@ def _from_metrics(spec: ScenarioSpec, metrics: ScheduleMetrics,
     )
 
 
-def build_manager(spec: ScenarioSpec) -> LogicSpaceManager:
-    """Construct the logic-space manager a spec describes."""
-    dev = device_by_name(spec.device)
+def _member_manager(name: str, spec: ScenarioSpec) -> LogicSpaceManager:
+    """One single-device manager for member device ``name``."""
+    dev = device_by_name(name)
     return LogicSpaceManager(
         Fabric(dev, free_space=spec.free_space),
         cost_model=CostModel(dev, port_kind=spec.port_kind),
@@ -120,16 +122,41 @@ def build_manager(spec: ScenarioSpec) -> LogicSpaceManager:
     )
 
 
-def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
+def build_manager(
+    spec: ScenarioSpec, force_fleet: bool = False
+) -> LogicSpaceManager | FleetManager:
+    """Construct the (fleet of) logic-space manager(s) a spec describes.
+
+    A degenerate fleet — one member, default device-selection policy —
+    returns the plain single-device manager, exactly as every pre-fleet
+    campaign built it.  ``force_fleet`` routes even that case through a
+    1-member :class:`FleetManager`; the fleet test suite uses it to
+    prove the fleet layer is a perfect proxy (bit-identical golden
+    rows).
+    """
+    names = spec.fleet_device_names()
+    if (len(names) == 1 and not force_fleet
+            and spec.device_policy == DEFAULT_DEVICE_POLICY):
+        return _member_manager(names[0], spec)
+    return FleetManager(
+        [_member_manager(name, spec) for name in names],
+        policy=spec.device_policy,
+    )
+
+
+def run_scenario(spec: ScenarioSpec,
+                 force_fleet: bool = False) -> ScenarioResult:
     """Execute one scenario end to end; pure in the spec.
 
     Dispatches on the workload family's kind: independent-task streams
     run under :class:`OnlineTaskScheduler`, application chains under
     the prefetching :class:`ApplicationFlowScheduler`; both receive the
-    spec's queue discipline and reconfiguration-port model.
+    spec's queue discipline and reconfiguration-port model (one port
+    per fleet member).  ``force_fleet`` is the test hook described on
+    :func:`build_manager`.
     """
     started = time.perf_counter()
-    manager = build_manager(spec)
+    manager = build_manager(spec, force_fleet=force_fleet)
     dev = manager.fabric.device
     payload = make_workload(spec.workload, dev, spec.seed, **spec.params())
     if spec.scheduler_kind == "tasks":

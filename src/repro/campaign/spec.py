@@ -5,7 +5,8 @@ evaluation (and the related policy-matrix studies: floor-plan
 prediction, strip packing with delays) sweep:
 
     device x rearrange policy x fit x port x free-space engine
-           x defrag policy x workload x seed
+           x defrag policy x queue x port model x fleet size
+           x device-selection policy x workload x seed
 
 :class:`ScenarioSpec` pins one point of that grid; :class:`CampaignSpec`
 holds the axes and expands them into a deterministic run list.  Specs
@@ -21,6 +22,7 @@ from dataclasses import dataclass, field
 from repro.core.defrag_policy import DEFRAG_POLICY_NAMES
 from repro.core.manager import RearrangePolicy
 from repro.device.devices import device as device_by_name
+from repro.fleet.policies import DEFAULT_DEVICE_POLICY, DEVICE_POLICY_NAMES
 from repro.placement.fit import fitter
 from repro.placement.free_space import FREE_SPACE_NAMES
 from repro.sched.ports import normalize_port_model
@@ -53,6 +55,15 @@ class ScenarioSpec:
     defrag: str = "on-failure"
     queue: str = "fifo"
     ports: str = "serial"
+    #: fleet axes: how many fabrics share the workload (1 = the paper's
+    #: single-device model), which device-selection policy routes
+    #: requests, and — for heterogeneous fleets — the *additional*
+    #: member devices joining the primary ``device`` (when given, they
+    #: pin ``fleet_size`` to ``1 + len(fleet_devices)``; the primary
+    #: stays member 0 and sizes the workload).
+    fleet_size: int = 1
+    device_policy: str = DEFAULT_DEVICE_POLICY
+    fleet_devices: tuple[str, ...] = ()
     workload_params: tuple[tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
@@ -83,6 +94,28 @@ class ScenarioSpec:
         # Canonicalise the port model ("2" -> "multi-2"); frozen
         # dataclass, so write through object.__setattr__.
         object.__setattr__(self, "ports", normalize_port_model(self.ports))
+        if self.device_policy not in DEVICE_POLICY_NAMES:
+            raise ValueError(
+                f"unknown device policy {self.device_policy!r}; "
+                f"choose from {DEVICE_POLICY_NAMES}"
+            )
+        # An explicit heterogeneous member list pins the fleet size.
+        object.__setattr__(
+            self, "fleet_devices", tuple(self.fleet_devices)
+        )
+        for name in self.fleet_devices:
+            device_by_name(name)  # raises KeyError when unknown
+        if self.fleet_devices:
+            if self.fleet_size != 1:
+                raise ValueError(
+                    "fleet_devices pins the fleet composition; "
+                    "leave fleet_size at its default"
+                )
+            object.__setattr__(
+                self, "fleet_size", 1 + len(self.fleet_devices)
+            )
+        if self.fleet_size < 1:
+            raise ValueError("fleet_size must be at least 1")
         fitter(self.fit)  # raises on unknown strategy
         workload_by_name(self.workload)  # raises on unknown workload
 
@@ -100,14 +133,36 @@ class ScenarioSpec:
         """Workload parameters as a dict."""
         return dict(self.workload_params)
 
+    def fleet_label(self) -> str:
+        """The scalar row/cell form of :attr:`fleet_devices`: member
+        names ``"+"``-joined, empty for homogeneous fleets.  The single
+        definition behind both :meth:`to_dict` and the aggregation
+        back-fill, so exports and group keys can never drift apart."""
+        return "+".join(self.fleet_devices)
+
+    def fleet_device_names(self) -> tuple[str, ...]:
+        """Member device names of the fleet, primary first.
+
+        ``fleet_devices`` members join the primary ``device``;
+        otherwise the fleet is ``fleet_size`` copies of it.  A 1-tuple
+        means the single-device paper model (the runner then skips the
+        fleet layer entirely).
+        """
+        if self.fleet_devices:
+            return (self.device, *self.fleet_devices)
+        return (self.device,) * self.fleet_size
+
     def to_dict(self) -> dict:
         """JSON-friendly representation.
 
-        The scheduling-policy axes (``queue``, ``ports``) are emitted
-        only when they differ from their defaults, keeping the exported
-        row shape — and the committed golden snapshots — bit-identical
-        for campaigns that never touch them.  Aggregation reads the
-        attributes directly, and :meth:`CampaignResult.rows
+        The scheduling-policy axes (``queue``, ``ports``) and the fleet
+        axes (``fleet_size``, ``device_policy``, ``fleet_devices`` —
+        the latter flattened to a ``"+"``-joined string so rows stay
+        scalar) are emitted only when they differ from their defaults.
+        This keeps the exported row shape — and the committed golden
+        snapshots — bit-identical for campaigns that never touch them.
+        Aggregation reads the attributes directly, and
+        :meth:`CampaignResult.rows
         <repro.campaign.aggregate.CampaignResult.rows>` back-fills the
         columns for mixed sweeps.
         """
@@ -125,6 +180,12 @@ class ScenarioSpec:
             out["queue"] = self.queue
         if self.ports != "serial":
             out["ports"] = self.ports
+        if self.fleet_size != 1:
+            out["fleet_size"] = self.fleet_size
+        if self.device_policy != DEFAULT_DEVICE_POLICY:
+            out["device_policy"] = self.device_policy
+        if self.fleet_devices:
+            out["fleet_devices"] = self.fleet_label()
         out["workload_params"] = self.params()
         return out
 
@@ -142,8 +203,9 @@ class CampaignSpec:
 
     Axis order in the expansion is fixed (device, policy, fit, port,
     free-space engine, defrag policy, queue discipline, port model,
-    workload, seed) so a campaign's run list — and therefore its result
-    ordering — is deterministic for a given spec.
+    fleet size, device-selection policy, workload, seed) so a
+    campaign's run list — and therefore its result ordering — is
+    deterministic for a given spec.
     """
 
     devices: list[str] = field(default_factory=lambda: ["XCV200"])
@@ -156,12 +218,33 @@ class CampaignSpec:
     defrags: list[str] = field(default_factory=lambda: ["on-failure"])
     queues: list[str] = field(default_factory=lambda: ["fifo"])
     ports: list[str] = field(default_factory=lambda: ["serial"])
+    fleet_sizes: list[int] = field(default_factory=lambda: [1])
+    device_policies: list[str] = field(
+        default_factory=lambda: [DEFAULT_DEVICE_POLICY]
+    )
+    #: additional member devices joining each run's primary device
+    #: (one heterogeneous composition for the whole campaign; when
+    #: non-empty it overrides ``fleet_sizes``, which must stay at its
+    #: default — the composition *is* the fleet-size axis then).
+    fleet_devices: list[str] = field(default_factory=list)
     #: per-workload generator parameters, keyed by workload name,
     #: e.g. ``{"random": {"n": 30}, "codec-swap": {"n_apps": 4}}``.
     workload_params: dict[str, dict] = field(default_factory=dict)
 
+    def _fleet_size_axis(self) -> list[int]:
+        """The fleet-size axis, collapsed by an explicit composition."""
+        if self.fleet_devices:
+            if self.fleet_sizes != [1]:
+                raise ValueError(
+                    "fleet_devices pins the fleet composition; "
+                    "leave fleet_sizes at its default"
+                )
+            return [1 + len(self.fleet_devices)]
+        return self.fleet_sizes
+
     def expand(self) -> list[ScenarioSpec]:
         """The cartesian product of the axes, in deterministic order."""
+        fleet_devices = tuple(self.fleet_devices)
         return [
             ScenarioSpec(
                 device=dev,
@@ -174,11 +257,15 @@ class CampaignSpec:
                 defrag=defrag,
                 queue=queue,
                 ports=ports,
+                fleet_size=fleet if not fleet_devices else 1,
+                device_policy=device_policy,
+                fleet_devices=fleet_devices,
                 workload_params=normalize_params(
                     self.workload_params.get(wl)
                 ),
             )
-            for dev, pol, fit, port, space, defrag, queue, ports, wl, seed
+            for dev, pol, fit, port, space, defrag, queue, ports,
+            fleet, device_policy, wl, seed
             in itertools.product(
                 self.devices,
                 self.policies,
@@ -188,6 +275,8 @@ class CampaignSpec:
                 self.defrags,
                 self.queues,
                 self.ports,
+                self._fleet_size_axis(),
+                self.device_policies,
                 self.workloads,
                 self.seeds,
             )
@@ -205,6 +294,8 @@ class CampaignSpec:
             * len(self.defrags)
             * len(self.queues)
             * len(self.ports)
+            * len(self._fleet_size_axis())
+            * len(self.device_policies)
             * len(self.workloads)
             * len(self.seeds)
         )

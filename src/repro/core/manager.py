@@ -71,6 +71,10 @@ class PlacementOutcome:
     moves: list[MoveExecution] = field(default_factory=list)
     config_seconds: float = 0.0
     method: str = "direct"
+    #: fleet member that accepted the request (0 for the single-device
+    #: manager; set by :class:`repro.fleet.manager.FleetManager` so the
+    #: scheduling kernel charges the right device's port).
+    device: int = 0
 
     @property
     def rearrange_seconds(self) -> float:
@@ -261,6 +265,12 @@ class LogicSpaceManager:
         the policy declined or no profitable plan exists.
         """
         if self.policy is RearrangePolicy.NONE:
+            return None
+        # Reactive-only policies can never fire here; skip before
+        # computing the trigger's fragmentation/free-area inputs, which
+        # would otherwise cost a MER-set scan per finish event (times
+        # fleet size, once a kernel drives many members).
+        if not self.defrag_policy.proactive:
             return None
         if not self.defrag_policy.should_trigger(
             fragmentation=self.fragmentation(),

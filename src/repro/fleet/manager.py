@@ -1,0 +1,154 @@
+"""The fleet manager: one placement stream sharded across N fabrics.
+
+The paper manages the logic space of a *single* reconfigurable device;
+:class:`FleetManager` is the scaling axis on top: it presents the same
+request/release surface as one
+:class:`~repro.core.manager.LogicSpaceManager`, but multiplexes every
+placement over a fleet of independent member managers — possibly
+heterogeneous device models, each with its own fabric, free-space
+engine, defrag trigger policy and (at the scheduling layer) its own
+reconfiguration port.
+
+Division of labour:
+
+* a :class:`~repro.fleet.policies.DeviceSelectionPolicy` turns each
+  request into a preference order over members; the fleet tries members
+  in that order until one accepts (rearrangement-capable members are
+  ordered last by the fit-aware policies, so planners only run when no
+  device fits directly);
+* every accepted owner is recorded in an owner → (device, area) map, so
+  :meth:`release` routes to the right fabric in O(1) and the per-device
+  allocated-area counters behind the ``least-loaded`` policy never
+  rescan residents;
+* relocation and defragmentation stay *intra-fabric*: a member's
+  rearrangements never cross devices (there is no inter-device
+  relocation path in the paper's mechanism, and the scheduling kernel
+  charges each member's moves to that member's own port).
+
+A 1-member fleet is a perfect proxy for its single manager: every call
+delegates unchanged, which is what lets both schedulers run on a fleet
+with bit-identical default event streams (pinned by
+``tests/test_fleet.py`` against the golden snapshots).
+"""
+
+from __future__ import annotations
+
+from repro.core.manager import LogicSpaceManager, PlacementOutcome
+from repro.device.fabric import Fabric
+
+from .policies import DeviceSelectionPolicy, make_device_policy
+
+
+class FleetManager:
+    """Shard placements across member :class:`LogicSpaceManager` s."""
+
+    def __init__(
+        self,
+        members: list[LogicSpaceManager],
+        policy: str | DeviceSelectionPolicy = "first-fit",
+    ) -> None:
+        if not members:
+            raise ValueError("a fleet needs at least one member manager")
+        self.members = list(members)
+        self.policy = make_device_policy(policy)
+        #: owner id -> (member index, allocated area): release routing
+        #: and the O(1) load counters in one map.
+        self._owners: dict[int, tuple[int, int]] = {}
+        self._areas = [0] * len(self.members)
+
+    # -- fleet introspection -------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of member devices."""
+        return len(self.members)
+
+    @property
+    def fabric(self) -> Fabric:
+        """The primary member's fabric.
+
+        Workload generators size their rectangles against one device;
+        by convention that is member 0 (campaign specs put the
+        scenario's ``device`` there).  Oversized requests simply never
+        fit smaller secondary members.
+        """
+        return self.members[0].fabric
+
+    @property
+    def device_names(self) -> tuple[str, ...]:
+        """Member device names, in fleet order."""
+        return tuple(m.fabric.device.name for m in self.members)
+
+    def load(self, index: int) -> float:
+        """Allocated-site fraction of member ``index`` (O(1))."""
+        return self._areas[index] / self.members[index].fabric.device.clb_count
+
+    def largest_free_area(self, index: int) -> int:
+        """Area of member ``index``'s largest free rectangle."""
+        return max(
+            (r.area for r in self.members[index].free_space.mers), default=0
+        )
+
+    def device_of(self, owner: int) -> int:
+        """Member index currently hosting ``owner``."""
+        return self._owners[owner][0]
+
+    # -- the manager-protocol surface ---------------------------------------
+
+    def request(self, height: int, width: int,
+                owner: int) -> PlacementOutcome:
+        """Place a ``height`` x ``width`` function on the fleet.
+
+        Members are attempted in the selection policy's preference
+        order; the first accepting member tags the outcome with its
+        device index (the scheduling kernel charges that device's
+        port).  When every member declines — including through their
+        rearrangement planners — the last member's failed outcome is
+        returned, so a 1-member fleet returns exactly what its single
+        manager would.
+        """
+        outcome: PlacementOutcome | None = None
+        for index in self.policy.order(self, height, width):
+            outcome = self.members[index].request(height, width, owner)
+            if outcome.success:
+                outcome.device = index
+                assert outcome.rect is not None
+                self._owners[owner] = (index, outcome.rect.area)
+                self._areas[index] += outcome.rect.area
+                self.policy.note_placed(index)
+                return outcome
+        if outcome is None:  # pragma: no cover - members is never empty
+            outcome = PlacementOutcome(False, owner)
+        return outcome
+
+    def release(self, owner: int) -> None:
+        """Free a finished function's footprint on its host member."""
+        try:
+            index, area = self._owners.pop(owner)
+        except KeyError:
+            raise KeyError(f"owner {owner} holds no region") from None
+        self._areas[index] -= area
+        self.members[index].release(owner)
+
+    # -- telemetry -----------------------------------------------------------
+
+    def _site_weighted(self, read) -> float:
+        """Site-weighted mean of a per-member telemetry channel (a
+        1-member fleet reports its member's value verbatim — no float
+        round-trip may perturb the bit-identical proxy)."""
+        if len(self.members) == 1:
+            return read(self.members[0])
+        weighted = 0.0
+        sites = 0
+        for manager in self.members:
+            count = manager.fabric.device.clb_count
+            weighted += read(manager) * count
+            sites += count
+        return weighted / sites
+
+    def fragmentation(self) -> float:
+        """Site-weighted mean fragmentation index over the members."""
+        return self._site_weighted(lambda m: m.fragmentation())
+
+    def utilization(self) -> float:
+        """Site-weighted mean occupancy over the members."""
+        return self._site_weighted(lambda m: m.utilization())

@@ -21,6 +21,16 @@ shape (independent tasks, application chains) into kernel calls and
 keep only the bookkeeping unique to that shape.  With the default
 ``fifo`` + ``serial`` policies the kernel is event-for-event identical
 to the historical schedulers — the golden campaign snapshots pin it.
+
+The kernel also carries the *device axis*: handed a
+:class:`~repro.fleet.manager.FleetManager` (recognised by its
+``members`` attribute) instead of a single manager, it instantiates one
+port model **per member device**, charges each placement to the port of
+the device that accepted it (``PlacementOutcome.device``), and runs the
+proactive-defrag trigger per fabric against that fabric's own port-idle
+signal.  Admission itself is unchanged — the fleet manager consults its
+device-selection policy inside ``request`` — so a 1-member fleet is
+event-for-event identical to the plain single-manager kernel.
 """
 
 from __future__ import annotations
@@ -140,7 +150,7 @@ class SchedulingKernel:
 
     def __init__(
         self,
-        manager: LogicSpaceManager,
+        manager,
         queue: str | QueueDiscipline = "fifo",
         ports: str | PortModel = "serial",
         on_admitted: Callable[[Admissible, PlacementOutcome], None]
@@ -150,9 +160,24 @@ class SchedulingKernel:
         sample_on_defrag: bool = True,
     ) -> None:
         self.manager = manager
+        members = getattr(manager, "members", None)
+        #: the fabrics the kernel drives: the fleet's members, or the
+        #: single manager itself.  Index i's port is ``ports[i]``.
+        self._managers: list[LogicSpaceManager] = (
+            list(members) if members is not None else [manager]
+        )
         self.events = EventQueue()
         self.queue = make_queue(queue)
-        self.port = make_port_model(ports, self.events)
+        if not isinstance(ports, (str, int)) and len(self._managers) > 1:
+            raise ValueError(
+                "a pre-built port-model instance cannot be shared across "
+                "a fleet; pass a model name so each device gets its own"
+            )
+        #: one reconfiguration-port model per device, so configuration
+        #: bandwidth is a per-fabric resource.
+        self.ports = [
+            make_port_model(ports, self.events) for _ in self._managers
+        ]
         self.metrics = ScheduleMetrics()
         self.on_admitted = on_admitted
         self.on_space_reclaimed = on_space_reclaimed
@@ -185,11 +210,23 @@ class SchedulingKernel:
         """Current simulation time."""
         return self.events.now
 
+    @property
+    def port(self) -> PortModel:
+        """The primary device's port model (the only one on a
+        single-device kernel; fleet-wide accounting should read
+        :attr:`port_busy_seconds` instead)."""
+        return self.ports[0]
+
+    @property
+    def port_busy_seconds(self) -> float:
+        """Total reconfiguration-port time consumed across all devices."""
+        return sum(port.busy_seconds for port in self.ports)
+
     def run(self) -> None:
         """Drain the event queue, then stamp the run-wide metrics."""
         self.events.run()
         self.metrics.makespan = self.events.now
-        self.metrics.port_busy_seconds = self.port.busy_seconds
+        self.metrics.port_busy_seconds = self.port_busy_seconds
 
     # -- admission ----------------------------------------------------------
 
@@ -262,6 +299,8 @@ class SchedulingKernel:
     def charge_placement(self, outcome: PlacementOutcome) -> float:
         """Count a placement's moves, apply HALT stops, charge the port.
 
+        The port charged is the one of the device that accepted the
+        request (``outcome.device``; always 0 outside a fleet).
         Returns the instant the item's own configuration completes (the
         end of its contiguous port job).
         """
@@ -269,7 +308,7 @@ class SchedulingKernel:
             self.metrics.rearrangements += 1
             self.metrics.moves += len(outcome.moves)
             self.apply_halts(outcome)
-        __, config_done = self.port.acquire(
+        __, config_done = self.ports[outcome.device].acquire(
             config_seconds=outcome.config_seconds,
             move_seconds=outcome.rearrange_seconds,
         )
@@ -311,32 +350,44 @@ class SchedulingKernel:
     def maybe_defrag(self) -> DefragOutcome | None:
         """Proactive-defrag hook, checked on finish events.
 
-        When the manager's trigger policy fires and the planner finds a
-        profitable consolidation, the moves are charged to the port
-        model (background compaction competes with arrivals for
-        configuration bandwidth), HALT-policy stops are applied to the
-        moved items, and ``on_space_reclaimed`` wakes waiting work —
-        the consolidated free space may now host something that failed
-        before.
+        The trigger fires **per fabric**: every device's manager is
+        consulted against that device's own port-idle signal, and an
+        executed consolidation is charged to that device's port
+        (background compaction competes with arrivals for that fabric's
+        configuration bandwidth, never a sibling's).  HALT-policy stops
+        are applied to the moved items; if any device consolidated,
+        ``on_space_reclaimed`` wakes waiting work once — the reclaimed
+        space may now host something that failed before.  Returns the
+        last executed outcome (the single device's outcome outside a
+        fleet), or ``None`` when no trigger fired.
         """
-        outcome = self.manager.maybe_defrag(
-            now=self.events.now,
-            port_idle=self.port.free_at <= self.events.now,
-        )
-        if outcome is None:
+        fired: DefragOutcome | None = None
+        for manager, port in zip(self._managers, self.ports):
+            outcome = manager.maybe_defrag(
+                now=self.events.now,
+                port_idle=port.free_at <= self.events.now,
+            )
+            if outcome is None:
+                continue
+            self.metrics.proactive_defrags += 1
+            self.metrics.defrag_moves += len(outcome.moves)
+            self.metrics.defrag_port_seconds += outcome.port_seconds
+            self.apply_halts(outcome)
+            port.acquire(move_seconds=outcome.port_seconds)
+            self._space_version += 1
+            fired = outcome
+        if fired is None:
             return None
-        self.metrics.proactive_defrags += 1
-        self.metrics.defrag_moves += len(outcome.moves)
-        self.metrics.defrag_port_seconds += outcome.port_seconds
-        self.apply_halts(outcome)
-        self.port.acquire(move_seconds=outcome.port_seconds)
-        self._space_version += 1
+        # One telemetry sample per hook invocation, not per member:
+        # the sample is fleet-wide, so several members consolidating at
+        # the same instant must not weight it several times (a single
+        # device fires at most one outcome here — unchanged).
         if self.sample_on_defrag:
             self.sample()
         if self.on_space_reclaimed is not None:
             self.on_space_reclaimed()
         self.drain()
-        return outcome
+        return fired
 
     def sample(self) -> None:
         """Record one fragmentation + utilization telemetry sample.

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.manager import LogicSpaceManager, PlacementOutcome
+from repro.core.manager import PlacementOutcome
 
 from .kernel import ScheduleMetrics, SchedulingKernel
 from .ports import PortModel
@@ -129,9 +129,14 @@ def summarize_application_runs(
 
 
 class OnlineTaskScheduler:
-    """On-line scheduler for independent tasks (pluggable policies)."""
+    """On-line scheduler for independent tasks (pluggable policies).
 
-    def __init__(self, manager: LogicSpaceManager,
+    ``manager`` is a :class:`LogicSpaceManager` or a
+    :class:`~repro.fleet.manager.FleetManager`; the kernel derives the
+    device axis (one port per fabric) from it.
+    """
+
+    def __init__(self, manager,
                  queue: str | QueueDiscipline = "fifo",
                  ports: str | PortModel = "serial") -> None:
         self.kernel = SchedulingKernel(
@@ -225,9 +230,15 @@ class OnlineTaskScheduler:
 
 
 class ApplicationFlowScheduler:
-    """Fig. 1: applications sharing the device in space and time."""
+    """Fig. 1: applications sharing the device in space and time.
 
-    def __init__(self, manager: LogicSpaceManager,
+    ``manager`` is a :class:`LogicSpaceManager` or a
+    :class:`~repro.fleet.manager.FleetManager` (function chains then
+    spread over the fleet, each function configured on the member its
+    device-selection policy picked).
+    """
+
+    def __init__(self, manager,
                  prefetch: bool = True,
                  queue: str | QueueDiscipline = "fifo",
                  ports: str | PortModel = "serial") -> None:
@@ -274,7 +285,7 @@ class ApplicationFlowScheduler:
         summary = summarize_application_runs(
             runs,
             makespan=self.events.now,
-            port_busy_seconds=self.port.busy_seconds,
+            port_busy_seconds=self.kernel.port_busy_seconds,
         )
         summary.rearrangements = self.metrics.rearrangements
         summary.moves = self.metrics.moves

@@ -21,6 +21,11 @@
 * :func:`codec_swap_applications` — randomized codec-swap-style function
   chains (the paper's communication/video/audio context-switch example),
   scaled to a device.
+* :func:`fleet_surge_tasks` — a sustained arrival surge with bounded
+  patience: the offered load saturates a single device's space *and*
+  configuration port, but spreads comfortably over a fleet of a few —
+  the workload the multi-fabric experiments (:mod:`repro.fleet`) use to
+  separate device-selection policies and fleet sizes.
 
 Every generator is deterministic per seed.  The :data:`WORKLOADS`
 registry maps generator names to factories so the campaign engine
@@ -283,6 +288,52 @@ def fragmenting_tasks(
     return tasks
 
 
+def fleet_surge_tasks(
+    n: int,
+    seed: int = 0,
+    mean_interarrival: float = 0.1,
+    size_range: tuple[int, int] = (3, 10),
+    exec_range: tuple[float, float] = (0.6, 1.6),
+    max_wait: float | None = 1.5,
+    priority_levels: int = 1,
+) -> list[Task]:
+    """A sustained surge sized to overwhelm one device, not a fleet.
+
+    Poisson arrivals come several times faster than service completes
+    them on a single fabric (mean service ``exec_range`` ≫ mean
+    interarrival), every task demands a mid-sized contiguous rectangle,
+    and patience is short (``max_wait``): a lone device saturates both
+    its logic space and its configuration port and rejects a large
+    fraction of the stream, while a fleet of a few devices absorbs the
+    same arrivals with almost no loss.  This is the workload the fleet
+    campaign axis (``--fleet-size`` / ``--device-policy``) is separated
+    on.  ``priority_levels`` adds a uniform QoS mix.  Deterministic per
+    seed.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    lo, hi = size_range
+    if lo < 1 or hi < lo:
+        raise ValueError("invalid size_range")
+    rng = random.Random(seed)
+    tasks: list[Task] = []
+    now = 0.0
+    for i in range(n):
+        now += rng.expovariate(1.0 / mean_interarrival)
+        tasks.append(
+            Task(
+                task_id=i + 1,
+                height=rng.randint(lo, hi),
+                width=rng.randint(lo, hi),
+                exec_seconds=rng.uniform(*exec_range),
+                arrival=now,
+                max_wait=max_wait,
+                priority=_draw_priority(rng, priority_levels),
+            )
+        )
+    return tasks
+
+
 def codec_swap_applications(
     device: VirtexDevice,
     n_apps: int = 3,
@@ -462,6 +513,9 @@ for _spec in (
                  size_param="n"),
     WorkloadSpec("fragmenting", "tasks", _fragmenting_factory,
                  "small long-lived anchors vs. large impatient arrivals",
+                 size_param="n"),
+    WorkloadSpec("fleet-surge", "tasks", _task_factory(fleet_surge_tasks),
+                 "arrival surge that saturates one device but not a fleet",
                  size_param="n"),
     WorkloadSpec("fig1", "apps", _fig1_factory,
                  "the fixed three-application Fig. 1 scenario"),

@@ -183,11 +183,90 @@ def test_policy_table(small_results):
     table = small_results.policy_table("mean_waiting")
     assert table.headers == [
         "device", "workload", "fit", "port", "free_space", "defrag",
-        "queue", "ports", "none", "concurrent"
+        "queue", "ports", "fleet", "members", "dev_policy",
+        "none", "concurrent"
     ]
     assert len(table.rows) == 1
     with pytest.raises(KeyError):
         small_results.policy_table("not_a_metric")
+
+
+def test_rows_backfill_mixed_pre_fleet_and_fleet_results():
+    """A result list mixing pre-fleet rows (sparse axes omitted) and
+    fleet rows must export rectangular: every row carries the swept
+    sparse columns, back-filled from the spec's defaults."""
+    pre_fleet = ScenarioResult(
+        spec=ScenarioSpec("XC2S15", "none", "random", 0), finished=3
+    )
+    fleet = ScenarioResult(
+        spec=ScenarioSpec("XC2S15", "none", "random", 1, fleet_size=2,
+                          device_policy="least-loaded"),
+        finished=5,
+    )
+    hetero = ScenarioResult(
+        spec=ScenarioSpec("XC2S15", "none", "random", 2,
+                          fleet_devices=("XC2S30",)),
+        finished=7,
+    )
+    rows = CampaignResult([pre_fleet, fleet, hetero]).rows()
+    assert [set(row) for row in rows] == [set(rows[0])] * 3
+    assert [row["fleet_size"] for row in rows] == [1, 2, 2]
+    assert [row["device_policy"] for row in rows] == [
+        "first-fit", "least-loaded", "first-fit"
+    ]
+    assert [row["fleet_devices"] for row in rows] == ["", "", "XC2S30"]
+    # Sparse back-fill never disturbs the base axes or the metrics.
+    assert [row["seed"] for row in rows] == [0, 1, 2]
+    assert [row["finished"] for row in rows] == [3, 5, 7]
+
+
+def test_rows_without_sparse_axes_keep_the_historical_columns():
+    """A campaign that never touches a sparse axis exports exactly the
+    pre-fleet column set (the shape the golden snapshots pin)."""
+    result = ScenarioResult(
+        spec=ScenarioSpec("XC2S15", "none", "random", 0), finished=1
+    )
+    (row,) = CampaignResult([result]).rows()
+    for column in ("queue", "ports", "fleet_size", "device_policy",
+                   "fleet_devices"):
+        assert column not in row
+
+
+def test_groups_keep_heterogeneous_fleets_apart():
+    """A heterogeneous fleet never pools with a homogeneous fleet of
+    the same size: the composition is part of the aggregation cell."""
+    homo = ScenarioResult(
+        spec=ScenarioSpec("XC2S15", "none", "random", 0, fleet_size=2),
+        rejected=1,
+    )
+    hetero = ScenarioResult(
+        spec=ScenarioSpec("XC2S15", "none", "random", 0,
+                          fleet_devices=("XC2S30",)),
+        rejected=5,
+    )
+    result = CampaignResult([homo, hetero])
+    assert len(result.groups()) == 2
+    assert sorted(result.group_means("rejected").values()) == [1.0, 5.0]
+
+
+def test_pivot_table_with_single_valued_axis():
+    """Degenerate pivot: an axis swept at one value yields exactly one
+    value column, one row per remaining cell, and no NaN padding."""
+    results = [
+        ScenarioResult(
+            spec=ScenarioSpec("XC2S15", policy, "random", seed),
+            rejected=seed,
+        )
+        for policy in ("none", "concurrent")
+        for seed in (0, 1)
+    ]
+    table = CampaignResult(results).pivot_table("defrag", "rejected")
+    assert table.headers[-1] == "on-failure"
+    # Two remaining cells (one per rearrangement policy), seed-pooled.
+    assert len(table.rows) == 2
+    assert [row[-1] for row in table.rows] == ["0.5", "0.5"]
+    with pytest.raises(KeyError):
+        CampaignResult(results).pivot_table("seed", "rejected")
 
 
 def test_csv_json_export(small_results, tmp_path):

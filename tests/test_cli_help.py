@@ -1,0 +1,81 @@
+"""CLI help audit: the documented surface matches the real one.
+
+Two invariants, kept mechanical so a renamed flag can never leave the
+help text behind again (the ``--ports`` → ``--port-kinds`` split once
+did):
+
+* every public grid axis, sizing and execution flag appears in
+  ``--help`` output;
+* every ``--flag`` token *mentioned* anywhere in the help text is a
+  real option of the parser — stale cross-references fail the suite.
+"""
+
+import re
+
+from repro.campaign.cli import build_parser
+from repro.campaign.runner import ScenarioResult
+from repro.fleet.policies import DEVICE_POLICY_NAMES
+from repro.sched.queues import QUEUE_NAMES
+
+#: Every public flag of ``python -m repro.campaign``; extending the CLI
+#: without extending this list fails the audit below.
+PUBLIC_FLAGS = (
+    "--devices", "--policies", "--workloads", "--seeds", "--fits",
+    "--port-kinds", "--free-space", "--defrag", "--queue", "--ports",
+    "--fleet-size", "--device-policy", "--fleet-devices",
+    "--tasks", "--apps", "--priority-levels",
+    "--jobs", "--metric", "--csv", "--json", "--quiet",
+)
+
+
+def parser_option_strings() -> set[str]:
+    """All option strings the parser actually accepts."""
+    out: set[str] = set()
+    for action in build_parser()._actions:
+        out.update(s for s in action.option_strings if s.startswith("--"))
+    return out
+
+
+def raw_help_strings() -> list[str]:
+    """The un-wrapped per-option help strings (``format_help`` output
+    is re-wrapped to the terminal width, which would split names like
+    ``round-robin`` across lines and make substring checks flaky)."""
+    parser = build_parser()
+    return [parser.description or ""] + [
+        action.help or "" for action in parser._actions
+    ]
+
+
+def test_help_mentions_every_public_axis():
+    help_text = build_parser().format_help()
+    for flag in PUBLIC_FLAGS:
+        assert flag in help_text, f"--help is missing {flag}"
+
+
+def test_public_flag_list_is_complete():
+    """The audit list and the parser agree exactly (minus --help)."""
+    assert parser_option_strings() - {"--help"} == set(PUBLIC_FLAGS)
+
+
+def test_every_flag_mentioned_in_help_exists():
+    """No help string may reference a flag the parser does not accept
+    (this is the regression the --ports/--port-kinds rename risked)."""
+    mentioned = set()
+    for text in raw_help_strings():
+        mentioned.update(re.findall(r"--[a-z][a-z-]*", text))
+    unknown = mentioned - parser_option_strings() - {"--help"}
+    assert not unknown, f"help text mentions unknown flags: {unknown}"
+
+
+def test_help_names_every_axis_choice():
+    """Choice-valued axes spell their values out in their help string
+    (or argparse renders the choices itself), so ``--help`` is a
+    complete catalogue of the grid."""
+    helps = " ".join(raw_help_strings())
+    for name in QUEUE_NAMES + DEVICE_POLICY_NAMES:
+        assert name in helps, f"--help is missing choice {name}"
+    # --metric catalogues every exportable column: argparse renders its
+    # choices into the help, so the choices themselves are the check.
+    metric = next(a for a in build_parser()._actions
+                  if "--metric" in a.option_strings)
+    assert tuple(metric.choices) == ScenarioResult.METRIC_FIELDS

@@ -12,7 +12,11 @@ Three snapshots are pinned:
   the same way;
 * ``campaign_sched.json`` — the 24-run queue-discipline x port-model
   grid over a priority-mixed impatient stream, pinning the scheduling
-  kernel's policy layers the same way.
+  kernel's policy layers the same way;
+* ``campaign_fleet.json`` — a 16-run fleet-size x device-selection
+  policy grid over the surge workload, pinning the multi-fabric layer
+  (and, together with ``tests/test_fleet.py``'s force-fleet run of the
+  24-run grid, the claim that a 1-member fleet changes nothing).
 
 The first two grids run entirely on the default ``fifo`` + ``serial``
 policies, so they double as the proof that the kernel refactor is
@@ -39,6 +43,7 @@ GOLDEN_DIR = Path(__file__).parent / "golden"
 GOLDEN_PATH = GOLDEN_DIR / "campaign_24.json"
 GOLDEN_DEFRAG_PATH = GOLDEN_DIR / "campaign_defrag.json"
 GOLDEN_SCHED_PATH = GOLDEN_DIR / "campaign_sched.json"
+GOLDEN_FLEET_PATH = GOLDEN_DIR / "campaign_fleet.json"
 
 #: The CLI's default grid axes with a fast task count; any edit here
 #: requires regenerating the snapshot.
@@ -71,6 +76,21 @@ GOLDEN_SCHED_GRID = dict(
     queues=["fifo", "priority", "sjf", "backfill"],
     ports=["serial", "multi-2", "icap"],
     workload_params={"fragmenting": {"n": 25, "priority_levels": 3}},
+)
+
+#: The fleet grid: fleet-size x device-selection policy over the surge
+#: workload built to overwhelm one device but not a few (1 device x
+#: concurrent x fleet-surge x 2 seeds x 2 fleet sizes x 4 policies =
+#: 16 runs).
+GOLDEN_FLEET_GRID = dict(
+    devices=["XC2S15"],
+    policies=["concurrent"],
+    workloads=["fleet-surge"],
+    seeds=[0, 1],
+    fleet_sizes=[2, 4],
+    device_policies=["first-fit", "round-robin", "least-loaded",
+                     "best-fit"],
+    workload_params={"fleet-surge": {"n": 30}},
 )
 
 #: Integer-valued metric columns are compared exactly; the rest admit
@@ -171,6 +191,43 @@ def test_golden_sched_snapshot():
                for q in ("priority", "sjf", "backfill"))
     assert busy["serial"] != busy["icap"]
     check_against_snapshot(rows, GOLDEN_SCHED_PATH)
+
+
+def test_golden_fleet_snapshot():
+    rows = run_grid(GOLDEN_FLEET_GRID)
+    assert len(rows) == 16
+    # The fleet axes are genuine columns of the exported rows ...
+    assert {row["fleet_size"] for row in rows} == {2, 4}
+    assert {row["device_policy"] for row in rows} == {
+        "first-fit", "round-robin", "least-loaded", "best-fit"
+    }
+    # ... and genuine knobs: adding fabrics absorbs the surge (fewer
+    # rejections at every selection policy), and the selection policy
+    # itself moves the science at a fixed fleet size.
+    rejected: dict[tuple[int, str], float] = {}
+    for row in rows:
+        key = (row["fleet_size"], row["device_policy"])
+        rejected[key] = rejected.get(key, 0) + row["rejected"]
+    for policy in ("first-fit", "round-robin", "least-loaded",
+                   "best-fit"):
+        assert rejected[(2, policy)] > rejected[(4, policy)]
+    assert len({rejected[(2, p)] for p in
+                ("first-fit", "round-robin", "least-loaded")}) > 1
+    check_against_snapshot(rows, GOLDEN_FLEET_PATH)
+
+
+@pytest.mark.parametrize(
+    "device_policy", ["first-fit", "round-robin", "least-loaded",
+                      "best-fit"]
+)
+def test_fleet_grid_serial_equals_parallel(device_policy):
+    """Fleet scheduling stays a pure function of the spec: the parallel
+    pool returns the exact serial result list for every selection
+    policy."""
+    grid = dict(GOLDEN_FLEET_GRID)
+    grid["device_policies"] = [device_policy]
+    specs = CampaignSpec(**grid).expand()
+    assert run_campaign(specs, jobs=2) == run_campaign(specs, jobs=1)
 
 
 @pytest.mark.parametrize("queue", ["fifo", "priority", "sjf", "backfill"])
