@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Benchmark regression guard — fresh smoke runs vs committed evidence.
+
+The committed ``BENCH_sched.json`` / ``BENCH_freespace.json`` files are
+the performance claims this repository makes (kernel events per second,
+queue-discipline ops per second, free-space microbenchmark latency).  A
+refactor can silently walk those claims back without ever reddening a
+correctness test, so CI re-runs both harnesses in ``--smoke`` mode and
+compares every *rate* metric against the committed baseline:
+
+* rates where **higher is better** (``events_per_second``,
+  ``ops_per_second``) fail when the fresh value drops below
+  ``baseline / factor``;
+* rates where **lower is better** (``us_per_op``) fail when the fresh
+  value rises above ``baseline * factor``.
+
+The default ``factor`` of 3x is deliberately loose: smoke streams are
+smaller than the committed full runs and CI machines are slower and
+noisier than the machine that produced the baseline, so the guard only
+catches *structural* regressions (an accidentally quadratic queue, a
+lost cache), never scheduler jitter.  Wall-clock totals are not
+compared at all — they scale with stream size, rates largely don't.
+
+Metrics are matched by key (queue name, (queue, ports) cell, (grid,
+engine) pair); keys present on only one side are reported and skipped,
+so resizing the smoke grid does not break the guard.
+
+Run from the repo root (CI runs exactly this, see
+``.github/workflows/ci.yml``):
+
+    PYTHONPATH=src python benchmarks/perf/bench_guard.py
+
+Pass ``--fresh-sched`` / ``--fresh-freespace`` to compare existing
+result files instead of re-running the harnesses (the test suite uses
+this to exercise the comparison logic on canned payloads).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+#: Fresh-vs-baseline tolerance: fail only on a worse-than-3x move.
+DEFAULT_FACTOR = 3.0
+
+_PERF_DIR = Path(__file__).resolve().parent
+_REPO_ROOT = _PERF_DIR.parent.parent
+
+
+def sched_rates(payload: dict) -> dict[str, float]:
+    """Flatten a ``bench_sched`` payload to ``{metric key: rate}``.
+
+    All rates are higher-is-better throughputs.
+    """
+    rates: dict[str, float] = {}
+    events = payload.get("events")
+    if events:
+        rates["events/events_per_second"] = events["events_per_second"]
+    for row in payload.get("queues", []):
+        rates[f"queues/{row['queue']}/ops_per_second"] = \
+            row["ops_per_second"]
+    for row in payload.get("kernel", []):
+        key = f"kernel/{row['queue']}x{row['ports']}/events_per_second"
+        rates[key] = row["events_per_second"]
+    return rates
+
+
+def freespace_rates(payload: dict) -> dict[str, float]:
+    """Flatten a ``bench_freespace`` payload to ``{metric key: us/op}``.
+
+    All rates are lower-is-better per-operation latencies.
+    """
+    rates: dict[str, float] = {}
+    for row in payload.get("micro", []):
+        for engine, us in row.get("us_per_op", {}).items():
+            rates[f"micro/{row['grid']}/{engine}/us_per_op"] = us
+    return rates
+
+
+def compare(baseline: dict[str, float], fresh: dict[str, float],
+            factor: float, higher_is_better: bool) -> list[str]:
+    """Regression messages for every shared metric outside tolerance."""
+    failures = []
+    for key in sorted(baseline.keys() & fresh.keys()):
+        base, now = baseline[key], fresh[key]
+        if base <= 0 or now <= 0:
+            continue  # degenerate timing; nothing to compare
+        ratio = base / now if higher_is_better else now / base
+        if ratio > factor:
+            direction = "dropped" if higher_is_better else "rose"
+            failures.append(
+                f"{key}: {direction} {ratio:.1f}x "
+                f"(baseline {base:.1f}, fresh {now:.1f})"
+            )
+    for key in sorted(baseline.keys() ^ fresh.keys()):
+        side = "baseline" if key in baseline else "fresh"
+        print(f"note: {key} only in {side}; skipped")
+    return failures
+
+
+def _run_smoke(harness: str, out: Path) -> dict:
+    """Run one perf harness in smoke mode and load its JSON."""
+    subprocess.run(
+        [sys.executable, str(_PERF_DIR / harness), "--smoke",
+         "--out", str(out)],
+        check=True, cwd=_REPO_ROOT,
+    )
+    return json.loads(out.read_text())
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Compare fresh smoke runs against the committed baselines."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--factor", type=float, default=DEFAULT_FACTOR,
+                        help="per-metric regression tolerance "
+                             "(default: %(default)sx)")
+    parser.add_argument("--baseline-dir", default=str(_REPO_ROOT),
+                        metavar="DIR",
+                        help="directory holding the committed BENCH files")
+    parser.add_argument("--fresh-sched", metavar="PATH",
+                        help="existing bench_sched result to compare "
+                             "instead of re-running the harness")
+    parser.add_argument("--fresh-freespace", metavar="PATH",
+                        help="existing bench_freespace result to compare "
+                             "instead of re-running the harness")
+    args = parser.parse_args(argv)
+    baseline_dir = Path(args.baseline_dir)
+
+    with tempfile.TemporaryDirectory(prefix="bench_guard_") as tmp:
+        if args.fresh_sched:
+            fresh_sched = json.loads(Path(args.fresh_sched).read_text())
+        else:
+            fresh_sched = _run_smoke("bench_sched.py",
+                                     Path(tmp) / "sched.json")
+        if args.fresh_freespace:
+            fresh_free = json.loads(Path(args.fresh_freespace).read_text())
+        else:
+            fresh_free = _run_smoke("bench_freespace.py",
+                                    Path(tmp) / "freespace.json")
+
+    failures = []
+    baseline_sched = json.loads(
+        (baseline_dir / "BENCH_sched.json").read_text()
+    )
+    failures += compare(sched_rates(baseline_sched),
+                        sched_rates(fresh_sched),
+                        args.factor, higher_is_better=True)
+    baseline_free = json.loads(
+        (baseline_dir / "BENCH_freespace.json").read_text()
+    )
+    failures += compare(freespace_rates(baseline_free),
+                        freespace_rates(fresh_free),
+                        args.factor, higher_is_better=False)
+
+    if failures:
+        print(f"bench_guard: {len(failures)} metric(s) regressed "
+              f"beyond {args.factor}x:")
+        for line in failures:
+            print(f"  FAIL {line}")
+        return 1
+    print(f"bench_guard: all shared metrics within {args.factor}x "
+          f"of the committed baselines")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

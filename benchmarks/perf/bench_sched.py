@@ -32,6 +32,7 @@ import json
 import platform
 import sys
 import time
+import zlib
 from pathlib import Path
 
 from repro.core.manager import LogicSpaceManager
@@ -111,15 +112,44 @@ def bench_queues(n_items: int) -> list[dict]:
     return out
 
 
+def cell_seed(queue: str, ports: str) -> int:
+    """Deterministic workload seed for one (queue, ports) cell.
+
+    Every cell replays its *own* fixed stream: a CRC of the cell name,
+    stable across runs, machines and Python versions (unlike ``hash``).
+    Re-running the harness therefore reproduces every cell bit-for-bit
+    (``tests/test_bench_sched.py`` pins this), while distinct cells no
+    longer share one stream — a single pathological seed cannot skew
+    the whole grid.
+    """
+    return zlib.crc32(f"{queue}/{ports}".encode()) % 100_000
+
+
 def bench_kernel(n_tasks: int) -> list[dict]:
-    """End-to-end scheduler event throughput per (queue, ports) cell."""
+    """End-to-end scheduler event throughput per (queue, ports) cell.
+
+    The first cell's run is preceded by one small *untimed* warmup run
+    so allocator pools and numpy kernels are paged in before anything
+    is measured — historically the first cell paid the process cold
+    start and read ~20 % slow.
+    """
     out = []
     dev = device("XCV200")
+    warm = OnlineTaskScheduler(
+        LogicSpaceManager(Fabric(dev)),
+        queue=QUEUE_NAMES[0], ports=PORT_MODEL_NAMES[0],
+    )
+    warm.run(heavy_tail_tasks(
+        min(n_tasks, 60), seed=cell_seed(QUEUE_NAMES[0], PORT_MODEL_NAMES[0]),
+        mean_interarrival=0.05, size_range=(3, 10), max_wait=8.0,
+        priority_levels=3,
+    ))
     for queue in QUEUE_NAMES:
         for ports in PORT_MODEL_NAMES:
             manager = LogicSpaceManager(Fabric(dev))
+            seed = cell_seed(queue, ports)
             tasks = heavy_tail_tasks(
-                n_tasks, seed=5, mean_interarrival=0.05,
+                n_tasks, seed=seed, mean_interarrival=0.05,
                 size_range=(3, 10), max_wait=8.0, priority_levels=3,
             )
             scheduler = OnlineTaskScheduler(manager, queue=queue,
@@ -132,6 +162,7 @@ def bench_kernel(n_tasks: int) -> list[dict]:
                 "queue": queue,
                 "ports": ports,
                 "tasks": n_tasks,
+                "seed": seed,
                 "events_processed": processed,
                 "wall_seconds": elapsed,
                 "events_per_second": (

@@ -117,6 +117,11 @@ class CostModel:
         self.port_kind = port_kind
         # Scratch memory to generate representative packet streams.
         self._scratch = ConfigMemory(device)
+        # A step's cost is a pure function of its kind and column set
+        # (everything else — granularity, frame counts, port timing — is
+        # fixed per model), so repeated steps skip regenerating their
+        # packet stream entirely.
+        self._step_cost_cache: dict[tuple, tuple[int, int, float]] = {}
 
     # -- frame accounting ------------------------------------------------------
 
@@ -163,14 +168,20 @@ class CostModel:
 
     def step_cost(self, step: ProcedureStep) -> StepCost:
         """Frames, words and seconds for one step."""
+        key = (step.kind, step.columns)
+        hit = self._step_cost_cache.get(key)
+        if hit is not None:
+            return StepCost(step, *hit)
         stream = self.bitstream_for_step(step)
         if stream is None:
+            self._step_cost_cache[key] = (0, 0, 0.0)
             return StepCost(step, 0, 0, 0.0)
         port = self._fresh_port()
         seconds = port.configure(stream.word_count)
         if self.params.readback_verify:
             seconds += port.readback(stream.word_count)
         frames = len(self.frames_for_step(step))
+        self._step_cost_cache[key] = (frames, stream.word_count, seconds)
         return StepCost(step, frames, stream.word_count, seconds)
 
     def plan_cost(self, plan: RelocationPlan) -> PlanCost:

@@ -30,14 +30,21 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.device.geometry import Rect
+from repro.placement.bitgrid import (
+    clear_rect,
+    first_fit_bits,
+    pack_free_rows,
+    set_rect,
+    span_mask,
+)
 from repro.placement.compaction import (
     Move,
     apply_moves,
+    compaction_moves,
     footprints,
     ordered_compaction,
     sequence_moves,
 )
-from repro.placement.fit import best_fit, first_fit
 from repro.placement.free_space import largest_empty_rectangle
 
 
@@ -82,24 +89,149 @@ class DefragPlanner:
         #: proactive consolidations serve no single request, so they may
         #: disturb more functions than a reactive plan is allowed to.
         self.max_consolidation_moves = max_consolidation_moves
+        #: per-occupancy-generation shared state (see :meth:`plan`):
+        #: packed rows, footprints, compaction results and finished
+        #: plans, all pure functions of the grid named by the token.
+        self._cache_token: object = None
+        self._shared: dict | None = None
 
-    def plan(self, occupancy: np.ndarray, height: int,
-             width: int) -> RearrangementPlan | None:
+    def plan(self, occupancy: np.ndarray, height: int, width: int,
+             token: object = None) -> RearrangementPlan | None:
         """Best plan freeing a ``height`` x ``width`` rectangle, or None.
 
         Candidate plans are scored by (functions disturbed, sites moved,
         total move distance) — fewer and smaller disruptions first.
+
+        ``token``, when supplied, must name the occupancy content (the
+        free-space engine's generation counter qualifies: it bumps on
+        every effective mutation).  Calls sharing a token reuse the
+        shape-independent work — row packing, footprints, both
+        compaction sweeps — and identical (token, height, width) calls
+        return the memoised plan outright; an admission pass probing a
+        whole queue against one unchanged fabric then pays for one
+        planner run per distinct shape.  Without a token every call
+        computes from scratch.
         """
-        direct = first_fit(occupancy, height, width)
-        if direct is not None:
-            return RearrangementPlan(direct)
+        shared = self._shared_state(token)
+        if shared is not None and (height, width) in shared["plans"]:
+            return shared["plans"][height, width]
+        result = self._plan_uncached(occupancy, height, width, shared)
+        if shared is not None:
+            shared["plans"][height, width] = result
+        return result
+
+    def _shared_state(self, token: object) -> dict | None:
+        """The per-token scratch dict (fresh when the token moved)."""
+        if token is None:
+            return None
+        if self._cache_token != token:
+            self._cache_token = token
+            self._shared = {"plans": {}, "compaction": {}}
+        return self._shared
+
+    def plan_prefetch(self, occupancy: np.ndarray,
+                      shapes: list[tuple[int, int]],
+                      token: object) -> None:
+        """Batch-resolve :meth:`plan` for several shapes at one token.
+
+        The admission loop calls this with every queue-eligible shape
+        still waiting on an unchanged fabric, so the per-item ``plan``
+        calls that follow are memo hits.  The answers are identical to
+        per-shape calls — the batch merely shares the shape-independent
+        work and runs **one** eviction screen over the concatenated
+        candidate windows of every shape instead of one vectorised pass
+        per shape (the screen's cost is dominated by per-op dispatch,
+        not array size).
+        """
+        if token is None:
+            return
+        shared = self._shared_state(token)
+        memo = shared["plans"]
+        todo: list[tuple[int, int]] = []
+        for shape in shapes:
+            if shape not in memo and shape not in todo:
+                todo.append(shape)
+        if not todo:
+            return
+        row_bits = self._token_row_bits(occupancy, shared)
+        free_area = sum(b.bit_count() for b in row_bits)
+        evict_shapes: list[tuple[int, int]] = []
+        for height, width in todo:
+            spot = first_fit_bits(row_bits, height, width)
+            if spot is not None:
+                memo[height, width] = RearrangementPlan(
+                    Rect(spot[0], spot[1], height, width)
+                )
+            elif free_area < height * width:
+                # No rearrangement can help when the free *area* is too
+                # small: defragmentation only consolidates, it cannot
+                # create sites.
+                memo[height, width] = None
+            else:
+                evict_shapes.append((height, width))
+        if not evict_shapes:
+            return
+        prints = self._token_prints(occupancy, shared)
+        evictions = self._eviction_batch(
+            occupancy, prints, row_bits, evict_shapes, shared
+        )
+        for height, width in evict_shapes:
+            memo[height, width] = self._assemble(
+                prints, row_bits, height, width, shared,
+                evictions.get((height, width)),
+            )
+
+    def _token_row_bits(self, occupancy: np.ndarray,
+                        shared: dict | None) -> list[int]:
+        """Packed free-row bitmasks, shared within a token."""
+        if shared is not None and "row_bits" in shared:
+            return shared["row_bits"]
+        row_bits = pack_free_rows(occupancy)
+        if shared is not None:
+            shared["row_bits"] = row_bits
+        return row_bits
+
+    def _token_prints(self, occupancy: np.ndarray,
+                      shared: dict | None) -> dict[int, Rect]:
+        """Resident footprints, shared within a token."""
+        if shared is not None and "prints" in shared:
+            return shared["prints"]
+        prints = footprints(occupancy)
+        if shared is not None:
+            shared["prints"] = prints
+        return prints
+
+    def _plan_uncached(self, occupancy: np.ndarray, height: int,
+                       width: int,
+                       shared: dict | None) -> RearrangementPlan | None:
+        """:meth:`plan` body, with the shape-independent pieces read
+        from (and published to) ``shared`` when a token is active."""
+        row_bits = self._token_row_bits(occupancy, shared)
+        spot = first_fit_bits(row_bits, height, width)
+        if spot is not None:
+            return RearrangementPlan(Rect(spot[0], spot[1], height, width))
         # No rearrangement can help when the free *area* is too small:
         # defragmentation only consolidates, it cannot create sites.
-        if int((occupancy == 0).sum()) < height * width:
+        if sum(b.bit_count() for b in row_bits) < height * width:
             return None
+        prints = self._token_prints(occupancy, shared)
+        eviction = self._eviction_plan(
+            occupancy, prints, row_bits, height, width, shared
+        )
+        return self._assemble(
+            prints, row_bits, height, width, shared, eviction
+        )
+
+    def _assemble(self, prints: dict[int, Rect], row_bits: list[int],
+                  height: int, width: int, shared: dict | None,
+                  eviction: RearrangementPlan | None,
+                  ) -> RearrangementPlan | None:
+        """Rank the compaction candidates against a ready eviction plan
+        (the tail of :meth:`plan`, shared by the batch path)."""
         candidates: list[RearrangementPlan] = []
-        candidates.extend(self._compaction_plans(occupancy, height, width))
-        eviction = self._eviction_plan(occupancy, height, width)
+        candidates.extend(
+            self._compaction_plans(prints, row_bits, height, width, shared)
+        )
         if eviction is not None:
             candidates.append(eviction)
         candidates = [
@@ -170,102 +302,431 @@ class DefragPlanner:
 
     # -- strategies ---------------------------------------------------------
 
-    def _compaction_plans(self, occupancy: np.ndarray, height: int,
-                          width: int) -> list[RearrangementPlan]:
+    def _compaction_plans(self, prints: dict[int, Rect],
+                          row_bits: list[int], height: int, width: int,
+                          shared: dict | None = None,
+                          ) -> list[RearrangementPlan]:
         plans: list[RearrangementPlan] = []
         for toward in ("left", "top"):
-            moves = ordered_compaction(occupancy, toward=toward)
+            # The sweep is shape-independent: within one token both
+            # directions are computed once and every probed shape reads
+            # the (moves, compacted bitmask) pair from the shared state.
+            if shared is not None and toward in shared["compaction"]:
+                moves, compacted_bits = shared["compaction"][toward]
+            else:
+                moves, compacted_bits = compaction_moves(
+                    prints, row_bits, toward
+                )
+                if shared is not None:
+                    shared["compaction"][toward] = (moves, compacted_bits)
             if not moves:
                 continue
-            compacted = apply_moves(occupancy, moves)
-            target = first_fit(compacted, height, width)
-            if target is not None:
+            spot = first_fit_bits(compacted_bits, height, width)
+            if spot is not None:
                 plans.append(
-                    RearrangementPlan(target, moves, f"compaction-{toward}")
+                    RearrangementPlan(
+                        Rect(spot[0], spot[1], height, width),
+                        moves, f"compaction-{toward}",
+                    )
                 )
         return plans
 
-    def _eviction_plan(self, occupancy: np.ndarray, height: int,
-                       width: int) -> RearrangementPlan | None:
-        """Try target windows anchored at 'corner points' (edges of the
-        device and of resident footprints); relocate exactly the
-        overlapping functions into remaining free space."""
+    @staticmethod
+    def _evict_state(occupancy: np.ndarray, prints: dict[int, Rect],
+                     shared: dict | None) -> dict:
+        """Shape-independent arrays the eviction scan reads per call.
+
+        Everything here is a pure function of the occupancy grid (the
+        footprint coordinate columns, the packed free-space rows, each
+        blocker's per-row span masks and the sorted unique blocker
+        shapes), so within one planner token the whole bundle is built
+        once and every probed shape reuses it.
+        """
+        if shared is not None and "evict" in shared:
+            return shared["evict"]
+        print_items = list(prints.items())
+        count = len(print_items)
+        pr = np.fromiter((kv[1].row for kv in print_items),
+                         dtype=np.int64, count=count)
+        pc = np.fromiter((kv[1].col for kv in print_items),
+                         dtype=np.int64, count=count)
+        ph = np.fromiter((kv[1].height for kv in print_items),
+                         dtype=np.int64, count=count)
+        pw = np.fromiter((kv[1].width for kv in print_items),
+                         dtype=np.int64, count=count)
+        state = {
+            "print_items": print_items,
+            "pr": pr, "pc": pc, "ph": ph, "pw": pw,
+        }
         rows, cols = occupancy.shape
-        if height > rows or width > cols:
-            return None
-        prints = footprints(occupancy)
-        anchor_rows = {0, rows - height}
-        anchor_cols = {0, cols - width}
-        for rect in prints.values():
-            for r in (rect.row - height, rect.row, rect.row_end):
-                if 0 <= r <= rows - height:
-                    anchor_rows.add(r)
-            for c in (rect.col - width, rect.col, rect.col_end):
-                if 0 <= c <= cols - width:
-                    anchor_cols.add(c)
-        rows_sorted = sorted(anchor_rows)
-        cols_sorted = sorted(anchor_cols)
+        if cols <= 64:
+            packed = np.packbits(occupancy == 0, axis=1,
+                                 bitorder="little")
+            buf = np.zeros((rows, 8), dtype=np.uint8)
+            buf[:, : packed.shape[1]] = packed
+            state["base64"] = buf.view("<u8").ravel()
+            spans = (((np.uint64(1) << pw.astype(np.uint64))
+                      - np.uint64(1)) << pc.astype(np.uint64))
+            rows_idx = np.arange(rows)
+            covers = (pr[:, None] <= rows_idx[None, :]) \
+                & (rows_idx[None, :] < pr[:, None] + ph[:, None])
+            blocker_rows = np.where(covers, spans[:, None], np.uint64(0))
+            state["blocker_rows"] = blocker_rows
+            # Span sums stay exact in float64 up to 2^53, so narrow
+            # grids can fold member masks through BLAS (see
+            # :meth:`_screen_windows`).
+            state["blocker_f"] = (blocker_rows.astype(np.float64)
+                                  if cols <= 52 else None)
+            # Unique blocker shapes, ascending (height, width): the
+            # screen's band/anchor reductions grow incrementally in
+            # exactly that order.
+            key = ph * np.int64(65) + pw
+            uniq_key, inv = np.unique(key, return_inverse=True)
+            state["uh"] = uniq_key // 65
+            state["uw"] = uniq_key % 65
+            state["inv"] = inv
+        if shared is not None:
+            shared["evict"] = state
+        return state
+
+    def _eviction_windows(
+        self, occupancy: np.ndarray, state: dict, height: int, width: int,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None:
+        """Candidate windows for one shape, in scan order.
+
+        Anchors come from 'corner points' (edges of the device and of
+        resident footprints), optionally subsampled to
+        ``max_candidates``; each window's blocker set is enumerated with
+        one separable overlap pass.  Returns ``(member, n_w, wr, wc)``
+        filtered to windows with 1..``max_moves`` blockers, or ``None``
+        when no window qualifies.
+        """
+        rows, cols = occupancy.shape
+        count = len(state["print_items"])
+        pr, pc, ph, pw = (state["pr"], state["pc"],
+                          state["ph"], state["pw"])
+        edge = np.array([0, rows - height], dtype=np.int64)
+        rcand = np.concatenate((edge, pr - height, pr, pr + ph))
+        ra = np.unique(rcand[(rcand >= 0) & (rcand <= rows - height)])
+        edge = np.array([0, cols - width], dtype=np.int64)
+        ccand = np.concatenate((edge, pc - width, pc, pc + pw))
+        ca = np.unique(ccand[(ccand >= 0) & (ccand <= cols - width)])
         # Bound the search (minimising disturbance is a heuristic, not an
         # exhaustive optimisation): subsample anchors evenly if needed.
-        while len(rows_sorted) * len(cols_sorted) > self.max_candidates:
-            if len(rows_sorted) >= len(cols_sorted):
-                rows_sorted = rows_sorted[::2]
+        while len(ra) * len(ca) > self.max_candidates:
+            if len(ra) >= len(ca):
+                ra = ra[::2]
             else:
-                cols_sorted = cols_sorted[::2]
-        best_plan: RearrangementPlan | None = None
-        best_key: tuple[int, int, int] | None = None
-        for r in rows_sorted:
-            for c in cols_sorted:
-                target = Rect(r, c, height, width)
-                plan = self._evict_into_free(occupancy, prints, target)
-                if plan is None:
+                ca = ca[::2]
+        # Footprint/window overlap, separably per axis; the (R, C, P)
+        # AND enumerates every window's blocker set in scan order.
+        row_ov = (pr[:, None] < ra[None, :] + height) \
+            & (pr[:, None] + ph[:, None] > ra[None, :])
+        col_ov = (pc[:, None] < ca[None, :] + width) \
+            & (pc[:, None] + pw[:, None] > ca[None, :])
+        member = (
+            row_ov.T[:, None, :] & col_ov.T[None, :, :]
+        ).reshape(-1, count)
+        n_all = member.sum(axis=1)
+        valid = np.flatnonzero((n_all > 0) & (n_all <= self.max_moves))
+        if valid.size == 0:
+            return None
+        return (
+            member[valid],
+            n_all[valid],
+            np.repeat(ra, len(ca))[valid],
+            np.tile(ca, len(ra))[valid],
+        )
+
+    def _eviction_plan(self, occupancy: np.ndarray,
+                       prints: dict[int, Rect], base_bits: list[int],
+                       height: int, width: int,
+                       shared: dict | None = None,
+                       ) -> RearrangementPlan | None:
+        """Try target windows anchored at 'corner points' (edges of the
+        device and of resident footprints); relocate exactly the
+        overlapping functions into remaining free space.
+
+        The candidate scan is reorganised for speed without changing the
+        winner.  The plan key is lexicographic with the disturbance
+        count first, so a window disturbing fewer functions always beats
+        one disturbing more: windows are bucketed by blocker count
+        (counted for the whole anchor grid in one vectorised pass) and
+        evaluated strictly lightest-bucket-first.  A vectorised bitmask
+        screen (:meth:`_screen_windows`) then discards every window
+        containing a blocker with no relocation spot — every window
+        whose per-window eviction attempt would fail on some placement —
+        so the sequential spot search only runs on the rare survivors.
+        """
+        rows, cols = occupancy.shape
+        if height > rows or width > cols or not prints:
+            return None
+        state = self._evict_state(occupancy, prints, shared)
+        win = self._eviction_windows(occupancy, state, height, width)
+        if win is None:
+            return None
+        member, n_w, wr, wc = win
+        keeps = self._screen_windows(
+            occupancy, state, [(member, wr, wc, height, width)],
+        )
+        if keeps is not None:
+            keep = keeps[0]
+            if not keep.any():
+                return None
+            member, n_w, wr, wc = (
+                member[keep], n_w[keep], wr[keep], wc[keep]
+            )
+        return self._eviction_select(
+            occupancy, state, base_bits, member, n_w, wr, wc,
+            height, width,
+        )
+
+    def _eviction_batch(
+        self, occupancy: np.ndarray, prints: dict[int, Rect],
+        base_bits: list[int], shapes: list[tuple[int, int]],
+        shared: dict | None,
+    ) -> dict[tuple[int, int], RearrangementPlan | None]:
+        """:meth:`_eviction_plan` for many shapes, one screen pass.
+
+        Every shape's candidate windows are built as usual, then the
+        feasibility screen runs once over their concatenation — its
+        per-window verdicts do not depend on what other windows are in
+        the batch, so each shape's survivors (and hence its plan) are
+        identical to a per-shape call.
+        """
+        rows, cols = occupancy.shape
+        results: dict[tuple[int, int], RearrangementPlan | None] = {}
+        state = self._evict_state(occupancy, prints, shared)
+        groups: list[tuple] = []
+        wins: dict[tuple[int, int], tuple] = {}
+        for height, width in shapes:
+            if height > rows or width > cols or not prints:
+                results[height, width] = None
+                continue
+            win = self._eviction_windows(occupancy, state, height, width)
+            if win is None:
+                results[height, width] = None
+                continue
+            wins[height, width] = win
+            groups.append((win[0], win[2], win[3], height, width))
+        if not wins:
+            return results
+        keeps = self._screen_windows(occupancy, state, groups)
+        for g, (height, width) in enumerate(wins):
+            member, n_w, wr, wc = wins[height, width]
+            if keeps is not None:
+                keep = keeps[g]
+                if not keep.any():
+                    results[height, width] = None
+                    continue
+                member, n_w, wr, wc = (
+                    member[keep], n_w[keep], wr[keep], wc[keep]
+                )
+            results[height, width] = self._eviction_select(
+                occupancy, state, base_bits, member, n_w, wr, wc,
+                height, width,
+            )
+        return results
+
+    def _eviction_select(
+        self, occupancy: np.ndarray, state: dict, base_bits: list[int],
+        member: np.ndarray, n_w: np.ndarray, wr: np.ndarray,
+        wc: np.ndarray, height: int, width: int,
+    ) -> RearrangementPlan | None:
+        """Pick the winning window among the screen survivors.
+
+        One disturbed function is already minimal non-trivial
+        disruption; the first single-blocker window (in scan order)
+        with a workable relocation wins outright.  Heavier buckets are
+        ranked by (sites moved, distance) with scan order breaking
+        ties, and the best *sequenceable* candidate wins — the same
+        winner the one-window-at-a-time scan selected.
+        """
+        print_items = state["print_items"]
+        for bucket in sorted(set(n_w.tolist())):
+            scored: list[tuple[tuple[int, int], int, Rect, list[Move]]] = []
+            for seq in np.flatnonzero(n_w == bucket):
+                target = Rect(int(wr[seq]), int(wc[seq]), height, width)
+                blockers = [
+                    print_items[i] for i in np.flatnonzero(member[seq])
+                ]
+                moves = self._evict_moves(base_bits, blockers, target)
+                if moves is None:
+                    continue
+                if bucket == 1:
+                    ordered = sequence_moves(occupancy, moves)
+                    if ordered is not None:
+                        return RearrangementPlan(target, ordered, "eviction")
                     continue
                 key = (
-                    plan.disturbed_functions,
-                    plan.moved_area,
-                    sum(m.distance for m in plan.moves),
+                    sum(m.src.area for m in moves),
+                    sum(m.distance for m in moves),
                 )
-                if best_key is None or key < best_key:
-                    best_plan, best_key = plan, key
-                    if key[0] == 1:
-                        # One disturbed function is already minimal
-                        # non-trivial disruption; stop searching.
-                        return best_plan
-        return best_plan
+                scored.append((key, int(seq), target, moves))
+            scored.sort(key=lambda entry: (entry[0], entry[1]))
+            for _, _, target, moves in scored:
+                ordered = sequence_moves(occupancy, moves)
+                if ordered is not None:
+                    return RearrangementPlan(target, ordered, "eviction")
+        return None
 
-    def _evict_into_free(
-        self,
+    @staticmethod
+    def _screen_windows(
         occupancy: np.ndarray,
-        prints: dict[int, Rect],
-        target: Rect,
-    ) -> RearrangementPlan | None:
-        """Move every function overlapping ``target`` somewhere free."""
-        blockers = [
-            (owner, rect)
-            for owner, rect in prints.items()
-            if rect.overlaps(target)
-        ]
-        if not blockers or len(blockers) > self.max_moves:
+        state: dict,
+        groups: list[tuple],
+    ) -> list[np.ndarray] | None:
+        """Which windows could possibly relocate *all* their blockers.
+
+        ``groups`` is a list of ``(member, wr, wc, height, width)``
+        window batches — one per probed shape — screened together.
+        Builds every candidate window's vacated grid as one row of
+        uint64 free-column masks (blockers lifted, its group's target
+        reserved) and, per distinct blocker shape, answers "does this
+        shape fit somewhere?" for all windows of all groups at once via
+        shifted-AND band reductions.  The vacated grid over-states the
+        free space at every placement step except the first (earlier
+        relocations only consume sites), so a shape with no spot here
+        has no spot in the real sequential attempt either — the filter
+        never drops a window the per-window eviction search could have
+        used.  Each window's verdict reads only its own row, so batching
+        groups changes nothing but the number of numpy dispatches.
+        Returns one boolean keep-mask per group, or ``None`` when the
+        device is too wide for the uint64 fast path (the caller then
+        evaluates every window sequentially).
+
+        ``state`` carries the occupancy-only inputs
+        (:meth:`_evict_state`): the packed free rows, per-blocker span
+        masks and the unique blocker shapes sorted ascending, which is
+        exactly the order the band/anchor reductions grow in.
+        """
+        rows, cols = occupancy.shape
+        if cols > 64:
             return None
-        grid = occupancy.copy()
-        # Vacate the blockers, then reserve the target with a sentinel so
-        # relocated functions cannot land inside it.
+        member = (groups[0][0] if len(groups) == 1
+                  else np.concatenate([g[0] for g in groups], axis=0))
+        # Fold each window's member span masks in one matmul: footprints
+        # are disjoint rectangles, so their masks never share a bit and
+        # summing them IS their union; blocker sites are occupied, hence
+        # never set in the free-space base, so the final merge is a
+        # plain OR.  Narrow grids run the product through BLAS — float64
+        # sums of sub-2^52 masks are exact — wide ones use the integer
+        # path.  Either way the working set stays (windows x rows).
+        blocker_f = state["blocker_f"]
+        if blocker_f is not None:
+            lifted = (member.astype(np.float64) @ blocker_f) \
+                .astype(np.uint64)
+        else:
+            lifted = member.astype(np.uint64) @ state["blocker_rows"]
+        bits = state["base64"][None, :] | lifted
+        # Reserve each group's target window (heights differ per group,
+        # so the span clearing is per-batch).
+        offset = 0
+        bounds: list[slice] = []
+        for gmember, wr, wc, height, width in groups:
+            n = gmember.shape[0]
+            tspan = np.uint64((1 << width) - 1) << wc.astype(np.uint64)
+            rowsel = wr[:, None] + np.arange(height)[None, :]
+            bits[np.arange(offset, offset + n)[:, None], rowsel] \
+                &= ~tspan[:, None]
+            bounds.append(slice(offset, offset + n))
+            offset += n
+        windows = offset
+        # One "does shape (h, w) fit anywhere?" bit per (shape, window).
+        # Row bands and column-run anchors both grow *incrementally*
+        # (heights and then widths visited in ascending order — the
+        # sort order of ``uh``/``uw``), so each unit of height or width
+        # costs a single vectorised op over all windows no matter how
+        # many shapes share it.  Shapes of blockers in no window cost
+        # two extra ops here and gate nothing below (their member
+        # columns are all False).  The reductions run transposed —
+        # (rows, windows), windows contiguous — so every slab the ops
+        # touch is a contiguous block of whole rows.
+        bits_t = np.ascontiguousarray(bits.T)
+        uh, uw, inv = state["uh"], state["uw"], state["inv"]
+        shapes = len(uh)
+        # Only shapes blocking some window of *this* batch gate a
+        # verdict; skipping the rest caps the band/anchor growth at the
+        # batch's largest active shape.  ``fits`` defaults to True so
+        # the skipped rows (never selected by a True member bit) stay
+        # inert in the verdict gather below.
+        active = np.unique(inv[member.any(axis=0)])
+        fits = np.ones((shapes, windows), dtype=bool)
+        band = bits_t        # AND of rows r..r+covered_h-1 per row r
+        bbuf: np.ndarray | None = None
+        sbuf = np.empty_like(bits_t)
+        covered_h = 1
+        ai = 0
+        n_active = len(active)
+        while ai < n_active:
+            s = int(active[ai])
+            bh = int(uh[s])
+            while covered_h < bh:
+                n = rows - covered_h
+                if bbuf is None:
+                    bbuf = np.empty_like(bits_t)
+                    np.bitwise_and(bits_t[:n], bits_t[covered_h:],
+                                   out=bbuf[:n])
+                    band = bbuf
+                else:
+                    np.bitwise_and(band[:n], bits_t[covered_h:],
+                                   out=band[:n])
+                covered_h += 1
+            bandw = rows - bh + 1
+            anchors = band
+            abuf: np.ndarray | None = None
+            covered_w = 1
+            while ai < n_active and int(uh[active[ai]]) == bh:
+                s = int(active[ai])
+                bw = int(uw[s])
+                while covered_w < bw:
+                    shifted = sbuf[:bandw]
+                    np.right_shift(band[:bandw],
+                                   np.uint64(covered_w), out=shifted)
+                    if abuf is None:
+                        abuf = band[:bandw] & shifted
+                        anchors = abuf
+                    else:
+                        np.bitwise_and(abuf, shifted, out=abuf)
+                    covered_w += 1
+                fits[s] = np.bitwise_or.reduce(
+                    anchors[:bandw], axis=0
+                ) != 0
+                ai += 1
+        # A window survives unless it contains a blocker whose shape has
+        # no relocation spot at all.
+        bad = (member & ~fits[inv].T).any(axis=1)
+        return [~bad[b] for b in bounds]
+
+    def _evict_moves(
+        self,
+        base_bits: list[int],
+        blockers: list[tuple[int, Rect]],
+        target: Rect,
+    ) -> list[Move] | None:
+        """Relocation moves clearing ``target``, or None when some
+        blocker has nowhere to go.
+
+        Works on packed free-column bitmasks: vacate the blockers,
+        reserve the target, then first-fit each blocker largest-first —
+        the exact scratch-grid procedure of the eviction strategy, minus
+        the numpy copies.  Sequencing is the caller's job.
+        """
+        bits = list(base_bits)
         for _, rect in blockers:
-            grid[rect.row : rect.row_end, rect.col : rect.col_end] = 0
-        sentinel = -1
-        grid[target.row : target.row_end, target.col : target.col_end] = sentinel
+            set_rect(bits, rect.row, rect.row_end,
+                     span_mask(rect.col, rect.width))
+        clear_rect(bits, target.row, target.row_end,
+                   span_mask(target.col, target.width))
         moves: list[Move] = []
         for owner, rect in sorted(
             blockers, key=lambda kv: kv[1].area, reverse=True
         ):
-            spot = first_fit(grid, rect.height, rect.width)
+            spot = first_fit_bits(bits, rect.height, rect.width)
             if spot is None:
                 return None
-            grid[spot.row : spot.row_end, spot.col : spot.col_end] = owner
-            moves.append(Move(owner, rect, spot))
-        # The plan grid vacated all blockers up front; physically they
-        # move one at a time, so find an executable order.
-        ordered = sequence_moves(occupancy, moves)
-        if ordered is None:
-            return None
-        return RearrangementPlan(target, ordered, "eviction")
+            dst = Rect(spot[0], spot[1], rect.height, rect.width)
+            clear_rect(bits, dst.row, dst.row_end,
+                       span_mask(dst.col, dst.width))
+            moves.append(Move(owner, rect, dst))
+        return moves

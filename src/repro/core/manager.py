@@ -30,13 +30,24 @@ from repro.device.clb import CellMode
 from repro.device.fabric import Fabric
 from repro.device.geometry import Rect
 from repro.placement.compaction import Move
-from repro.placement.fit import fitter
+from repro.placement.fit import CachedFitter, fitter
 from repro.placement import metrics
 
 from .cost import CostModel
 from .defrag import DefragPlanner, RearrangementPlan
 from .defrag_policy import DefragPolicy, make_defrag_policy
 from .procedure import StepClass, build_plan
+
+
+#: Process-wide relocation/configuration cost memos.  A cost figure is a
+#: pure function of (device, port kind, cost parameters, cell mode,
+#: geometry), so managers over the same device share it — the scheduling
+#: benches and fleet runs construct many managers per process and would
+#: otherwise regenerate identical packet streams per instance.  Only the
+#: stock :class:`~repro.core.cost.CostModel` participates: subclasses may
+#: override the maths, so they always compute through their own instance.
+_MOVE_COST_MEMO: dict[tuple, float] = {}
+_CONFIG_COST_MEMO: dict[tuple, float] = {}
 
 
 class RearrangePolicy(Enum):
@@ -47,7 +58,7 @@ class RearrangePolicy(Enum):
     CONCURRENT = "concurrent"
 
 
-@dataclass
+@dataclass(slots=True)
 class MoveExecution:
     """One executed move with its reconfiguration cost."""
 
@@ -61,7 +72,7 @@ class MoveExecution:
         return self.seconds if self.halted else 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class PlacementOutcome:
     """Result of one placement request."""
 
@@ -128,7 +139,10 @@ class LogicSpaceManager:
         self.fabric = fabric
         self.cost = cost_model or CostModel(fabric.device)
         self.policy = policy
-        self.fit = fitter(fit)
+        #: the placement heuristic, memoised per free-space generation —
+        #: repeated probes against an unchanged fabric (one admission
+        #: pass asks about every waiting shape) are dictionary hits.
+        self.fit = CachedFitter(fitter(fit))
         self.planner = planner or DefragPlanner()
         #: worst-case assumption about moved cells: gated-clock cells pay
         #: the full Fig. 4 flow; pass FF_FREE_CLOCK for lighter payloads.
@@ -163,6 +177,15 @@ class LogicSpaceManager:
         cached = self._move_cost_cache.get((src_col, dst_col))
         if cached is not None:
             return cached
+        memo_key = None
+        if type(self.cost) is CostModel:
+            memo_key = (self.fabric.device, self.cost.port_kind,
+                        self.cost.params, self.moved_cell_mode,
+                        src_col, dst_col)
+            hit = _MOVE_COST_MEMO.get(memo_key)
+            if hit is not None:
+                self._move_cost_cache[(src_col, dst_col)] = hit
+                return hit
         cols = self.fabric.device.clb_cols
         aux_col = min(dst_col + 1, cols - 1)
         span = set(range(min(src_col, dst_col), max(src_col, dst_col) + 1))
@@ -178,6 +201,8 @@ class LogicSpaceManager:
         )
         seconds = self.cost.plan_cost(plan).total_seconds
         self._move_cost_cache[(src_col, dst_col)] = seconds
+        if memo_key is not None:
+            _MOVE_COST_MEMO[memo_key] = seconds
         return seconds
 
     def move_seconds(self, move: Move) -> float:
@@ -189,9 +214,18 @@ class LogicSpaceManager:
         """Port time to configure an incoming function over ``rect``
         (every column of the footprint is written once)."""
         cached = self._config_cost_cache.get(rect.width)
+        if cached is not None:
+            return cached
+        memo_key = None
+        if type(self.cost) is CostModel:
+            memo_key = (self.fabric.device, self.cost.port_kind,
+                        self.cost.params, rect.width)
+            cached = _CONFIG_COST_MEMO.get(memo_key)
         if cached is None:
             cached = self.cost.seconds_for_columns(rect.width, StepClass.LOGIC)
-            self._config_cost_cache[rect.width] = cached
+            if memo_key is not None:
+                _CONFIG_COST_MEMO[memo_key] = cached
+        self._config_cost_cache[rect.width] = cached
         return cached
 
     # -- requests ---------------------------------------------------------------
@@ -218,7 +252,18 @@ class LogicSpaceManager:
             outcome = PlacementOutcome(False, owner)
             self.outcomes.append(outcome)
             return outcome
-        plan = self.planner.plan(self.fabric.occupancy, height, width)
+        # The token names the current occupancy content (see
+        # DefragPlanner.plan): probes repeated against an unchanged
+        # fabric reuse the planner's per-generation work and memoised
+        # answers.  Successful plans are executed immediately, which
+        # bumps the generation — so a memoised *plan* is only ever
+        # re-served for requests the fabric still cannot host.
+        generation = getattr(self.free_space, "generation", None)
+        token = (None if generation is None
+                 else (self.free_space, generation))
+        plan = self.planner.plan(
+            self.fabric.occupancy, height, width, token=token
+        )
         if plan is None:
             outcome = PlacementOutcome(False, owner)
             self.outcomes.append(outcome)
@@ -235,6 +280,53 @@ class LogicSpaceManager:
         )
         self.outcomes.append(outcome)
         return outcome
+
+    #: how deep into the failing run :meth:`prefetch_admission` resolves
+    #: rearrangement plans ahead of demand.  The caller passes the
+    #: admission pass's own candidate order, so prefetched plans are
+    #: normally all consumed by the pass; the cap bounds the speculation
+    #: in the rare case an early shape's *plan* succeeds (which admits
+    #: the item and invalidates everything after it).  Shapes past the
+    #: cap fall back to on-demand (still token-memoised) planning.
+    PLAN_PREFETCH_DEPTH = 8
+
+    def prefetch_admission(self, shapes: list[tuple[int, int]]) -> None:
+        """Warm the fit and plan caches for one admission pass.
+
+        ``shapes`` are the queue-eligible (height, width) requests in
+        discipline order.  All fit probes are answered against one read
+        of the MER set; rearrangement plans are then batch-resolved for
+        the leading run of shapes whose fit fails (capped at
+        :attr:`PLAN_PREFETCH_DEPTH`) — the first shape that *fits* will
+        be admitted, which mutates the fabric and bumps the generation,
+        so any plan prefetched past it would be computed against a grid
+        the pass never asks about again.  Purely a cache warmer: the
+        per-item :meth:`request` calls that follow return bit-identical
+        outcomes whether or not this ran.
+        """
+        if not shapes:
+            return
+        index = self.free_space
+        generation = getattr(index, "generation", None)
+        if generation is None:
+            return  # no token naming the grid state: nothing to key on
+        occupancy = self.fabric.occupancy
+        self.fit.prefetch(occupancy, shapes, index)
+        if self.policy is RearrangePolicy.NONE \
+                or not self.defrag_policy.reactive:
+            return
+        failing: list[tuple[int, int]] = []
+        for height, width in shapes:
+            if self.fit(occupancy, height, width, index=index) is not None:
+                break
+            if (height, width) not in failing:
+                failing.append((height, width))
+                if len(failing) >= self.PLAN_PREFETCH_DEPTH:
+                    break
+        if failing:
+            self.planner.plan_prefetch(
+                occupancy, failing, (index, generation)
+            )
 
     def execute_plan(self, plan: RearrangementPlan) -> list[MoveExecution]:
         """Apply a rearrangement plan to the fabric, move by move."""
@@ -285,9 +377,9 @@ class LogicSpaceManager:
         plan = self.planner.plan_consolidation(self.fabric.occupancy)
         if plan is None or not plan.moves:
             return None
-        before = max((r.area for r in self.free_space.mers), default=0)
+        before = self.free_space.largest_free_area()
         executions = self.execute_plan(plan)
-        after = max((r.area for r in self.free_space.mers), default=0)
+        after = self.free_space.largest_free_area()
         outcome = DefragOutcome(
             moves=executions,
             method=plan.method,
@@ -314,4 +406,6 @@ class LogicSpaceManager:
 
     def utilization(self) -> float:
         """Current site occupancy."""
-        return metrics.utilization(self.fabric.occupancy)
+        return metrics.utilization(
+            self.fabric.occupancy, index=self.free_space
+        )

@@ -21,7 +21,16 @@ import zlib
 from dataclasses import dataclass, field
 from enum import Enum
 
+import numpy as np
+
 from .config_memory import ColumnKind, ConfigMemory, FrameAddress
+
+
+def _payload_bytes(payload: list[int]) -> bytes:
+    """The big-endian wire bytes of a packet payload, in one shot."""
+    if not payload:
+        return b""
+    return np.asarray(payload, dtype=">u4").tobytes()
 
 #: Virtex synchronisation word.
 SYNC_WORD = 0xAA995566
@@ -159,18 +168,17 @@ class PartialBitstream:
             ):
                 j += 1
             burst = writes[i:j]
-            payload: list[int] = []
             for w in burst:
                 if len(w.data) != self.memory.frame_bytes:
                     raise ValueError(
                         f"frame payload for {w.addr} must be "
                         f"{self.memory.frame_bytes} bytes"
                     )
-                payload.extend(
-                    int.from_bytes(w.data[k : k + 4], "big")
-                    for k in range(0, len(w.data), 4)
-                )
-            # One pad frame of zeros flushes the frame data register.
+            # Decode the burst's bytes into words in one vectorised pass;
+            # one pad frame of zeros flushes the frame data register.
+            payload: list[int] = np.frombuffer(
+                b"".join(w.data for w in burst), dtype=">u4"
+            ).tolist()
             payload.extend([0] * self.frame_words)
             self.packets.append(
                 Packet(PacketOp.WRITE, "CMD", [COMMANDS["WCFG"]])
@@ -205,12 +213,14 @@ class PartialBitstream:
 
     def crc(self) -> int:
         """CRC over all payload words appended so far (zlib.crc32 stands in
-        for the silicon's 16-bit register CRC; only consistency matters)."""
-        acc = 0
-        for pkt in self.packets:
-            for word in pkt.payload:
-                acc = zlib.crc32(word.to_bytes(4, "big"), acc)
-        return acc & 0xFFFFFFFF
+        for the silicon's 16-bit register CRC; only consistency matters).
+
+        Computed over the concatenated wire bytes in one call —
+        ``zlib.crc32`` streams, so this equals the word-by-word chain.
+        """
+        return zlib.crc32(
+            b"".join(_payload_bytes(pkt.payload) for pkt in self.packets)
+        ) & 0xFFFFFFFF
 
     @property
     def word_count(self) -> int:
@@ -259,13 +269,13 @@ class ConfigurationController:
             )
         if check_crc:
             expected = None
-            check = 0
+            parts: list[bytes] = []
             for pkt in bitstream.packets:
                 if pkt.register == "CRC" and pkt.op is PacketOp.WRITE:
                     expected = pkt.payload[0]
                     break
-                for word in pkt.payload:
-                    check = zlib.crc32(word.to_bytes(4, "big"), check)
+                parts.append(_payload_bytes(pkt.payload))
+            check = zlib.crc32(b"".join(parts))
             if expected is not None and check & 0xFFFFFFFF != expected:
                 raise ValueError("configuration CRC mismatch; load aborted")
         far: FrameAddress | None = None
@@ -279,7 +289,7 @@ class ConfigurationController:
             elif pkt.register == "FDRI":
                 if far is None:
                     raise ValueError("FDRI packet before any FAR packet")
-                payload = b"".join(w.to_bytes(4, "big") for w in pkt.payload)
+                payload = _payload_bytes(pkt.payload)
                 # Strip the trailing pad frame.
                 payload = payload[: len(payload) - fw * 4]
                 if len(payload) % fb:

@@ -106,8 +106,9 @@ class Fabric:
         if owner is not None and not bool((view == owner).all()):
             raise FabricError(f"region {rect} is not wholly owned by {owner}")
         self.free_space.release(rect)
-        for site in rect.sites():
-            self._clbs.pop(site, None)
+        if self._clbs:
+            for site in rect.sites():
+                self._clbs.pop(site, None)
 
     def move_region(self, src: Rect, dst: Rect, owner: int) -> None:
         """Relocate a whole function footprint from ``src`` to ``dst``.
@@ -120,20 +121,38 @@ class Fabric:
             raise FabricError(f"destination {dst} out of bounds")
         if (src.height, src.width) != (dst.height, dst.width):
             raise FabricError("move must preserve the footprint shape")
-        for site in dst.sites():
-            occ = self.occupant(site)
-            if occ != FREE and not (src.contains(site) and occ == owner):
-                raise FabricError(f"destination site {site} busy (owner {occ})")
+        dst_view = self.occupancy[dst.row : dst.row_end,
+                                  dst.col : dst.col_end]
+        bad = dst_view != FREE
+        if bad.any():
+            # Sites shared with the source may stay owned by the mover
+            # (the paper's staged nearby moves slide onto overlapping
+            # space); anything else busy is an error.
+            for r, c in zip(*np.nonzero(bad)):
+                site = ClbCoord(dst.row + int(r), dst.col + int(c))
+                occ = int(dst_view[r, c])
+                if not (src.contains(site) and occ == owner):
+                    raise FabricError(
+                        f"destination site {site} busy (owner {occ})"
+                    )
+        src_view = self.occupancy[src.row : src.row_end,
+                                  src.col : src.col_end]
+        if not bool((src_view == owner).all()):
+            for site in src.sites():
+                if self.occupant(site) != owner:
+                    raise FabricError(
+                        f"source site {site} not owned by {owner}"
+                    )
         moved: dict[ClbCoord, ClbConfig] = {}
-        for site in src.sites():
-            if self.occupant(site) != owner:
-                raise FabricError(f"source site {site} not owned by {owner}")
-            cfg = self._clbs.pop(site, None)
-            if cfg is not None:
-                target = ClbCoord(
-                    site.row - src.row + dst.row, site.col - src.col + dst.col
-                )
-                moved[target] = cfg
+        if self._clbs:
+            for site in src.sites():
+                cfg = self._clbs.pop(site, None)
+                if cfg is not None:
+                    target = ClbCoord(
+                        site.row - src.row + dst.row,
+                        site.col - src.col + dst.col,
+                    )
+                    moved[target] = cfg
         # The engine sees the same two steps the configuration port pays
         # for: vacate the source, then claim the destination (the
         # intermediate all-free state makes overlapping slides legal).

@@ -29,7 +29,7 @@ CELLS_PER_CLB = 4
 CELLS_PER_SLICE = CELLS_PER_CLB // SLICES_PER_CLB
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class ClbCoord:
     """Coordinate of a CLB site in the array (0-based row and column)."""
 
@@ -54,7 +54,7 @@ class ClbCoord:
         return f"R{self.row}C{self.col}"
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class CellCoord:
     """Coordinate of a single logic cell: a CLB site plus cell index 0-3.
 
@@ -85,7 +85,7 @@ class CellCoord:
         return f"R{self.row}C{self.col}.{self.cell}"
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class Rect:
     """A rectangle of CLBs: origin (row, col), extent (height, width).
 

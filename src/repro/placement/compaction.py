@@ -27,10 +27,18 @@ import numpy as np
 
 from repro.device.geometry import Rect
 
+from .bitgrid import (
+    band_mask,
+    clear_rect,
+    pack_free_rows,
+    run_anchor_mask,
+    set_rect,
+    span_mask,
+)
 from .fit import best_fit
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Move:
     """Relocate one resident function's footprint."""
 
@@ -55,19 +63,34 @@ class Move:
 
 
 def footprints(occupancy: np.ndarray) -> dict[int, Rect]:
-    """Owner id -> rectangular footprint, from an occupancy grid."""
-    result: dict[int, Rect] = {}
-    for owner in np.unique(occupancy):
-        if owner == 0:
-            continue
-        rows, cols = np.nonzero(occupancy == owner)
-        result[int(owner)] = Rect(
-            int(rows.min()),
-            int(cols.min()),
-            int(rows.max() - rows.min() + 1),
-            int(cols.max() - cols.min() + 1),
+    """Owner id -> rectangular footprint, from an occupancy grid.
+
+    Owners appear in ascending id order (the ``np.unique`` order the
+    planners' tie-breaking has always relied on), one bounding box per
+    owner, computed in a single grouped pass instead of one grid scan
+    per resident.
+    """
+    flat = occupancy.ravel()
+    occupied = np.flatnonzero(flat)
+    if occupied.size == 0:
+        return {}
+    order = np.argsort(flat[occupied], kind="stable")
+    owners = flat[occupied][order]
+    srows = occupied[order] // occupancy.shape[1]
+    scols = occupied[order] % occupancy.shape[1]
+    starts = np.flatnonzero(np.r_[True, owners[1:] != owners[:-1]])
+    min_r = np.minimum.reduceat(srows, starts)
+    max_r = np.maximum.reduceat(srows, starts)
+    min_c = np.minimum.reduceat(scols, starts)
+    max_c = np.maximum.reduceat(scols, starts)
+    return {
+        int(owner): Rect(
+            int(r0), int(c0), int(r1 - r0 + 1), int(c1 - c0 + 1)
         )
-    return result
+        for owner, r0, c0, r1, c1 in zip(
+            owners[starts], min_r, min_c, max_r, max_c
+        )
+    }
 
 
 def apply_moves(occupancy: np.ndarray, moves: list[Move]) -> np.ndarray:
@@ -93,8 +116,24 @@ def ordered_compaction(occupancy: np.ndarray,
     """
     if toward not in ("left", "top"):
         raise ValueError("toward must be 'left' or 'top'")
-    grid = occupancy.copy()
-    prints = footprints(grid)
+    moves, _ = compaction_moves(
+        footprints(occupancy), pack_free_rows(occupancy), toward
+    )
+    return moves
+
+
+def compaction_moves(
+    prints: dict[int, Rect], row_bits: list[int], toward: str
+) -> tuple[list[Move], list[int]]:
+    """:func:`ordered_compaction` over precomputed footprints and
+    free-column bitmasks.
+
+    Callers that try several compaction directions (and then probe the
+    compacted grid) share one footprint scan and one row packing; the
+    returned bitmask list is the *compacted* grid's free columns, so the
+    probe needs no scratch-grid replay.  ``row_bits`` is not modified.
+    """
+    bits = list(row_bits)
     moves: list[Move] = []
     if toward == "left":
         order = sorted(prints, key=lambda o: prints[o].col)
@@ -102,26 +141,37 @@ def ordered_compaction(occupancy: np.ndarray,
         order = sorted(prints, key=lambda o: prints[o].row)
     for owner in order:
         rect = prints[owner]
-        grid[rect.row : rect.row_end, rect.col : rect.col_end] = 0
+        src_mask = span_mask(rect.col, rect.width)
+        set_rect(bits, rect.row, rect.row_end, src_mask)
         best = rect
         if toward == "left":
-            for col in range(rect.col):
-                cand = Rect(rect.row, col, rect.height, rect.width)
-                view = grid[cand.row : cand.row_end, cand.col : cand.col_end]
-                if (view == 0).all():
-                    best = cand
-                    break
+            # Leftmost column whose whole window is free across the
+            # function's rows; anchors right of the original column are
+            # masked off (sliding right is not compaction).
+            band = band_mask(bits, rect.row, rect.row_end)
+            anchors = run_anchor_mask(band, rect.width) & ((1 << rect.col) - 1)
+            if anchors:
+                col = (anchors & -anchors).bit_length() - 1
+                best = Rect(rect.row, col, rect.height, rect.width)
         else:
-            for row in range(rect.row):
-                cand = Rect(row, rect.col, rect.height, rect.width)
-                view = grid[cand.row : cand.row_end, cand.col : cand.col_end]
-                if (view == 0).all():
-                    best = cand
-                    break
-        grid[best.row : best.row_end, best.col : best.col_end] = owner
+            # Vertical mirror of the left path: bit r of the column mask
+            # is set when the function's columns are free across row r;
+            # the topmost height-run anchored above the original row (if
+            # any) is where the function slides to.
+            col_free = 0
+            for r in range(min(len(bits), rect.row + rect.height - 1)):
+                if (bits[r] & src_mask) == src_mask:
+                    col_free |= 1 << r
+            anchors = run_anchor_mask(col_free, rect.height) \
+                & ((1 << rect.row) - 1)
+            if anchors:
+                row = (anchors & -anchors).bit_length() - 1
+                best = Rect(row, rect.col, rect.height, rect.width)
+        clear_rect(bits, best.row, best.row_end,
+                   span_mask(best.col, best.width))
         if best != rect:
             moves.append(Move(owner, rect, best))
-    return moves
+    return moves, bits
 
 
 def local_repacking(occupancy: np.ndarray, window: Rect) -> list[Move] | None:

@@ -147,3 +147,115 @@ def fitter(name: str):
     except KeyError:
         known = ", ".join(sorted(FIT_ALGORITHMS))
         raise KeyError(f"unknown fit algorithm {name!r}; known: {known}") from None
+
+
+class CachedFitter:
+    """A placement heuristic memoised per free-space generation.
+
+    The admission hot path re-asks the same fit question many times
+    between occupancy changes (every admission pass probes every waiting
+    shape).  A heuristic's answer is a pure function of (occupancy,
+    height, width), and the engines' ``generation`` counter names the
+    occupancy: it bumps on every effective mutation, so equal
+    generations guarantee a byte-identical grid.  The cache therefore
+    keys on ``(generation, height, width)`` and is dropped wholesale the
+    moment the generation moves — over-retention is impossible by
+    construction (``tests/test_fit_cache.py`` pins this with an
+    adversarially mutated engine).
+
+    Grid-path calls (no index) and indexes without a generation counter
+    bypass the cache entirely: there is no token naming the grid state.
+    """
+
+    def __init__(self, fn) -> None:
+        self.fn = fn
+        self._index_id: int | None = None
+        self._generation: int | None = None
+        self._answers: dict[tuple[int, int], Rect | None] = {}
+        #: cache telemetry (hits/misses), for the property tests and
+        #: the perf harness.
+        self.hits = 0
+        self.misses = 0
+
+    def _sync(self, index: FreeSpaceIndex) -> bool:
+        """Point the cache at ``index``'s current generation; False when
+        the index exposes no generation counter (cache unusable)."""
+        generation = getattr(index, "generation", None)
+        if generation is None:
+            return False
+        if self._index_id != id(index) or self._generation != generation:
+            self._index_id = id(index)
+            self._generation = generation
+            self._answers.clear()
+        return True
+
+    def __call__(self, occupancy: np.ndarray, height: int, width: int,
+                 index: FreeSpaceIndex | None = None) -> Rect | None:
+        """Answer like the wrapped heuristic, consulting the cache."""
+        if index is None or not self._sync(index):
+            return self.fn(occupancy, height, width, index=index)
+        key = (height, width)
+        try:
+            answer = self._answers[key]
+        except KeyError:
+            self.misses += 1
+            answer = self.fn(occupancy, height, width, index=index)
+            self._answers[key] = answer
+            return answer
+        self.hits += 1
+        return answer
+
+    def prefetch(self, occupancy: np.ndarray,
+                 shapes: list[tuple[int, int]],
+                 index: FreeSpaceIndex) -> None:
+        """Warm the cache for many shapes against one MER snapshot.
+
+        The admission loop calls this once per pass with every
+        queue-eligible shape, so the per-item probes that follow are
+        dictionary lookups.  The batch answers are computed against a
+        single read of the index's MER set; for the row-major
+        ``first_fit`` the winning corner is found with one vectorised
+        masked-argmin per shape, which is exactly ``min(fitting, key=
+        (row, col))`` — any key tie yields the same (row, col) and the
+        returned rectangle only uses those coordinates.  Other
+        heuristics fall back to one cached call each.
+        """
+        if not shapes or not self._sync(index):
+            return
+        missing = [s for s in shapes if s not in self._answers]
+        if not missing:
+            return
+        if self.fn is not first_fit:
+            for height, width in missing:
+                self.misses += 1
+                self._answers[(height, width)] = self.fn(
+                    occupancy, height, width, index=index
+                )
+            return
+        mers = index.mers
+        count = len(mers)
+        heights = np.fromiter(
+            (r.height for r in mers), dtype=np.int64, count=count
+        )
+        widths = np.fromiter(
+            (r.width for r in mers), dtype=np.int64, count=count
+        )
+        rows = np.fromiter(
+            (r.row for r in mers), dtype=np.int64, count=count
+        )
+        cols = np.fromiter(
+            (r.col for r in mers), dtype=np.int64, count=count
+        )
+        _, grid_cols = occupancy.shape
+        corner = rows * (grid_cols + 1) + cols  # row-major corner rank
+        for height, width in missing:
+            self.misses += 1
+            mask = (heights >= height) & (widths >= width)
+            if count == 0 or not mask.any():
+                self._answers[(height, width)] = None
+                continue
+            best = int(np.where(mask, corner, np.iinfo(np.int64).max)
+                       .argmin())
+            self._answers[(height, width)] = Rect(
+                int(rows[best]), int(cols[best]), height, width
+            )

@@ -128,6 +128,12 @@ class FreeSpaceIndex(Protocol):
         """The bound occupancy grid (0 = free, owner ids otherwise)."""
 
     @property
+    def generation(self) -> int:
+        """Counter bumped by every effective occupancy mutation; equal
+        generations guarantee byte-identical occupancy, so callers may
+        memoise fit and plan decisions against it."""
+
+    @property
     def mers(self) -> list[Rect]:
         """Current maximal empty rectangles (order unspecified)."""
 
@@ -145,6 +151,9 @@ class FreeSpaceIndex(Protocol):
 
     def free_area(self) -> int:
         """Total free sites."""
+
+    def largest_free_area(self) -> int:
+        """Area of the largest free rectangle (0 when the grid is full)."""
 
     def rebuild(self) -> None:
         """Resynchronise with the grid after an external mutation."""
@@ -166,11 +175,24 @@ class FreeSpaceManager:
     def __init__(self, occupancy: np.ndarray) -> None:
         self._occupancy = occupancy
         self._cache: list[Rect] | None = None
+        self._generation = 0
 
     @property
     def occupancy(self) -> np.ndarray:
         """The bound occupancy grid."""
         return self._occupancy
+
+    @property
+    def generation(self) -> int:
+        """Counter bumped by every effective occupancy mutation.
+
+        Matches the incremental engine's counter step for step over any
+        shared mutation history (the differential suite pins this):
+        allocations and effective releases bump it, releasing an
+        already-free region does not, and :meth:`rebuild` /
+        :meth:`invalidate` count as one external mutation.
+        """
+        return self._generation
 
     def _check_bounds(self, rect: Rect) -> None:
         rows, cols = self._occupancy.shape
@@ -188,12 +210,18 @@ class FreeSpaceManager:
             raise ValueError(f"region {rect} is not entirely free")
         view[...] = owner
         self._cache = None
+        self._generation += 1
 
     def release(self, rect: Rect) -> None:
         """Return ``rect`` to the free pool."""
         self._check_bounds(rect)
-        self._occupancy[rect.row : rect.row_end, rect.col : rect.col_end] = 0
+        view = self._occupancy[rect.row : rect.row_end,
+                               rect.col : rect.col_end]
+        if not bool((view != 0).any()):
+            return  # the region was already free: nothing can change
+        view[...] = 0
         self._cache = None
+        self._generation += 1
 
     def invalidate(self) -> None:
         """Drop the cached MER list.
@@ -203,10 +231,11 @@ class FreeSpaceManager:
         Kept as the historical name of :meth:`rebuild`.
         """
         self._cache = None
+        self._generation += 1
 
     def rebuild(self) -> None:
         """Resynchronise with the grid (same as :meth:`invalidate`)."""
-        self._cache = None
+        self.invalidate()
 
     @property
     def mers(self) -> list[Rect]:
@@ -231,6 +260,10 @@ class FreeSpaceManager:
     def free_area(self) -> int:
         """Total free sites."""
         return int(free_mask(self._occupancy).sum())
+
+    def largest_free_area(self) -> int:
+        """Area of the largest free rectangle (0 when the grid is full)."""
+        return max((r.area for r in self.mers), default=0)
 
 
 def make_free_space(name: str, occupancy: np.ndarray) -> FreeSpaceIndex:

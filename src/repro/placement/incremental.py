@@ -43,11 +43,26 @@ class IncrementalFreeSpace:
 
     name = "incremental"
 
+    #: MER-set size below which the scalar paths beat the vectorised
+    #: ones: a handful of attribute compares with early exit is cheaper
+    #: than a few numpy dispatches plus the coordinate-matrix build.
+    #: Small devices (the XC2S15's 8x12 grid rarely exceeds ~15 MERs)
+    #: stay on the scalar code; the acceptance-grid scheduler workloads
+    #: (XCV200, routinely 40-90 MERs) take the vectorised one.  Both
+    #: paths compute identical sets — the differential suite churns
+    #: grids whose MER count crosses this threshold in both directions.
+    SMALL_SET = 20
+
     def __init__(self, occupancy: np.ndarray) -> None:
         self._occupancy = occupancy
         self._mers: set[Rect] = set(maximal_empty_rectangles(occupancy))
         self._free = int(free_mask(occupancy).sum())
         self._row_bits = self._pack_rows()
+        self._generation = 0
+        #: lazy query cache over the MER set: (rect list, (N, 4) int64
+        #: matrix of row/col/height/width).  Invalidated by every
+        #: effective mutation.
+        self._query: tuple[list[Rect], np.ndarray] | None = None
 
     def _pack_rows(self) -> list[int]:
         """Per-row free-column bitmasks (bit c set = column c free)."""
@@ -66,32 +81,88 @@ class IncrementalFreeSpace:
         return self._occupancy
 
     @property
+    def generation(self) -> int:
+        """Counter bumped by every effective occupancy mutation.
+
+        Two queries at the same generation see byte-identical occupancy,
+        so fit decisions and rearrangement plans may be memoised against
+        this value (see :class:`repro.placement.fit.CachedFitter`).
+        No-op mutations — releasing an already-free region — do not
+        bump it: the logic space is provably unchanged.
+        """
+        return self._generation
+
+    @property
     def mers(self) -> list[Rect]:
         """Current maximal empty rectangles (order unspecified)."""
         return list(self._mers)
 
+    @staticmethod
+    def _coords_of(rects: list[Rect]) -> np.ndarray:
+        """(N, 4) int64 matrix of (row, col, height, width)."""
+        count = len(rects)
+        if not count:
+            return np.zeros((0, 4), dtype=np.int64)
+        return np.fromiter(
+            ((r.row, r.col, r.height, r.width) for r in rects),
+            dtype=np.dtype((np.int64, 4)), count=count,
+        )
+
+    def _query_arrays(self) -> tuple[list[Rect], np.ndarray]:
+        """MER list plus its coordinate matrix, built lazily once per
+        generation so every fits/fitting query — and the mutation
+        filters themselves — is a vectorised compare instead of a Python
+        attribute walk over the whole set."""
+        if self._query is None:
+            rects = list(self._mers)
+            self._query = (rects, self._coords_of(rects))
+        return self._query
+
     def fits(self, height: int, width: int) -> bool:
         """True when some free rectangle can host the request."""
-        return any(
-            r.height >= height and r.width >= width for r in self._mers
+        if len(self._mers) <= self.SMALL_SET:
+            return any(
+                r.height >= height and r.width >= width
+                for r in self._mers
+            )
+        _, coords = self._query_arrays()
+        return bool(
+            ((coords[:, 2] >= height) & (coords[:, 3] >= width)).any()
         )
 
     def rectangles_fitting(self, height: int, width: int) -> list[Rect]:
         """MERs that can host a ``height`` x ``width`` request."""
-        return [
-            r for r in self._mers
-            if r.height >= height and r.width >= width
-        ]
+        if len(self._mers) <= self.SMALL_SET:
+            return [
+                r for r in self._mers
+                if r.height >= height and r.width >= width
+            ]
+        rects, coords = self._query_arrays()
+        hits = np.flatnonzero(
+            (coords[:, 2] >= height) & (coords[:, 3] >= width)
+        )
+        return [rects[i] for i in hits]
 
     def free_area(self) -> int:
         """Total free sites (tracked, not recounted)."""
         return self._free
+
+    def largest_free_area(self) -> int:
+        """Area of the largest free rectangle (0 when the grid is full)."""
+        if len(self._mers) <= self.SMALL_SET:
+            return max((r.area for r in self._mers), default=0)
+        rects, coords = self._query_arrays()
+        if not rects:
+            return 0
+        return int((coords[:, 2] * coords[:, 3]).max())
 
     def rebuild(self) -> None:
         """Resynchronise with the grid after an external mutation."""
         self._mers = set(maximal_empty_rectangles(self._occupancy))
         self._free = int(free_mask(self._occupancy).sum())
         self._row_bits = self._pack_rows()
+        self._generation += 1
+        self._query = None
 
     # -- protocol: mutations -------------------------------------------------
 
@@ -100,6 +171,21 @@ class IncrementalFreeSpace:
         if rect.row < 0 or rect.col < 0 or rect.row_end > rows \
                 or rect.col_end > cols:
             raise ValueError(f"rectangle {rect} outside the {rows}x{cols} grid")
+
+    @staticmethod
+    def _absorbed(inner: np.ndarray, outer: np.ndarray) -> np.ndarray:
+        """For each inner rect: is it contained in some *differently
+        valued* outer rect?  ``inner``/``outer`` are (N, 4) coordinate
+        matrices; a coordinate-identical outer never counts, mirroring
+        the ``o != p and o.contains_rect(p)`` guard of the set
+        formulation."""
+        ir = inner[:, :2][None, :, :]          # (1, I, 2) origins
+        ie = ir + inner[:, 2:][None, :, :]     # (1, I, 2) ends
+        orow = outer[:, :2][:, None, :]        # (O, 1, 2) origins
+        oe = orow + outer[:, 2:][:, None, :]   # (O, 1, 2) ends
+        contains = ((orow <= ir) & (oe >= ie)).all(axis=2)
+        equal = ((orow == ir) & (oe == ie)).all(axis=2)
+        return (contains & ~equal).any(axis=0)
 
     def allocate(self, rect: Rect, owner: int = 1) -> None:
         """Claim ``rect`` for ``owner``; the region must be free."""
@@ -112,11 +198,28 @@ class IncrementalFreeSpace:
             raise ValueError(f"region {rect} is not entirely free")
         view[...] = owner
         self._free -= rect.area
+        small = len(self._mers) <= self.SMALL_SET
+        if small:
+            unaffected = None
+            overlapping = [m for m in self._mers if m.overlaps(rect)]
+        else:
+            # Read the pre-mutation MER arrays before dropping the
+            # cache (the grid write above does not touch the MER set).
+            rects, coords = self._query_arrays()
+            ov = (
+                (coords[:, 0] < rect.row_end)
+                & (coords[:, 0] + coords[:, 2] > rect.row)
+                & (coords[:, 1] < rect.col_end)
+                & (coords[:, 1] + coords[:, 3] > rect.col)
+            )
+            unaffected = coords[~ov]
+            overlapping = [rects[i] for i in np.flatnonzero(ov)]
+        self._generation += 1
+        self._query = None
         span = ((1 << rect.width) - 1) << rect.col
         for r in range(rect.row, rect.row_end):
             self._row_bits[r] &= ~span
 
-        overlapping = [m for m in self._mers if m.overlaps(rect)]
         if not overlapping:
             return
         survivors = self._mers.difference(overlapping)
@@ -136,12 +239,23 @@ class IncrementalFreeSpace:
                     Rect(m.row, rect.col_end,
                          m.height, m.col_end - rect.col_end)
                 )
-        candidates = list(survivors) + list(pieces)
-        kept = {
-            p for p in pieces
-            if not any(o != p and o.contains_rect(p) for o in candidates)
-        }
-        self._mers = survivors | kept
+        if not pieces:
+            self._mers = survivors
+            return
+        if unaffected is None:
+            candidates = list(survivors) + list(pieces)
+            kept = {
+                p for p in pieces
+                if not any(o != p and o.contains_rect(p)
+                           for o in candidates)
+            }
+            self._mers = survivors | kept
+            return
+        piece_list = list(pieces)
+        piece_coords = self._coords_of(piece_list)
+        candidates = np.concatenate([unaffected, piece_coords])
+        keep = np.flatnonzero(~self._absorbed(piece_coords, candidates))
+        self._mers = survivors | {piece_list[i] for i in keep}
 
     def release(self, rect: Rect) -> None:
         """Return ``rect`` to the free pool."""
@@ -153,18 +267,29 @@ class IncrementalFreeSpace:
             return  # the region was already free: nothing can change
         view[...] = 0
         self._free += freed
+        small = len(self._mers) <= self.SMALL_SET
+        if not small:
+            rects, coords = self._query_arrays()
+        self._generation += 1
+        self._query = None
         span = ((1 << rect.width) - 1) << rect.col
         for r in range(rect.row, rect.row_end):
             self._row_bits[r] |= span
 
         fresh = self._maximal_through(rect)
+        if not fresh:
+            return
         # An old MER is demoted exactly when the freed space lets a
         # strictly larger rectangle absorb it — and that rectangle, being
         # maximal and intersecting the freed rect, is in ``fresh``.
-        survivors = {
-            m for m in self._mers
-            if not any(n != m and n.contains_rect(m) for n in fresh)
-        }
+        if small:
+            survivors = {
+                m for m in self._mers
+                if not any(n != m and n.contains_rect(m) for n in fresh)
+            }
+        else:
+            demoted = self._absorbed(coords, self._coords_of(fresh))
+            survivors = {rects[i] for i in np.flatnonzero(~demoted)}
         self._mers = survivors | set(fresh)
 
     # -- the release sweep ---------------------------------------------------

@@ -37,6 +37,18 @@ def _mers_of(occupancy: np.ndarray,
     return maximal_empty_rectangles(occupancy)
 
 
+def _largest_of(occupancy: np.ndarray,
+                index: FreeSpaceIndex | None) -> int:
+    """Largest free rectangle area — answered by the index in O(1)
+    amortised when one is attached (both engines precompute it per
+    generation), else recomputed from the grid."""
+    if index is not None:
+        return index.largest_free_area()
+    return max(
+        (r.area for r in maximal_empty_rectangles(occupancy)), default=0
+    )
+
+
 def fragmentation_index(occupancy: np.ndarray,
                         index: FreeSpaceIndex | None = None) -> float:
     """1 - (largest free rectangle area / free area); 0.0 when empty of
@@ -45,7 +57,7 @@ def fragmentation_index(occupancy: np.ndarray,
             else int(free_mask(occupancy).sum()))
     if free == 0:
         return 0.0
-    largest = max((r.area for r in _mers_of(occupancy, index)), default=0)
+    largest = _largest_of(occupancy, index)
     return 1.0 - largest / free
 
 
@@ -110,11 +122,22 @@ def reclaimable_sites(occupancy: np.ndarray,
             else int(free_mask(occupancy).sum()))
     if free == 0:
         return 0
-    largest = max((r.area for r in _mers_of(occupancy, index)), default=0)
+    largest = _largest_of(occupancy, index)
     return free - largest
 
 
-def utilization(occupancy: np.ndarray) -> float:
-    """Fraction of sites occupied."""
+def utilization(occupancy: np.ndarray,
+                index: FreeSpaceIndex | None = None) -> float:
+    """Fraction of sites occupied.
+
+    With an index attached the occupied count is derived from its
+    tracked free-area tally instead of re-scanning the grid; the two
+    integer counts are equal by the engine's invariant, so the quotient
+    is bit-identical.
+    """
     total = occupancy.size
-    return float((occupancy != 0).sum()) / total if total else 0.0
+    if not total:
+        return 0.0
+    if index is not None:
+        return float(total - index.free_area()) / total
+    return float((occupancy != 0).sum()) / total

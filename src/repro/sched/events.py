@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class _Entry:
     time: float
     seq: int
@@ -22,6 +22,8 @@ class _Entry:
 
 class EventHandle:
     """Handle allowing a scheduled event to be cancelled."""
+
+    __slots__ = ("_entry",)
 
     def __init__(self, entry: _Entry) -> None:
         self._entry = entry

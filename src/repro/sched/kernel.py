@@ -262,6 +262,38 @@ class SchedulingKernel:
         releases must call it so blocked passes are retried)."""
         self._space_version += 1
 
+    def _prefetch(self) -> None:
+        """Warm the manager's fit/plan caches for the coming pass.
+
+        Purely an optimisation: the per-item ``manager.request`` calls
+        in :meth:`drain` return bit-identical outcomes with or without
+        it.  The shapes handed over are exactly this pass's candidate
+        set — the discipline's ``scan`` order, which the loop below is
+        about to probe one ``request`` at a time — so the manager can
+        resolve the whole batch against one read of the free-space
+        state instead of one probe per item (the multi-candidate
+        disciplines, backfill above all, put many items through one
+        pass).  ``scan`` only purges tombstones, so iterating it here
+        and again below yields the same items.  Items already
+        failure-memoed at this space version are skipped (their answers
+        are cached); fleet managers don't expose the hook, so fleets
+        skip it entirely.
+        """
+        prefetch = getattr(self.manager, "prefetch_admission", None)
+        if prefetch is None or len(self._managers) != 1:
+            return
+        shapes: list[tuple[int, int]] = []
+        seen: set[tuple[int, int]] = set()
+        for item in self.queue.scan(self.events.now):
+            if self._item_failed_at.get(id(item)) == self._space_version:
+                continue
+            shape = (item.height, item.width)
+            if shape not in seen:
+                seen.add(shape)
+                shapes.append(shape)
+        if shapes:
+            prefetch(shapes)
+
     def drain(self) -> None:
         """Place waiting items in discipline order until blocked.
 
@@ -274,6 +306,7 @@ class SchedulingKernel:
         while len(self.queue):
             if self._failed_at_version == self._space_version:
                 return  # nothing changed since the last blocked pass
+            self._prefetch()
             placed = False
             for item in self.queue.scan(self.events.now):
                 if self._item_failed_at.get(id(item)) == self._space_version:

@@ -47,7 +47,7 @@ from typing import Iterator, Protocol
 DEFAULT_BACKFILL_MAX_AGE = 5.0
 
 
-@dataclass
+@dataclass(slots=True)
 class QueueEntry:
     """Internal book-keeping for one queued work item.
 

@@ -33,7 +33,7 @@ class TaskState(Enum):
     REJECTED = "rejected"
 
 
-@dataclass
+@dataclass(slots=True)
 class Task:
     """One independent task instance."""
 
@@ -82,7 +82,7 @@ class Task:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FunctionSpec:
     """One function of an application (Fig. 1's A1, B2, C3 ...)."""
 
@@ -120,7 +120,7 @@ class ApplicationSpec:
         return sum(f.exec_seconds for f in self.functions)
 
 
-@dataclass
+@dataclass(slots=True)
 class FunctionRun:
     """Execution record of one function instance."""
 

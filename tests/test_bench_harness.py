@@ -1,0 +1,181 @@
+"""The perf harnesses as software: determinism and the regression guard.
+
+Two things the benchmark layer now promises:
+
+* ``bench_sched.bench_kernel`` pins one deterministic workload seed per
+  (queue, ports) cell — two invocations replay identical histories, so
+  event counts and admission outcomes are comparable run to run (the
+  historical single shared seed also meant one pathological stream
+  skewed every cell);
+* ``bench_guard`` compares fresh smoke rates against the committed
+  ``BENCH_*.json`` evidence and fails on any worse-than-``factor``
+  move, in the right direction for each metric family (throughputs
+  must not drop, per-op latencies must not rise), skipping keys present
+  on only one side.
+
+The guard's comparison logic is tested on canned payloads here; CI runs
+the real thing (fresh smoke runs) as a separate job step.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+_PERF = Path(__file__).resolve().parent.parent / "benchmarks" / "perf"
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(
+        name, _PERF / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+bench_sched = _load("bench_sched")
+bench_guard = _load("bench_guard")
+
+
+class TestKernelSeeding:
+    def test_cell_seeds_distinct_and_stable(self):
+        """Every (queue, ports) cell gets its own seed, and the mapping
+        is a pure function — stable across processes and machines
+        (CRC32, not ``hash``)."""
+        from repro.sched.ports import PORT_MODEL_NAMES
+        from repro.sched.queues import QUEUE_NAMES
+
+        cells = [(q, p) for q in QUEUE_NAMES for p in PORT_MODEL_NAMES]
+        seeds = [bench_sched.cell_seed(q, p) for q, p in cells]
+        assert len(set(seeds)) == len(cells)
+        assert seeds == [bench_sched.cell_seed(q, p) for q, p in cells]
+
+    def test_two_smoke_runs_identical_event_counts(self):
+        """The satellite acceptance: re-running the kernel bench
+        replays every cell bit-for-bit — identical event counts and
+        admission outcomes, only the wall clock may differ."""
+        first = bench_sched.bench_kernel(15)
+        second = bench_sched.bench_kernel(15)
+        deterministic = [
+            {k: row[k] for k in ("queue", "ports", "seed",
+                                 "events_processed", "finished",
+                                 "rejected")}
+            for row in first
+        ]
+        assert deterministic == [
+            {k: row[k] for k in ("queue", "ports", "seed",
+                                 "events_processed", "finished",
+                                 "rejected")}
+            for row in second
+        ]
+
+
+class TestGuardRates:
+    def test_sched_rates_flatten(self):
+        payload = {
+            "events": {"events_per_second": 50_000.0},
+            "queues": [{"queue": "fifo", "ops_per_second": 1e6}],
+            "kernel": [{"queue": "fifo", "ports": "serial",
+                        "events_per_second": 4000.0}],
+        }
+        assert bench_guard.sched_rates(payload) == {
+            "events/events_per_second": 50_000.0,
+            "queues/fifo/ops_per_second": 1e6,
+            "kernel/fifoxserial/events_per_second": 4000.0,
+        }
+
+    def test_freespace_rates_flatten(self):
+        payload = {"micro": [
+            {"grid": "XCV200",
+             "us_per_op": {"recompute": 1800.0, "incremental": 110.0}},
+        ]}
+        assert bench_guard.freespace_rates(payload) == {
+            "micro/XCV200/recompute/us_per_op": 1800.0,
+            "micro/XCV200/incremental/us_per_op": 110.0,
+        }
+
+
+class TestGuardCompare:
+    BASE = {"a": 1000.0, "b": 200.0}
+
+    def test_within_tolerance_passes(self):
+        fresh = {"a": 400.0, "b": 190.0}  # 2.5x down: inside 3x
+        assert bench_guard.compare(self.BASE, fresh, 3.0,
+                                   higher_is_better=True) == []
+
+    def test_throughput_drop_fails(self):
+        fresh = {"a": 300.0, "b": 190.0}  # a dropped 3.3x
+        failures = bench_guard.compare(self.BASE, fresh, 3.0,
+                                       higher_is_better=True)
+        assert len(failures) == 1 and failures[0].startswith("a:")
+
+    def test_latency_rise_fails_in_other_direction(self):
+        fresh = {"a": 3500.0, "b": 250.0}  # a rose 3.5x
+        failures = bench_guard.compare(self.BASE, fresh, 3.0,
+                                       higher_is_better=False)
+        assert len(failures) == 1 and failures[0].startswith("a:")
+        # The same move read as a throughput would *pass* — direction
+        # matters.
+        assert bench_guard.compare(self.BASE, fresh, 3.0,
+                                   higher_is_better=True) == []
+
+    def test_unshared_keys_skipped(self):
+        fresh = {"a": 900.0, "new_cell": 5.0}
+        assert bench_guard.compare(self.BASE, fresh, 3.0,
+                                   higher_is_better=True) == []
+
+    def test_degenerate_timings_skipped(self):
+        fresh = {"a": 0.0, "b": 190.0}
+        assert bench_guard.compare(self.BASE, fresh, 3.0,
+                                   higher_is_better=True) == []
+
+
+class TestGuardEndToEnd:
+    """The CLI on canned fresh payloads (no benchmark runs)."""
+
+    def _baselines(self, tmp_path: Path) -> Path:
+        import json
+
+        (tmp_path / "BENCH_sched.json").write_text(json.dumps({
+            "events": {"events_per_second": 60_000.0},
+            "queues": [], "kernel": [],
+        }))
+        (tmp_path / "BENCH_freespace.json").write_text(json.dumps({
+            "micro": [{"grid": "XCV200",
+                       "us_per_op": {"incremental": 100.0}}],
+        }))
+        return tmp_path
+
+    def _fresh(self, tmp_path: Path, events: float, us: float):
+        import json
+
+        sched = tmp_path / "fresh_sched.json"
+        sched.write_text(json.dumps(
+            {"events": {"events_per_second": events},
+             "queues": [], "kernel": []}
+        ))
+        free = tmp_path / "fresh_free.json"
+        free.write_text(json.dumps(
+            {"micro": [{"grid": "XCV200",
+                        "us_per_op": {"incremental": us}}]}
+        ))
+        return sched, free
+
+    def test_clean_comparison_exits_zero(self, tmp_path):
+        base = self._baselines(tmp_path)
+        sched, free = self._fresh(tmp_path, events=30_000.0, us=150.0)
+        assert bench_guard.main([
+            "--baseline-dir", str(base),
+            "--fresh-sched", str(sched),
+            "--fresh-freespace", str(free),
+        ]) == 0
+
+    def test_regression_exits_nonzero(self, tmp_path):
+        base = self._baselines(tmp_path)
+        sched, free = self._fresh(tmp_path, events=10_000.0, us=450.0)
+        assert bench_guard.main([
+            "--baseline-dir", str(base),
+            "--fresh-sched", str(sched),
+            "--fresh-freespace", str(free),
+        ]) == 1
