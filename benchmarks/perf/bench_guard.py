@@ -1,18 +1,21 @@
 #!/usr/bin/env python3
 """Benchmark regression guard — fresh smoke runs vs committed evidence.
 
-The committed ``BENCH_sched.json`` / ``BENCH_freespace.json`` files are
-the performance claims this repository makes (kernel events per second,
-queue-discipline ops per second, free-space microbenchmark latency).  A
+The committed ``BENCH_sched.json`` / ``BENCH_freespace.json`` /
+``BENCH_fleet.json`` / ``BENCH_service.json`` files are the
+performance claims this repository makes (kernel events per second,
+queue-discipline ops per second, free-space microbenchmark latency,
+fleet scheduling throughput, service door throughput and latency).  A
 refactor can silently walk those claims back without ever reddening a
 correctness test, so CI re-runs both harnesses in ``--smoke`` mode and
 compares every *rate* metric against the committed baseline:
 
 * rates where **higher is better** (``events_per_second``,
-  ``ops_per_second``) fail when the fresh value drops below
-  ``baseline / factor``;
-* rates where **lower is better** (``us_per_op``) fail when the fresh
-  value rises above ``baseline * factor``.
+  ``ops_per_second``, ``submissions_per_second``, ...) fail when the
+  fresh value drops below ``baseline / factor``;
+* rates where **lower is better** (``us_per_op``, the door's p99
+  admission latency) fail when the fresh value rises above
+  ``baseline * factor``.
 
 The default ``factor`` of 3x is deliberately loose: smoke streams are
 smaller than the committed full runs and CI machines are slower and
@@ -30,9 +33,10 @@ Run from the repo root (CI runs exactly this, see
 
     PYTHONPATH=src python benchmarks/perf/bench_guard.py
 
-Pass ``--fresh-sched`` / ``--fresh-freespace`` to compare existing
-result files instead of re-running the harnesses (the test suite uses
-this to exercise the comparison logic on canned payloads).
+Pass ``--fresh-sched`` / ``--fresh-freespace`` / ``--fresh-fleet`` /
+``--fresh-service`` to compare existing result files instead of
+re-running the harnesses (the test suite uses this to exercise the
+comparison logic on canned payloads).
 """
 
 from __future__ import annotations
@@ -78,6 +82,52 @@ def freespace_rates(payload: dict) -> dict[str, float]:
     for row in payload.get("micro", []):
         for engine, us in row.get("us_per_op", {}).items():
             rates[f"micro/{row['grid']}/{engine}/us_per_op"] = us
+    return rates
+
+
+def fleet_rates(payload: dict) -> dict[str, float]:
+    """Flatten a ``bench_fleet`` payload to ``{metric key: rate}``.
+
+    All rates are higher-is-better throughputs: end-to-end events per
+    second per fleet size and per selection policy, plus the raw
+    selection-decision rate.
+    """
+    rates: dict[str, float] = {}
+    for row in payload.get("scaling", []):
+        key = f"scaling/size-{row['fleet_size']}/events_per_second"
+        rates[key] = row["events_per_second"]
+    for row in payload.get("policies", []):
+        rates[f"policies/{row['policy']}/events_per_second"] = \
+            row["events_per_second"]
+    for row in payload.get("selection", []):
+        rates[f"selection/{row['policy']}/decisions_per_second"] = \
+            row["decisions_per_second"]
+    return rates
+
+
+def service_throughputs(payload: dict) -> dict[str, float]:
+    """Higher-is-better rates of a ``bench_service`` payload."""
+    rates: dict[str, float] = {}
+    crowd = payload.get("flash_crowd")
+    if crowd:
+        rates["flash_crowd/submissions_per_second"] = \
+            crowd["submissions_per_second"]
+    http = payload.get("http")
+    if http:
+        rates["http/requests_per_second"] = http["requests_per_second"]
+    return rates
+
+
+def service_latencies(payload: dict) -> dict[str, float]:
+    """Lower-is-better latencies of a ``bench_service`` payload."""
+    rates: dict[str, float] = {}
+    crowd = payload.get("flash_crowd")
+    if crowd:
+        rates["flash_crowd/admission_latency_us/p99"] = \
+            crowd["admission_latency_us"]["p99"]
+    checkpoint = payload.get("checkpoint")
+    if checkpoint:
+        rates["checkpoint/restore_ms"] = checkpoint["restore_ms"]
     return rates
 
 
@@ -127,6 +177,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--fresh-freespace", metavar="PATH",
                         help="existing bench_freespace result to compare "
                              "instead of re-running the harness")
+    parser.add_argument("--fresh-fleet", metavar="PATH",
+                        help="existing bench_fleet result to compare "
+                             "instead of re-running the harness")
+    parser.add_argument("--fresh-service", metavar="PATH",
+                        help="existing bench_service result to compare "
+                             "instead of re-running the harness")
     args = parser.parse_args(argv)
     baseline_dir = Path(args.baseline_dir)
 
@@ -141,6 +197,18 @@ def main(argv: list[str] | None = None) -> int:
         else:
             fresh_free = _run_smoke("bench_freespace.py",
                                     Path(tmp) / "freespace.json")
+        if args.fresh_fleet:
+            fresh_fleet = json.loads(Path(args.fresh_fleet).read_text())
+        else:
+            fresh_fleet = _run_smoke("bench_fleet.py",
+                                     Path(tmp) / "fleet.json")
+        if args.fresh_service:
+            fresh_service = json.loads(
+                Path(args.fresh_service).read_text()
+            )
+        else:
+            fresh_service = _run_smoke("bench_service.py",
+                                       Path(tmp) / "service.json")
 
     failures = []
     baseline_sched = json.loads(
@@ -155,6 +223,27 @@ def main(argv: list[str] | None = None) -> int:
     failures += compare(freespace_rates(baseline_free),
                         freespace_rates(fresh_free),
                         args.factor, higher_is_better=False)
+    baseline_fleet = json.loads(
+        (baseline_dir / "BENCH_fleet.json").read_text()
+    )
+    failures += compare(fleet_rates(baseline_fleet),
+                        fleet_rates(fresh_fleet),
+                        args.factor, higher_is_better=True)
+    baseline_service = json.loads(
+        (baseline_dir / "BENCH_service.json").read_text()
+    )
+    failures += compare(service_throughputs(baseline_service),
+                        service_throughputs(fresh_service),
+                        args.factor, higher_is_better=True)
+    failures += compare(service_latencies(baseline_service),
+                        service_latencies(fresh_service),
+                        args.factor, higher_is_better=False)
+    if not fresh_service.get("checkpoint", {}).get(
+            "roundtrip_identical", True):
+        failures.append(
+            "checkpoint/roundtrip_identical: restored service diverged "
+            "from the uninterrupted run"
+        )
 
     if failures:
         print(f"bench_guard: {len(failures)} metric(s) regressed "

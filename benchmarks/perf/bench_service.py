@@ -1,0 +1,220 @@
+#!/usr/bin/env python3
+"""Always-on service performance harness — ``BENCH_service.json``.
+
+The admission service promises three things a batch campaign never had
+to: the door decides *fast* (a submission's admission decision is the
+service's hot path), it sustains a flash crowd without falling over,
+and a checkpoint round-trip is both cheap and **lossless**.  Three
+layers of evidence:
+
+* **flash_crowd** — the seeded campaign ``fleet-surge`` workload
+  replayed through the door in-process (the replay-to-service driver,
+  no HTTP in the loop): sustained submissions per second over the whole
+  trace, and the p50/p99/max admission-decision latency in
+  microseconds (the wall time of each ``ReproService.submit`` call —
+  door decision plus any synchronous admission work it triggers);
+* **checkpoint** — snapshot/restore cost at a mid-trace cut: snapshot
+  and restore wall milliseconds, the snapshot's JSON size, and the
+  ``roundtrip_identical`` flag — the restored service and the
+  uninterrupted one are driven to completion and their journal and
+  telemetry streams compared **bit for bit** (the proof the README
+  cites; a ``false`` here is a correctness bug, not a slow run);
+* **http** — the asyncio layer's overhead: requests per second through
+  a real socket for the healthz hot path (parse + route + respond).
+
+Run from the repo root:
+
+    PYTHONPATH=src python benchmarks/perf/bench_service.py
+    PYTHONPATH=src python benchmarks/perf/bench_service.py --smoke
+
+``--smoke`` shrinks the trace for CI; ``bench_guard.py`` compares the
+rates against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.campaign.replay import service_trace
+from repro.service import (
+    ReproService,
+    ServiceAPI,
+    ServiceConfig,
+    restore,
+    snapshot,
+)
+
+#: The benchmark service: a 2-member fleet under the priority
+#: discipline — the configuration the docs recommend for QoS traffic.
+CONFIG = dict(fleet_size=2, queue="priority", max_queue_depth=64)
+
+
+def build_service() -> ReproService:
+    """A fresh benchmark service."""
+    return ReproService(ServiceConfig(**CONFIG))
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """The q-quantile (0..1) of pre-sorted values, nearest-rank."""
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                max(0, round(q * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+def bench_flash_crowd(n_tasks: int, seed: int = 7) -> dict:
+    """Replay the surge through the door, timing every submission."""
+    service = build_service()
+    trace = service_trace("fleet-surge", seed=seed, n=n_tasks,
+                          tenants=("alice", "bob", "carol"))
+    latencies: list[float] = []
+    admitted = 0
+    started = time.perf_counter()
+    for submission in trace:
+        t0 = time.perf_counter()
+        view = service.submit(**submission)
+        latencies.append(time.perf_counter() - t0)
+        admitted += 1 if view["admitted"] else 0
+    elapsed = time.perf_counter() - started
+    service.settle()
+    stats = service.stats()
+    latencies.sort()
+    row = {
+        "tasks": n_tasks,
+        "wall_seconds": elapsed,
+        "submissions_per_second": n_tasks / elapsed if elapsed else 0.0,
+        "admission_latency_us": {
+            "p50": percentile(latencies, 0.50) * 1e6,
+            "p99": percentile(latencies, 0.99) * 1e6,
+            "max": latencies[-1] * 1e6,
+        },
+        "admitted": admitted,
+        "throttled": n_tasks - admitted,
+        "finished": stats["finished"],
+        "rejected": stats["rejected"],
+    }
+    print(
+        f"flash-crowd n={n_tasks}: "
+        f"{row['submissions_per_second']:9.0f} subs/s, "
+        f"p99 {row['admission_latency_us']['p99']:7.1f} us, "
+        f"{admitted} admitted / {row['throttled']} throttled / "
+        f"{stats['finished']} finished"
+    )
+    return row
+
+
+def bench_checkpoint(n_tasks: int, seed: int = 7) -> dict:
+    """Snapshot/restore cost and the round-trip identity proof."""
+    trace = service_trace("fleet-surge", seed=seed, n=n_tasks,
+                          tenants=("alice", "bob", "carol"))
+    cut = max(1, n_tasks // 2)
+
+    whole = build_service()
+    for submission in trace:
+        whole.submit(**submission)
+    whole.settle()
+
+    first = build_service()
+    for submission in trace[:cut]:
+        first.submit(**submission)
+    t0 = time.perf_counter()
+    state = snapshot(first)
+    snapshot_seconds = time.perf_counter() - t0
+    encoded = json.dumps(state)
+    t0 = time.perf_counter()
+    thawed = restore(json.loads(encoded))
+    restore_seconds = time.perf_counter() - t0
+    for submission in trace[cut:]:
+        thawed.submit(**submission)
+    thawed.settle()
+
+    identical = (
+        thawed.engine.journal == whole.engine.journal
+        and thawed.engine.telemetry == whole.engine.telemetry
+    )
+    row = {
+        "tasks": n_tasks,
+        "cut": cut,
+        "snapshot_ms": snapshot_seconds * 1e3,
+        "restore_ms": restore_seconds * 1e3,
+        "snapshot_bytes": len(encoded),
+        "journal_events": len(whole.engine.journal),
+        "roundtrip_identical": identical,
+    }
+    print(
+        f"checkpoint cut={cut}/{n_tasks}: snapshot "
+        f"{row['snapshot_ms']:6.2f} ms, restore "
+        f"{row['restore_ms']:6.2f} ms, {row['snapshot_bytes']} bytes, "
+        f"identical={identical}"
+    )
+    return row
+
+
+def bench_http(n_requests: int) -> dict:
+    """Requests per second through a real socket (healthz hot path)."""
+    async def run() -> float:
+        api = ServiceAPI(build_service())
+        host, port = await api.start(port=0)
+        request = (b"GET /healthz HTTP/1.1\r\nHost: b\r\n\r\n")
+        started = time.perf_counter()
+        for _ in range(n_requests):
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(request)
+            await writer.drain()
+            await reader.read()
+            writer.close()
+        elapsed = time.perf_counter() - started
+        await api.stop()
+        return elapsed
+
+    elapsed = asyncio.run(run())
+    row = {
+        "requests": n_requests,
+        "wall_seconds": elapsed,
+        "requests_per_second": (
+            n_requests / elapsed if elapsed else 0.0
+        ),
+    }
+    print(
+        f"http n={n_requests}: {row['requests_per_second']:9.0f} req/s"
+    )
+    return row
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the three service benchmarks and write the JSON evidence."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sizes for CI")
+    parser.add_argument("--out", default="BENCH_service.json",
+                        help="output JSON path (default: %(default)s)")
+    args = parser.parse_args(argv)
+    n_tasks = 120 if args.smoke else 600
+    n_requests = 60 if args.smoke else 400
+
+    payload = {
+        "machine": platform.platform(),
+        "python": platform.python_version(),
+        "smoke": args.smoke,
+        "flash_crowd": bench_flash_crowd(n_tasks),
+        "checkpoint": bench_checkpoint(n_tasks),
+        "http": bench_http(n_requests),
+    }
+    if not payload["checkpoint"]["roundtrip_identical"]:
+        print("FATAL: checkpoint round-trip diverged", file=sys.stderr)
+        Path(args.out).write_text(json.dumps(payload, indent=1))
+        return 1
+    Path(args.out).write_text(json.dumps(payload, indent=1))
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -69,7 +69,10 @@ class FleetManager:
         Workload generators size their rectangles against one device;
         by convention that is member 0 (campaign specs put the
         scenario's ``device`` there).  Oversized requests simply never
-        fit smaller secondary members.
+        fit smaller secondary members.  This is a *sizing* convention
+        only — telemetry must never read it (the scheduling kernel
+        samples every member and aggregates site-weighted, so a
+        heterogeneous fleet is reported by all the fabrics it owns).
         """
         return self.members[0].fabric
 
@@ -119,6 +122,37 @@ class FleetManager:
         if outcome is None:  # pragma: no cover - members is never empty
             outcome = PlacementOutcome(False, owner)
         return outcome
+
+    def prefetch_admission(self, shapes: list[tuple[int, int]]) -> None:
+        """Warm every member's fit/plan caches for one admission pass.
+
+        Forwards the pass's candidate shapes to each member that
+        exposes the batched-probe hook
+        (:meth:`~repro.core.manager.LogicSpaceManager.prefetch_admission`),
+        so multi-device runs keep the same vectorised fast path a
+        single-device kernel enjoys.  Purely a cache warmer: the
+        per-member ``request`` calls that follow return bit-identical
+        outcomes with or without it — the selection policy still probes
+        members in its own preference order.
+        """
+        for member in self.members:
+            prefetch = getattr(member, "prefetch_admission", None)
+            if prefetch is not None:
+                prefetch(shapes)
+
+    def adopt(self, owner: int, device: int, rect) -> None:
+        """Re-register a resident placement on member ``device``.
+
+        The checkpoint-restore path (:mod:`repro.service.checkpoint`)
+        rebuilds a fleet from serialized state: each running function's
+        footprint is re-allocated on the member that hosted it, and the
+        owner-routing map and O(1) load counters are made consistent —
+        exactly the bookkeeping :meth:`request` performs on a live
+        placement, minus the policy consultation.
+        """
+        self.members[device].fabric.allocate_region(rect, owner)
+        self._owners[owner] = (device, rect.area)
+        self._areas[device] += rect.area
 
     def release(self, owner: int) -> None:
         """Free a finished function's footprint on its host member."""

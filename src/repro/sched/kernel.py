@@ -195,13 +195,29 @@ class SchedulingKernel:
         #: retried after the logic space actually changed.
         self._space_version = 0
         self._failed_at_version: int | None = None
-        #: per-item failure memo: id(item) -> space version at which its
-        #: placement failed.  ``manager.request`` is a pure function of
-        #: the occupancy, so re-asking before the space changed would
-        #: re-run the (expensive) rearrangement planner to reach the
-        #: same "no" — the multi-candidate disciplines (backfill above
-        #: all) would otherwise replan the whole queue per arrival.
+        #: per-item failure memo: admission token -> space version at
+        #: which the item's placement failed.  ``manager.request`` is a
+        #: pure function of the occupancy, so re-asking before the space
+        #: changed would re-run the (expensive) rearrangement planner to
+        #: reach the same "no" — the multi-candidate disciplines
+        #: (backfill above all) would otherwise replan the whole queue
+        #: per arrival.  The memo is keyed on a monotonically-assigned
+        #: token, never on ``id(item)``: a long-running service creates
+        #: and destroys items continuously, and a recycled interpreter
+        #: id would let a *new* item inherit a stale failure memo and be
+        #: silently skipped for a pass.
         self._item_failed_at: dict[int, int] = {}
+        #: id(item) -> admission token, live only while the item is
+        #: queued (the queue holds a strong reference, so the id cannot
+        #: be recycled while an entry exists here).
+        self._item_tokens: dict[int, int] = {}
+        self._token_seq = 0
+        #: external-clock pause flag: while paused, admission passes are
+        #: deferred and the clock may not advance (checkpoint windows).
+        self._paused = False
+        #: per-member (fragmentation, utilization) readings of the most
+        #: recent :meth:`sample` (one pair for a single-device kernel).
+        self.member_samples: list[tuple[float, float]] = []
 
     # -- event plumbing -----------------------------------------------------
 
@@ -225,10 +241,73 @@ class SchedulingKernel:
     def run(self) -> None:
         """Drain the event queue, then stamp the run-wide metrics."""
         self.events.run()
+        self.stamp()
+
+    def stamp(self) -> None:
+        """Refresh the run-wide metrics (makespan, port totals) to the
+        current instant — :meth:`run` does it once at the end of a batch
+        run; incremental drivers call it after each :meth:`advance`."""
         self.metrics.makespan = self.events.now
         self.metrics.port_busy_seconds = self.port_busy_seconds
 
+    # -- external clock (always-on service mode) ----------------------------
+
+    def advance(self, until: float) -> None:
+        """Process events up to ``until`` and move the clock there.
+
+        The external-clock hook for incremental drivers (the always-on
+        service): instead of draining the whole event queue to
+        completion, the caller advances simulated time in steps — to
+        each arrival instant, or along a wall-clock ticker.  Metrics are
+        re-stamped after every step so they are always current.
+        """
+        if self._paused:
+            raise RuntimeError("kernel is paused; resume() before advancing")
+        if until < self.events.now:
+            raise ValueError(
+                f"cannot advance backwards ({until} < {self.events.now})"
+            )
+        self.events.run(until=until)
+        self.stamp()
+
+    @property
+    def paused(self) -> bool:
+        """True while the kernel is paused (admission + clock frozen)."""
+        return self._paused
+
+    def pause(self) -> None:
+        """Freeze admission and the clock (checkpoint window): while
+        paused, :meth:`drain` defers and :meth:`advance` refuses, so a
+        snapshot observes a quiescent kernel."""
+        self._paused = True
+
+    def resume(self) -> None:
+        """Lift a :meth:`pause` and run the admission pass that was
+        deferred while frozen."""
+        if not self._paused:
+            return
+        self._paused = False
+        self.drain()
+
     # -- admission ----------------------------------------------------------
+
+    def _token(self, item: Admissible) -> int:
+        """The admission token of a queued item (assigned lazily for
+        items pushed around :meth:`enqueue`, e.g. by tests driving the
+        queue directly).  Tokens are monotonic and never reused, so a
+        failure memo can never outlive its item into a recycled id."""
+        token = self._item_tokens.get(id(item))
+        if token is None:
+            token = self._token_seq
+            self._token_seq += 1
+            self._item_tokens[id(item)] = token
+        return token
+
+    def _forget(self, item: Admissible) -> None:
+        """Drop an item's token and failure memo (it left the queue)."""
+        token = self._item_tokens.pop(id(item), None)
+        if token is not None:
+            self._item_failed_at.pop(token, None)
 
     def enqueue(self, item: Admissible, *, priority: int = 0,
                 area: int = 0) -> None:
@@ -242,6 +321,10 @@ class SchedulingKernel:
         """
         self.queue.push(item, priority=priority, area=area,
                         now=self.events.now)
+        # A fresh token per admission attempt: re-enqueueing an object
+        # (or a new object on a recycled id) never inherits a memo.
+        self._item_tokens[id(item)] = self._token_seq
+        self._token_seq += 1
         if getattr(self.queue, "arrival_reopens_pass", True):
             self._failed_at_version = None
         self.drain()
@@ -253,7 +336,7 @@ class SchedulingKernel:
         chance even if the space did not move.
         """
         self.queue.discard(item)
-        self._item_failed_at.pop(id(item), None)
+        self._forget(item)
         self._failed_at_version = None
         self.drain()
 
@@ -276,16 +359,19 @@ class SchedulingKernel:
         pass).  ``scan`` only purges tombstones, so iterating it here
         and again below yields the same items.  Items already
         failure-memoed at this space version are skipped (their answers
-        are cached); fleet managers don't expose the hook, so fleets
-        skip it entirely.
+        are cached).  A fleet manager forwards the batch to every
+        member that exposes the hook (see
+        :meth:`repro.fleet.manager.FleetManager.prefetch_admission`),
+        so multi-device runs keep the batched-probe fast path.
         """
         prefetch = getattr(self.manager, "prefetch_admission", None)
-        if prefetch is None or len(self._managers) != 1:
+        if prefetch is None:
             return
         shapes: list[tuple[int, int]] = []
         seen: set[tuple[int, int]] = set()
         for item in self.queue.scan(self.events.now):
-            if self._item_failed_at.get(id(item)) == self._space_version:
+            if self._item_failed_at.get(
+                    self._token(item)) == self._space_version:
                 continue
             shape = (item.height, item.width)
             if shape not in seen:
@@ -301,28 +387,32 @@ class SchedulingKernel:
         attempts each; a successful placement restarts the pass (the
         order may have changed), a fully failed pass marks the current
         space version as blocked so no request is re-planned until the
-        occupancy actually changes.
+        occupancy actually changes.  While the kernel is paused
+        (checkpoint window), the pass is deferred to :meth:`resume`.
         """
+        if self._paused:
+            return
         while len(self.queue):
             if self._failed_at_version == self._space_version:
                 return  # nothing changed since the last blocked pass
             self._prefetch()
             placed = False
             for item in self.queue.scan(self.events.now):
-                if self._item_failed_at.get(id(item)) == self._space_version:
+                token = self._token(item)
+                if self._item_failed_at.get(token) == self._space_version:
                     continue  # same occupancy, same answer: skip replan
                 outcome = self.manager.request(
                     item.height, item.width, item.task_id
                 )
                 if outcome.success:
                     self.queue.take(item)
-                    self._item_failed_at.pop(id(item), None)
+                    self._forget(item)
                     self._space_version += 1
                     if self.on_admitted is not None:
                         self.on_admitted(item, outcome)
                     placed = True
                     break
-                self._item_failed_at[id(item)] = self._space_version
+                self._item_failed_at[token] = self._space_version
             if not placed:
                 self._failed_at_version = self._space_version
                 return
@@ -427,8 +517,29 @@ class SchedulingKernel:
 
         Index-backed: the fragmentation sample reads the free-space
         engine's MER set instead of re-sweeping the grid per event.
+        The kernel samples **per member** and aggregates site-weighted
+        itself — never through a fleet facade's primary-member view —
+        so heterogeneous fleets are reported by every fabric they own.
+        A 1-member kernel appends its single manager's values verbatim
+        (no float round-trip may perturb the bit-identical proxy); the
+        per-member readings of the latest sample stay available in
+        :attr:`member_samples` for telemetry consumers.
         """
-        self.metrics.fragmentation_samples.append(
-            self.manager.fragmentation()
-        )
-        self.metrics.utilization_samples.append(self.manager.utilization())
+        samples = [
+            (m.fragmentation(), m.utilization()) for m in self._managers
+        ]
+        self.member_samples = samples
+        if len(samples) == 1:
+            frag, util = samples[0]
+        else:
+            weighted_frag = weighted_util = 0.0
+            sites = 0
+            for manager, (frag_i, util_i) in zip(self._managers, samples):
+                count = manager.fabric.device.clb_count
+                weighted_frag += frag_i * count
+                weighted_util += util_i * count
+                sites += count
+            frag = weighted_frag / sites
+            util = weighted_util / sites
+        self.metrics.fragmentation_samples.append(frag)
+        self.metrics.utilization_samples.append(util)

@@ -73,6 +73,16 @@ class SerialPortModel:
         """Queue the whole job on the single channel."""
         return self._port.acquire(config_seconds + move_seconds)
 
+    def export_state(self) -> dict:
+        """Serializable channel state (checkpoint/restore)."""
+        return {"free_at": self._port.free_at,
+                "busy_seconds": self._port.busy_seconds}
+
+    def restore_state(self, state: dict) -> None:
+        """Load a previously exported channel state."""
+        self._port.free_at = float(state["free_at"])
+        self._port.busy_seconds = float(state["busy_seconds"])
+
 
 class MultiPortModel:
     """``N`` independent configuration ports, earliest-free dispatch.
@@ -111,6 +121,21 @@ class MultiPortModel:
         self._lane_free[lane] = end
         self.busy_seconds += duration
         return start, end
+
+    def export_state(self) -> dict:
+        """Serializable per-lane state (checkpoint/restore)."""
+        return {"lane_free": list(self._lane_free),
+                "busy_seconds": self.busy_seconds}
+
+    def restore_state(self, state: dict) -> None:
+        """Load a previously exported per-lane state."""
+        lanes = [float(v) for v in state["lane_free"]]
+        if len(lanes) != self.n_ports:
+            raise ValueError(
+                f"state has {len(lanes)} lanes, model has {self.n_ports}"
+            )
+        self._lane_free = lanes
+        self.busy_seconds = float(state["busy_seconds"])
 
 
 class IcapPortModel:
@@ -152,6 +177,16 @@ class IcapPortModel:
             1.0 / self.write_speedup + 1.0 / self.readback_speedup
         )
         return self._port.acquire(duration)
+
+    def export_state(self) -> dict:
+        """Serializable channel state (checkpoint/restore)."""
+        return {"free_at": self._port.free_at,
+                "busy_seconds": self._port.busy_seconds}
+
+    def restore_state(self, state: dict) -> None:
+        """Load a previously exported channel state."""
+        self._port.free_at = float(state["free_at"])
+        self._port.busy_seconds = float(state["busy_seconds"])
 
 
 _MULTI_RE = re.compile(r"^multi[-:](\d+)$")

@@ -31,6 +31,9 @@ class TaskState(Enum):
     RUNNING = "running"
     FINISHED = "finished"
     REJECTED = "rejected"
+    #: dropped by an explicit cancel request (the always-on service's
+    #: API; batch runs never enter this state).
+    CANCELLED = "cancelled"
 
 
 @dataclass(slots=True)

@@ -95,6 +95,39 @@ class TestGuardRates:
             "micro/XCV200/incremental/us_per_op": 110.0,
         }
 
+    def test_fleet_rates_flatten(self):
+        payload = {
+            "scaling": [{"fleet_size": 2, "events_per_second": 700.0}],
+            "policies": [{"policy": "round-robin",
+                          "events_per_second": 650.0}],
+            "selection": [{"policy": "first-fit",
+                           "decisions_per_second": 150_000.0}],
+        }
+        assert bench_guard.fleet_rates(payload) == {
+            "scaling/size-2/events_per_second": 700.0,
+            "policies/round-robin/events_per_second": 650.0,
+            "selection/first-fit/decisions_per_second": 150_000.0,
+        }
+
+    def test_service_rates_split_by_direction(self):
+        payload = {
+            "flash_crowd": {
+                "submissions_per_second": 800.0,
+                "admission_latency_us": {"p50": 90.0, "p99": 1500.0},
+            },
+            "checkpoint": {"restore_ms": 5.0,
+                           "roundtrip_identical": True},
+            "http": {"requests_per_second": 2000.0},
+        }
+        assert bench_guard.service_throughputs(payload) == {
+            "flash_crowd/submissions_per_second": 800.0,
+            "http/requests_per_second": 2000.0,
+        }
+        assert bench_guard.service_latencies(payload) == {
+            "flash_crowd/admission_latency_us/p99": 1500.0,
+            "checkpoint/restore_ms": 5.0,
+        }
+
 
 class TestGuardCompare:
     BASE = {"a": 1000.0, "b": 200.0}
@@ -145,9 +178,23 @@ class TestGuardEndToEnd:
             "micro": [{"grid": "XCV200",
                        "us_per_op": {"incremental": 100.0}}],
         }))
+        (tmp_path / "BENCH_fleet.json").write_text(json.dumps({
+            "scaling": [{"fleet_size": 2,
+                         "events_per_second": 700.0}],
+            "policies": [], "selection": [],
+        }))
+        (tmp_path / "BENCH_service.json").write_text(json.dumps({
+            "flash_crowd": {"submissions_per_second": 800.0,
+                            "admission_latency_us": {"p99": 1000.0}},
+            "checkpoint": {"restore_ms": 5.0,
+                           "roundtrip_identical": True},
+            "http": {"requests_per_second": 2000.0},
+        }))
         return tmp_path
 
-    def _fresh(self, tmp_path: Path, events: float, us: float):
+    def _fresh(self, tmp_path: Path, events: float, us: float,
+               fleet: float = 600.0, subs: float = 700.0,
+               roundtrip: bool = True):
         import json
 
         sched = tmp_path / "fresh_sched.json"
@@ -160,22 +207,51 @@ class TestGuardEndToEnd:
             {"micro": [{"grid": "XCV200",
                         "us_per_op": {"incremental": us}}]}
         ))
-        return sched, free
+        fleet_path = tmp_path / "fresh_fleet.json"
+        fleet_path.write_text(json.dumps(
+            {"scaling": [{"fleet_size": 2, "events_per_second": fleet}],
+             "policies": [], "selection": []}
+        ))
+        service = tmp_path / "fresh_service.json"
+        service.write_text(json.dumps(
+            {"flash_crowd": {"submissions_per_second": subs,
+                             "admission_latency_us": {"p99": 1200.0}},
+             "checkpoint": {"restore_ms": 6.0,
+                            "roundtrip_identical": roundtrip},
+             "http": {"requests_per_second": 1800.0}}
+        ))
+        return sched, free, fleet_path, service
+
+    def _run(self, base: Path, paths) -> int:
+        sched, free, fleet, service = paths
+        return bench_guard.main([
+            "--baseline-dir", str(base),
+            "--fresh-sched", str(sched),
+            "--fresh-freespace", str(free),
+            "--fresh-fleet", str(fleet),
+            "--fresh-service", str(service),
+        ])
 
     def test_clean_comparison_exits_zero(self, tmp_path):
         base = self._baselines(tmp_path)
-        sched, free = self._fresh(tmp_path, events=30_000.0, us=150.0)
-        assert bench_guard.main([
-            "--baseline-dir", str(base),
-            "--fresh-sched", str(sched),
-            "--fresh-freespace", str(free),
-        ]) == 0
+        paths = self._fresh(tmp_path, events=30_000.0, us=150.0)
+        assert self._run(base, paths) == 0
 
     def test_regression_exits_nonzero(self, tmp_path):
         base = self._baselines(tmp_path)
-        sched, free = self._fresh(tmp_path, events=10_000.0, us=450.0)
-        assert bench_guard.main([
-            "--baseline-dir", str(base),
-            "--fresh-sched", str(sched),
-            "--fresh-freespace", str(free),
-        ]) == 1
+        paths = self._fresh(tmp_path, events=10_000.0, us=450.0)
+        assert self._run(base, paths) == 1
+
+    def test_fleet_throughput_drop_caught(self, tmp_path):
+        base = self._baselines(tmp_path)
+        paths = self._fresh(tmp_path, events=30_000.0, us=150.0,
+                            fleet=100.0)
+        assert self._run(base, paths) == 1
+
+    def test_checkpoint_divergence_fails_even_when_fast(self, tmp_path):
+        """``roundtrip_identical: false`` is a correctness failure the
+        guard must flag regardless of every rate being healthy."""
+        base = self._baselines(tmp_path)
+        paths = self._fresh(tmp_path, events=30_000.0, us=150.0,
+                            roundtrip=False)
+        assert self._run(base, paths) == 1

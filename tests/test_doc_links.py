@@ -14,7 +14,8 @@ from pathlib import Path
 import pytest
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
-GATED_DOCS = ("docs/architecture.md", "docs/paper_mapping.md")
+GATED_DOCS = ("docs/architecture.md", "docs/paper_mapping.md",
+              "docs/service.md")
 
 
 @pytest.fixture(scope="module")

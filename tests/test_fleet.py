@@ -278,3 +278,88 @@ def test_heterogeneous_scenario_runs_end_to_end():
     result = run_scenario(spec)
     assert result.finished + result.rejected == 20
     assert run_scenario(spec) == result
+
+
+# -- admission prefetch across the fleet seam -------------------------------
+
+
+def surge_metrics(fleet: FleetManager, queue: str = "backfill"):
+    """Run the seeded surge through a fleet; returns the metrics."""
+    tasks = fleet_surge_tasks(40, seed=7, size_range=(3, 7))
+    return OnlineTaskScheduler(fleet, queue=queue).run(tasks)
+
+
+def test_fleet_prefetch_reaches_every_member():
+    """The kernel's batched admission probe must warm *every* member's
+    caches — losing the fast path the moment a second device joined
+    was the bug this section pins."""
+    fleet = fleet_of(2, policy="least-loaded")
+    counts = [0, 0]
+
+    def counting(index, member):
+        original = member.prefetch_admission
+
+        def wrapped(shapes):
+            counts[index] += 1
+            return original(shapes)
+
+        return wrapped
+
+    for index, member in enumerate(fleet.members):
+        member.prefetch_admission = counting(index, member)
+    surge_metrics(fleet)
+    assert all(count > 0 for count in counts), counts
+
+
+def test_fleet_prefetch_is_bitwise_neutral():
+    """Prefetching is a cache warmer: a fleet run with the hook
+    disabled produces bit-identical metrics (the same guarantee the
+    single-device kernel documents)."""
+    for policy in ("first-fit", "least-loaded"):
+        warm = surge_metrics(fleet_of(2, policy=policy))
+        cold_fleet = fleet_of(2, policy=policy)
+        cold_fleet.prefetch_admission = None  # kernel skips the hook
+        cold = surge_metrics(cold_fleet)
+        assert cold == warm
+
+
+# -- kernel telemetry across the fleet seam ---------------------------------
+
+
+def test_kernel_samples_heterogeneous_fleet_site_weighted():
+    """The kernel's telemetry must aggregate over *every* member's
+    fabric, not echo member 0: load the big member only and check the
+    sample is the hand-computed site-weighted mean."""
+    from repro.sched.kernel import SchedulingKernel
+
+    fleet = FleetManager([manager_for("XC2S15"), manager_for("XCV200")])
+    assert fleet.request(10, 10, 1).device == 1  # too big for XC2S15
+    kernel = SchedulingKernel(fleet)
+    kernel.sample()
+    assert len(kernel.member_samples) == 2
+    sites = [m.fabric.device.clb_count for m in fleet.members]
+    frag = [m.fragmentation() for m in fleet.members]
+    util = [m.utilization() for m in fleet.members]
+    expected_frag = (frag[0] * sites[0] + frag[1] * sites[1]) / sum(sites)
+    expected_util = (util[0] * sites[0] + util[1] * sites[1]) / sum(sites)
+    assert kernel.metrics.fragmentation_samples == [expected_frag]
+    assert kernel.metrics.utilization_samples == [expected_util]
+    # Member 0 is idle, so echoing it would report zero utilization.
+    assert util[0] == 0.0 and expected_util > 0.0
+
+
+def test_kernel_samples_single_member_fleet_verbatim():
+    """A 1-member fleet's sample is the member's reading, bit for bit —
+    no aggregation arithmetic may perturb the golden-pinned proxy."""
+    from repro.sched.kernel import SchedulingKernel
+
+    fleet = fleet_of(1)
+    fleet.request(4, 4, 1)
+    kernel = SchedulingKernel(fleet)
+    kernel.sample()
+    member = fleet.members[0]
+    assert kernel.member_samples == [
+        (member.fragmentation(), member.utilization())
+    ]
+    assert kernel.metrics.fragmentation_samples == [member.fragmentation()]
+    assert kernel.metrics.utilization_samples == [member.utilization()]

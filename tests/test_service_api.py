@@ -1,0 +1,298 @@
+"""The service's HTTP face: routing, backpressure, streams, restore.
+
+Everything runs against a real ``asyncio.start_server`` socket on an
+ephemeral port — no mocked transports — inside ``asyncio.run`` (the
+repo deliberately carries no pytest-asyncio dependency).  Pinned:
+
+* the REST surface routes and validates: submit/status/list/cancel,
+  clock control, stats, 404/405/409/400 on the documented conditions;
+* throttled submissions surface as **429 with a Retry-After header**
+  whose value matches the door's simulated-time hint;
+* **concurrent** clients interleave safely: parallel submits, cancels
+  and status reads serialize on the event loop without corrupting the
+  accounting (the admitted + throttled totals stay conservative);
+* the NDJSON telemetry stream delivers backlog then live samples;
+* a checkpoint taken over HTTP restores over HTTP into a service that
+  continues the same run (journal identity after the swap).
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service import ReproService, ServiceAPI, ServiceConfig
+
+
+class Client:
+    """A tiny raw-socket HTTP/JSON client (one request per call)."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+
+    async def request(self, method: str, path: str, body=None):
+        """Issue one request; returns (status, payload, headers)."""
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        data = json.dumps(body).encode() if body is not None else b""
+        writer.write(
+            (f"{method} {path} HTTP/1.1\r\nHost: t\r\n"
+             f"Content-Length: {len(data)}\r\n\r\n").encode() + data
+        )
+        await writer.drain()
+        raw = await reader.read()
+        writer.close()
+        head, _, payload = raw.partition(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        status = int(lines[0].split(" ", 2)[1])
+        headers = {}
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return status, json.loads(payload), headers
+
+    async def stream_lines(self, path: str, n: int) -> list[dict]:
+        """Open an NDJSON stream and read ``n`` lines."""
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        writer.write(f"GET {path} HTTP/1.1\r\nHost: t\r\n\r\n".encode())
+        await writer.drain()
+        while (await reader.readline()).strip():
+            pass  # skip response head
+        lines = []
+        for _ in range(n):
+            lines.append(json.loads(await reader.readline()))
+        writer.close()
+        return lines
+
+
+def with_api(test, **config):
+    """Run ``test(api, client)`` against a live server, then tear down."""
+    async def body():
+        api = ServiceAPI(ReproService(ServiceConfig(**config)))
+        host, port = await api.start(port=0)
+        try:
+            await test(api, Client(host, port))
+        finally:
+            await api.stop()
+    asyncio.run(body())
+
+
+SUBMIT = {"height": 3, "width": 3, "exec_seconds": 0.5, "qos": "gold"}
+
+
+# -- routing + validation ---------------------------------------------------
+
+
+def test_healthz_and_qos_registry():
+    async def scenario(api, client):
+        status, payload, _ = await client.request("GET", "/healthz")
+        assert status == 200 and payload["status"] == "ok"
+        status, payload, _ = await client.request("GET", "/qos")
+        assert status == 200
+        assert set(payload) == {"gold", "silver", "best-effort"}
+    with_api(scenario)
+
+
+def test_submit_status_cancel_lifecycle_over_http():
+    async def scenario(api, client):
+        status, view, _ = await client.request("POST", "/tasks", SUBMIT)
+        assert status == 202 and view["admitted"]
+        task_id = view["task"]
+        status, fetched, _ = await client.request(
+            "GET", f"/tasks/{task_id}")
+        assert status == 200 and fetched["state"] == "configuring"
+        status, now, _ = await client.request(
+            "POST", "/clock/advance", {"seconds": 5.0})
+        assert status == 200 and now["now"] == 5.0
+        status, fetched, _ = await client.request(
+            "GET", f"/tasks/{task_id}")
+        assert fetched["state"] == "finished"
+        # Terminal cancel is a 409, unknown id a 404.
+        status, _, _ = await client.request("DELETE", f"/tasks/{task_id}")
+        assert status == 409
+        status, _, _ = await client.request("DELETE", "/tasks/999")
+        assert status == 404
+    with_api(scenario)
+
+
+def test_validation_errors_map_to_400_and_404():
+    async def scenario(api, client):
+        status, payload, _ = await client.request(
+            "POST", "/tasks", {"height": 3})
+        assert status == 400 and "missing field" in payload["error"]
+        status, _, _ = await client.request(
+            "POST", "/tasks", {**SUBMIT, "qos": "platinum"})
+        assert status == 400
+        status, _, _ = await client.request("GET", "/no/such/route")
+        assert status == 404
+        status, _, _ = await client.request("PUT", "/tasks/1")
+        assert status == 405
+        status, _, _ = await client.request(
+            "POST", "/clock/advance", {})
+        assert status == 400
+    with_api(scenario)
+
+
+def test_task_listing_filters_and_limits():
+    async def scenario(api, client):
+        for _ in range(4):
+            await client.request("POST", "/tasks", SUBMIT)
+        await client.request("POST", "/clock/advance", {"seconds": 10.0})
+        await client.request("POST", "/tasks", SUBMIT)
+        status, payload, _ = await client.request(
+            "GET", "/tasks?state=finished")
+        assert status == 200 and len(payload["tasks"]) == 4
+        status, payload, _ = await client.request("GET", "/tasks?limit=2")
+        assert len(payload["tasks"]) == 2
+        # Newest first.
+        assert payload["tasks"][0]["task"] > payload["tasks"][1]["task"]
+    with_api(scenario)
+
+
+# -- backpressure -----------------------------------------------------------
+
+
+def test_throttle_surfaces_as_429_with_retry_after_header():
+    async def scenario(api, client):
+        last = None
+        for _ in range(12):  # gold burst is 10
+            last = await client.request("POST", "/tasks", SUBMIT)
+        status, view, headers = last
+        assert status == 429
+        assert view["reason"] == "rate-limit"
+        assert float(headers["retry-after"]) == pytest.approx(
+            view["retry_after"], abs=1e-3)
+    with_api(scenario)
+
+
+def test_queue_full_backpressure_over_http():
+    async def scenario(api, client):
+        await client.request(
+            "POST", "/tasks",
+            {"height": 8, "width": 12, "exec_seconds": 50.0,
+             "qos": "gold"})
+        for _ in range(2):
+            status, _, _ = await client.request("POST", "/tasks", SUBMIT)
+            assert status == 202
+        status, view, _ = await client.request("POST", "/tasks", SUBMIT)
+        assert status == 429 and view["reason"] == "queue-full"
+    with_api(scenario, max_queue_depth=2)
+
+
+# -- concurrency ------------------------------------------------------------
+
+
+def test_concurrent_submit_cancel_status_stay_consistent():
+    async def scenario(api, client):
+        async def submitter(tenant):
+            results = []
+            for _ in range(15):
+                results.append(await client.request(
+                    "POST", "/tasks",
+                    {**SUBMIT, "qos": "best-effort", "tenant": tenant}))
+            return results
+
+        batches = await asyncio.gather(*[
+            submitter(f"tenant-{i}") for i in range(4)
+        ])
+        admitted = [view for batch in batches for status, view, _ in batch
+                    if status == 202]
+        throttled = [view for batch in batches for status, view, _ in batch
+                     if status == 429]
+        assert len(admitted) + len(throttled) == 60
+        # Interleave cancels and status reads concurrently.
+        cancels = [client.request("DELETE", f"/tasks/{v['task']}")
+                   for v in admitted[::3]]
+        reads = [client.request("GET", f"/tasks/{v['task']}")
+                 for v in admitted[1::3]]
+        outcomes = await asyncio.gather(*cancels, *reads)
+        assert all(status in (200, 409) for status, _, _ in outcomes)
+        await client.request("POST", "/clock/settle", {})
+        _, stats, _ = await client.request("GET", "/stats")
+        assert stats["waiting"] == 0 and stats["running"] == 0
+        door = sum(t["submitted"] for t in stats["tenants"].values())
+        assert door == 60
+        terminal = 0
+        for state in ("finished", "rejected", "cancelled"):
+            _, listed, _ = await client.request(
+                "GET", f"/tasks?state={state}")
+            terminal += len(listed["tasks"])
+        assert terminal == len(admitted)
+    with_api(scenario)
+
+
+# -- telemetry streaming ----------------------------------------------------
+
+
+def test_telemetry_stream_delivers_backlog_then_live_samples():
+    async def scenario(api, client):
+        await client.request("POST", "/tasks", SUBMIT)  # one backlog sample
+        backlog = len(api.service.engine.telemetry)
+        stream = asyncio.ensure_future(
+            client.stream_lines(f"/telemetry/stream?limit={backlog + 1}",
+                                backlog + 1))
+        await asyncio.sleep(0.05)  # stream subscribes
+        await client.request("POST", "/tasks", SUBMIT)  # live sample
+        lines = await asyncio.wait_for(stream, 5)
+        assert len(lines) == backlog + 1
+        assert all({"t", "waiting", "running", "fragmentation",
+                    "utilization", "members"} <= set(line)
+                   for line in lines)
+        # The listener is dropped once the limit is reached.
+        await asyncio.sleep(0.05)
+        assert not api.service.engine.telemetry_listeners
+    with_api(scenario)
+
+
+def test_telemetry_snapshot_endpoint():
+    async def scenario(api, client):
+        status, payload, _ = await client.request("GET", "/telemetry")
+        assert status == 200 and payload["last_sample"] is None
+        await client.request("POST", "/tasks", SUBMIT)
+        _, payload, _ = await client.request("GET", "/telemetry")
+        assert payload["last_sample"]["members"]
+    with_api(scenario)
+
+
+# -- checkpoint/restore over HTTP -------------------------------------------
+
+
+def test_checkpoint_restore_continues_the_same_run():
+    async def scenario(api, client):
+        for _ in range(6):
+            await client.request(
+                "POST", "/tasks", {**SUBMIT, "qos": "silver"})
+        await client.request("POST", "/clock/advance", {"seconds": 0.2})
+        _, snap, _ = await client.request("POST", "/checkpoint", {})
+        original = api.service
+        status, payload, _ = await client.request("POST", "/restore", snap)
+        assert status == 200 and api.service is not original
+        # Both services, driven identically from here, stay identical.
+        api.service.settle()
+        original.settle()
+        assert api.service.engine.journal == original.engine.journal
+        assert api.service.engine.telemetry == original.engine.telemetry
+    with_api(scenario)
+
+
+def test_checkpoint_to_file_and_restore_from_path(tmp_path):
+    path = str(tmp_path / "ckpt.json")
+
+    async def scenario(api, client):
+        await client.request("POST", "/tasks", SUBMIT)
+        status, payload, _ = await client.request(
+            "POST", "/checkpoint", {"path": path})
+        assert status == 200 and payload["saved"] == path
+        status, payload, _ = await client.request(
+            "POST", "/restore", {"path": path})
+        assert status == 200
+        assert len(api.service.engine.tasks) == 1
+    with_api(scenario)
+
+
+def test_shutdown_endpoint_resolves_the_shutdown_event():
+    async def scenario(api, client):
+        assert not api.shutdown.is_set()
+        status, payload, _ = await client.request("POST", "/shutdown", {})
+        assert status == 200 and api.shutdown.is_set()
+    with_api(scenario)
