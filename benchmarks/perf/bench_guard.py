@@ -2,10 +2,12 @@
 """Benchmark regression guard — fresh smoke runs vs committed evidence.
 
 The committed ``BENCH_sched.json`` / ``BENCH_freespace.json`` /
-``BENCH_fleet.json`` / ``BENCH_service.json`` files are the
-performance claims this repository makes (kernel events per second,
-queue-discipline ops per second, free-space microbenchmark latency,
-fleet scheduling throughput, service door throughput and latency).  A
+``BENCH_fleet.json`` / ``BENCH_service.json`` /
+``BENCH_prefetch.json`` files are the performance claims this
+repository makes (kernel events per second, queue-discipline ops per
+second, free-space microbenchmark latency, fleet scheduling
+throughput, service door throughput and latency, prefetch stall
+reduction).  A
 refactor can silently walk those claims back without ever reddening a
 correctness test, so CI re-runs both harnesses in ``--smoke`` mode and
 compares every *rate* metric against the committed baseline:
@@ -34,9 +36,9 @@ Run from the repo root (CI runs exactly this, see
     PYTHONPATH=src python benchmarks/perf/bench_guard.py
 
 Pass ``--fresh-sched`` / ``--fresh-freespace`` / ``--fresh-fleet`` /
-``--fresh-service`` to compare existing result files instead of
-re-running the harnesses (the test suite uses this to exercise the
-comparison logic on canned payloads).
+``--fresh-service`` / ``--fresh-prefetch`` to compare existing result
+files instead of re-running the harnesses (the test suite uses this to
+exercise the comparison logic on canned payloads).
 """
 
 from __future__ import annotations
@@ -131,6 +133,41 @@ def service_latencies(payload: dict) -> dict[str, float]:
     return rates
 
 
+def prefetch_rates(payload: dict) -> dict[str, float]:
+    """Higher-is-better throughputs of a ``bench_prefetch`` payload:
+    end-to-end events per second per workload section and mode — the
+    cache bookkeeping must never become a simulator slowdown."""
+    rates: dict[str, float] = {}
+    for section in ("codec_swap", "bursty"):
+        for row in payload.get(section, []):
+            key = f"{section}/{row['prefetch']}/events_per_second"
+            rates[key] = row["events_per_second"]
+    return rates
+
+
+def prefetch_stalls(payload: dict) -> dict[str, float]:
+    """Lower-is-better *relative* config stall of a ``bench_prefetch``
+    payload: each mode's exposed config-stall seconds divided by the
+    same payload's ``never`` row.  Absolute stall totals scale with
+    stream size (smoke streams are smaller than the committed full
+    runs), the within-payload ratio does not — a mode whose ratio
+    climbs toward 1.0 has stopped prefetching."""
+    rates: dict[str, float] = {}
+    for section in ("codec_swap", "bursty"):
+        rows = {row["prefetch"]: row for row in payload.get(section, [])}
+        never = rows.get("never")
+        if not never or not never["config_stall_seconds"]:
+            continue
+        for mode, row in rows.items():
+            if mode == "never":
+                continue
+            rates[f"{section}/{mode}/relative_config_stall"] = (
+                row["config_stall_seconds"]
+                / never["config_stall_seconds"]
+            )
+    return rates
+
+
 def compare(baseline: dict[str, float], fresh: dict[str, float],
             factor: float, higher_is_better: bool) -> list[str]:
     """Regression messages for every shared metric outside tolerance."""
@@ -183,6 +220,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--fresh-service", metavar="PATH",
                         help="existing bench_service result to compare "
                              "instead of re-running the harness")
+    parser.add_argument("--fresh-prefetch", metavar="PATH",
+                        help="existing bench_prefetch result to compare "
+                             "instead of re-running the harness")
     args = parser.parse_args(argv)
     baseline_dir = Path(args.baseline_dir)
 
@@ -209,6 +249,16 @@ def main(argv: list[str] | None = None) -> int:
         else:
             fresh_service = _run_smoke("bench_service.py",
                                        Path(tmp) / "service.json")
+        if args.fresh_prefetch:
+            fresh_prefetch = json.loads(
+                Path(args.fresh_prefetch).read_text()
+            )
+        else:
+            # The harness itself exits non-zero when a prefetch mode
+            # stops beating `never`, so a structural breakage fails
+            # here before any ratio is compared.
+            fresh_prefetch = _run_smoke("bench_prefetch.py",
+                                        Path(tmp) / "prefetch.json")
 
     failures = []
     baseline_sched = json.loads(
@@ -237,6 +287,15 @@ def main(argv: list[str] | None = None) -> int:
                         args.factor, higher_is_better=True)
     failures += compare(service_latencies(baseline_service),
                         service_latencies(fresh_service),
+                        args.factor, higher_is_better=False)
+    baseline_prefetch = json.loads(
+        (baseline_dir / "BENCH_prefetch.json").read_text()
+    )
+    failures += compare(prefetch_rates(baseline_prefetch),
+                        prefetch_rates(fresh_prefetch),
+                        args.factor, higher_is_better=True)
+    failures += compare(prefetch_stalls(baseline_prefetch),
+                        prefetch_stalls(fresh_prefetch),
                         args.factor, higher_is_better=False)
     if not fresh_service.get("checkpoint", {}).get(
             "roundtrip_identical", True):

@@ -37,16 +37,16 @@ SUMMARY_METRICS = (
 #: tables (policy last so policy duels read across a row).
 GROUP_AXES = ("device", "workload", "fit", "port_kind", "free_space",
               "defrag", "queue", "ports", "fleet_size", "fleet_devices",
-              "device_policy", "policy")
+              "device_policy", "prefetch", "policy")
 #: Table headers matching GROUP_AXES (``port_kind`` is shown as "port").
 GROUP_HEADERS = ("device", "workload", "fit", "port", "free_space",
                  "defrag", "queue", "ports", "fleet", "members",
-                 "dev_policy", "policy")
+                 "dev_policy", "prefetch", "policy")
 
 #: Axis columns :meth:`ScenarioSpec.to_dict` omits at their default
 #: value (keeps golden row shapes stable); exports back-fill them.
 SPARSE_AXES = ("queue", "ports", "fleet_size", "device_policy",
-               "fleet_devices")
+               "fleet_devices", "prefetch")
 
 #: Spec columns always present in a row, in export order.
 BASE_AXES = ("device", "policy", "workload", "seed", "fit", "port_kind",
@@ -103,7 +103,11 @@ class CampaignResult:
             name for name in SPARSE_AXES
             if any(name in row for row in rows)
         ]
-        if not swept:
+        swept_metrics = [
+            name for name in ScenarioResult.PREFETCH_METRIC_FIELDS
+            if any(name in row for row in rows)
+        ]
+        if not swept and not swept_metrics:
             return rows
         out = []
         for result, row in zip(self.results, rows):
@@ -112,6 +116,8 @@ class CampaignResult:
                 filled[name] = _sparse_value(result.spec, name)
             for metric in ScenarioResult.METRIC_FIELDS:
                 filled[metric] = row[metric]
+            for metric in swept_metrics:
+                filled[metric] = getattr(result, metric)
             out.append(filled)
         return out
 
@@ -131,11 +137,13 @@ class CampaignResult:
     def group_means(
         self, metric: str
     ) -> dict[tuple[str, ...], float]:
-        """Per-group mean of one metric column."""
-        if metric not in ScenarioResult.METRIC_FIELDS:
+        """Per-group mean of one metric column (prefetch metrics
+        included — they are zero for never-mode cells)."""
+        known = (ScenarioResult.METRIC_FIELDS
+                 + ScenarioResult.PREFETCH_METRIC_FIELDS)
+        if metric not in known:
             raise KeyError(
-                f"unknown metric {metric!r}; choose from "
-                f"{ScenarioResult.METRIC_FIELDS}"
+                f"unknown metric {metric!r}; choose from {known}"
             )
         return {
             key: mean([getattr(r, metric) for r in results])
@@ -230,6 +238,12 @@ class CampaignResult:
         device routing buy at each fleet size?"""
         return self.pivot_table("device_policy", metric)
 
+    def prefetch_table(self, metric: str = "mean_waiting") -> Table:
+        """Prefetch modes side by side (never / cache / plan): what do
+        the resident-bitstream cache and the idle-window planner buy on
+        each cell?"""
+        return self.pivot_table("prefetch", metric)
+
     def to_csv(self, path: str | Path) -> Path:
         """Write one CSV row per run; returns the path written."""
         path = Path(path)
@@ -243,13 +257,20 @@ class CampaignResult:
         return path
 
     def to_json(self, path: str | Path) -> Path:
-        """Write the full result list (spec + metrics) as JSON."""
+        """Write the full result list (spec + metrics) as JSON.
+
+        Prefetch metrics are emitted sparsely, like the spec axis: only
+        for non-``never`` runs, so campaigns that never touch the axis
+        serialize bit-identically to the committed snapshots.
+        """
         path = Path(path)
-        payload = [
-            {"spec": r.spec.to_dict(),
-             "metrics": {m: getattr(r, m)
-                         for m in ScenarioResult.METRIC_FIELDS}}
-            for r in self.results
-        ]
+        payload = []
+        for r in self.results:
+            metrics = {m: getattr(r, m)
+                       for m in ScenarioResult.METRIC_FIELDS}
+            if r.spec.prefetch != "never":
+                for m in ScenarioResult.PREFETCH_METRIC_FIELDS:
+                    metrics[m] = getattr(r, m)
+            payload.append({"spec": r.spec.to_dict(), "metrics": metrics})
         path.write_text(json.dumps(payload, indent=2) + "\n")
         return path

@@ -21,6 +21,7 @@ from repro.core.defrag_policy import DEFRAG_POLICY_NAMES
 from repro.fleet.policies import DEFAULT_DEVICE_POLICY, DEVICE_POLICY_NAMES
 from repro.placement.free_space import FREE_SPACE_NAMES
 from repro.sched.ports import PORT_MODEL_NAMES, normalize_port_model
+from repro.sched.prefetch import PREFETCH_MODES
 from repro.sched.queues import QUEUE_NAMES
 from repro.sched.workload import WORKLOADS
 
@@ -98,6 +99,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="extra member devices joining each --devices "
                            "value in a heterogeneous fleet (pins the "
                            "fleet size; leave --fleet-size unset)")
+    grid.add_argument("--prefetch", nargs="+", default=["never"],
+                      choices=PREFETCH_MODES, metavar="MODE",
+                      dest="prefetches",
+                      help=f"configuration-prefetch modes {PREFETCH_MODES}: "
+                           "resident-bitstream cache (cache) plus "
+                           "idle-window planned loads (plan)")
     size = parser.add_argument_group("workload sizing")
     size.add_argument("--tasks", type=int, default=30, metavar="N",
                       help="tasks per run for task-stream workloads")
@@ -113,7 +120,8 @@ def build_parser() -> argparse.ArgumentParser:
                            help="worker processes (default: min(8, cores); "
                                 "1 = serial)")
     execution.add_argument("--metric", default="mean_waiting",
-                           choices=ScenarioResult.METRIC_FIELDS,
+                           choices=(ScenarioResult.METRIC_FIELDS
+                                    + ScenarioResult.PREFETCH_METRIC_FIELDS),
                            help="metric for the policy-comparison table")
     execution.add_argument("--csv", metavar="PATH",
                            help="write per-run results as CSV")
@@ -149,6 +157,7 @@ def campaign_from_args(args: argparse.Namespace) -> CampaignSpec:
         fleet_sizes=args.fleet_sizes,
         device_policies=args.device_policies,
         fleet_devices=args.fleet_devices,
+        prefetches=args.prefetches,
         workload_params=params,
     )
 
@@ -186,6 +195,8 @@ def main(argv: list[str] | None = None) -> int:
                if len(args.fleet_sizes) > 1 else "")
             + (f" x {len(args.device_policies)} device policies"
                if len(args.device_policies) > 1 else "")
+            + (f" x {len(args.prefetches)} prefetch modes"
+               if len(args.prefetches) > 1 else "")
             + f"), {jobs} worker(s)"
         )
     started = time.perf_counter()
@@ -204,6 +215,8 @@ def main(argv: list[str] | None = None) -> int:
             results.fleet_table(args.metric).show()
         if len(args.device_policies) > 1:
             results.device_policy_table(args.metric).show()
+        if len(args.prefetches) > 1:
+            results.prefetch_table(args.metric).show()
         sim_seconds = sum(r.wall_seconds for r in results.results)
         print(
             f"\n{len(results)} runs in {elapsed:.2f} s wall "

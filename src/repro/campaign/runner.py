@@ -64,6 +64,10 @@ class ScenarioResult:
     mean_utilization: float = 0.0
     stall_seconds: float = 0.0
     prefetched_fraction: float = 0.0
+    config_stall_seconds: float = 0.0
+    prefetch_hits: int = 0
+    prefetch_loads: int = 0
+    cache_evictions: int = 0
     wall_seconds: float = field(default=0.0, compare=False)
 
     #: result columns exported to CSV/JSON (order fixed for stability).
@@ -76,12 +80,28 @@ class ScenarioResult:
         "wall_seconds",
     )
 
+    #: extra columns exported only when the scenario sweeps the
+    #: prefetch axis (``spec.prefetch != "never"``); keeping them out
+    #: of never-mode rows keeps the committed golden snapshots
+    #: bit-identical.
+    PREFETCH_METRIC_FIELDS = (
+        "config_stall_seconds", "prefetch_hits", "prefetch_loads",
+        "cache_evictions",
+    )
+
     def to_row(self) -> dict:
-        """One flat dict: spec axes first, then every metric column."""
+        """One flat dict: spec axes first, then every metric column.
+
+        Prefetch metrics ride along only for non-``never`` scenarios
+        (see :attr:`PREFETCH_METRIC_FIELDS`).
+        """
         row = self.spec.to_dict()
         row.pop("workload_params")
         for name in self.METRIC_FIELDS:
             row[name] = getattr(self, name)
+        if self.spec.prefetch != "never":
+            for name in self.PREFETCH_METRIC_FIELDS:
+                row[name] = getattr(self, name)
         return row
 
 
@@ -106,6 +126,10 @@ def _from_metrics(spec: ScenarioSpec, metrics: ScheduleMetrics,
         mean_utilization=metrics.mean_utilization,
         stall_seconds=metrics.stall_seconds,
         prefetched_fraction=metrics.prefetched_fraction,
+        config_stall_seconds=metrics.config_stall_seconds,
+        prefetch_hits=metrics.prefetch_hits,
+        prefetch_loads=metrics.prefetch_loads,
+        cache_evictions=metrics.cache_evictions,
         wall_seconds=wall_seconds,
     )
 
@@ -161,11 +185,13 @@ def run_scenario(spec: ScenarioSpec,
     payload = make_workload(spec.workload, dev, spec.seed, **spec.params())
     if spec.scheduler_kind == "tasks":
         metrics = OnlineTaskScheduler(
-            manager, queue=spec.queue, ports=spec.ports
+            manager, queue=spec.queue, ports=spec.ports,
+            prefetch_mode=spec.prefetch,
         ).run(payload)
     else:
         scheduler = ApplicationFlowScheduler(
-            manager, queue=spec.queue, ports=spec.ports
+            manager, queue=spec.queue, ports=spec.ports,
+            prefetch_mode=spec.prefetch,
         )
         scheduler.run(payload)
         metrics = scheduler.metrics

@@ -26,6 +26,7 @@ from repro.fleet.policies import DEFAULT_DEVICE_POLICY, DEVICE_POLICY_NAMES
 from repro.placement.fit import fitter
 from repro.placement.free_space import FREE_SPACE_NAMES
 from repro.sched.ports import normalize_port_model
+from repro.sched.prefetch import normalize_prefetch_mode
 from repro.sched.queues import QUEUE_NAMES
 from repro.sched.workload import get_workload as workload_by_name
 
@@ -64,6 +65,9 @@ class ScenarioSpec:
     fleet_size: int = 1
     device_policy: str = DEFAULT_DEVICE_POLICY
     fleet_devices: tuple[str, ...] = ()
+    #: configuration-prefetch mode (``never`` / ``cache`` / ``plan``);
+    #: ``never`` reproduces the historical behaviour bit for bit.
+    prefetch: str = "never"
     workload_params: tuple[tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
@@ -116,6 +120,9 @@ class ScenarioSpec:
             )
         if self.fleet_size < 1:
             raise ValueError("fleet_size must be at least 1")
+        object.__setattr__(
+            self, "prefetch", normalize_prefetch_mode(self.prefetch)
+        )
         fitter(self.fit)  # raises on unknown strategy
         workload_by_name(self.workload)  # raises on unknown workload
 
@@ -186,6 +193,8 @@ class ScenarioSpec:
             out["device_policy"] = self.device_policy
         if self.fleet_devices:
             out["fleet_devices"] = self.fleet_label()
+        if self.prefetch != "never":
+            out["prefetch"] = self.prefetch
         out["workload_params"] = self.params()
         return out
 
@@ -203,8 +212,8 @@ class CampaignSpec:
 
     Axis order in the expansion is fixed (device, policy, fit, port,
     free-space engine, defrag policy, queue discipline, port model,
-    fleet size, device-selection policy, workload, seed) so a
-    campaign's run list — and therefore its result ordering — is
+    fleet size, device-selection policy, prefetch mode, workload, seed)
+    so a campaign's run list — and therefore its result ordering — is
     deterministic for a given spec.
     """
 
@@ -222,6 +231,7 @@ class CampaignSpec:
     device_policies: list[str] = field(
         default_factory=lambda: [DEFAULT_DEVICE_POLICY]
     )
+    prefetches: list[str] = field(default_factory=lambda: ["never"])
     #: additional member devices joining each run's primary device
     #: (one heterogeneous composition for the whole campaign; when
     #: non-empty it overrides ``fleet_sizes``, which must stay at its
@@ -260,12 +270,13 @@ class CampaignSpec:
                 fleet_size=fleet if not fleet_devices else 1,
                 device_policy=device_policy,
                 fleet_devices=fleet_devices,
+                prefetch=prefetch,
                 workload_params=normalize_params(
                     self.workload_params.get(wl)
                 ),
             )
             for dev, pol, fit, port, space, defrag, queue, ports,
-            fleet, device_policy, wl, seed
+            fleet, device_policy, prefetch, wl, seed
             in itertools.product(
                 self.devices,
                 self.policies,
@@ -277,6 +288,7 @@ class CampaignSpec:
                 self.ports,
                 self._fleet_size_axis(),
                 self.device_policies,
+                self.prefetches,
                 self.workloads,
                 self.seeds,
             )
@@ -296,6 +308,7 @@ class CampaignSpec:
             * len(self.ports)
             * len(self._fleet_size_axis())
             * len(self.device_policies)
+            * len(self.prefetches)
             * len(self.workloads)
             * len(self.seeds)
         )

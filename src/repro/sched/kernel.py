@@ -43,9 +43,17 @@ from repro.core.manager import (
     LogicSpaceManager,
     PlacementOutcome,
 )
+from repro.device.geometry import Rect
 
 from .events import EventHandle, EventQueue
 from .ports import PortModel, make_port_model
+from .prefetch import (
+    PLAN_CANDIDATE_BOUND,
+    WISHLIST_BOUND,
+    BitstreamCache,
+    PrefetchRequest,
+    normalize_prefetch_mode,
+)
 from .queues import QueueDiscipline, make_queue
 
 
@@ -75,6 +83,15 @@ class ScheduleMetrics:
     stall_seconds: float = 0.0
     prefetched_functions: int = 0
     total_functions: int = 0
+    #: configuration-prefetch extras (see :mod:`repro.sched.prefetch`):
+    #: port seconds charged for *demand* configuration loads (the
+    #: config time on the admission critical path — planned loads and
+    #: cache hits never add here), cache hits, planned idle-window
+    #: loads, and resident-set evictions.
+    config_stall_seconds: float = 0.0
+    prefetch_hits: int = 0
+    prefetch_loads: int = 0
+    cache_evictions: int = 0
 
     @property
     def mean_waiting(self) -> float:
@@ -158,6 +175,7 @@ class SchedulingKernel:
         on_space_reclaimed: Callable[[], None] | None = None,
         halt_listener: Callable[[int, float], None] | None = None,
         sample_on_defrag: bool = True,
+        prefetch: str = "never",
     ) -> None:
         self.manager = manager
         members = getattr(manager, "members", None)
@@ -178,6 +196,25 @@ class SchedulingKernel:
         self.ports = [
             make_port_model(ports, self.events) for _ in self._managers
         ]
+        #: configuration-prefetch mode (see :mod:`repro.sched.prefetch`).
+        #: ``never`` builds neither cache nor planner, so every code
+        #: path below stays bit-identical to the historical behaviour.
+        self.prefetch_mode = normalize_prefetch_mode(prefetch)
+        #: one resident-bitstream cache per fleet member (``None`` in
+        #: ``never`` mode); configuration memory is a per-fabric
+        #: resource exactly like the port serving it.
+        self.caches: list[BitstreamCache] | None = (
+            [BitstreamCache() for _ in self._managers]
+            if self.prefetch_mode != "never" else None
+        )
+        #: outstanding application-successor offers, by bitstream key
+        #: (``plan`` mode's explicit look-ahead; bounded FIFO).
+        self._wishlist: dict[str, PrefetchRequest] = {}
+        #: config seconds actually charged by the most recent
+        #: :meth:`charge_placement` (0.0 on a cache hit; equal to the
+        #: outcome's ``config_seconds`` otherwise) — the strategy
+        #: layers read it for their per-function stall accounting.
+        self.last_config_seconds = 0.0
         self.metrics = ScheduleMetrics()
         self.on_admitted = on_admitted
         self.on_space_reclaimed = on_space_reclaimed
@@ -389,9 +426,18 @@ class SchedulingKernel:
         space version as blocked so no request is re-planned until the
         occupancy actually changes.  While the kernel is paused
         (checkpoint window), the pass is deferred to :meth:`resume`.
+
+        After the pass settles, the prefetch planner gets one look at
+        the port-idle windows the pass left behind
+        (:meth:`maybe_prefetch`; a no-op outside ``plan`` mode).
         """
         if self._paused:
             return
+        self._admit_pass()
+        self.maybe_prefetch()
+
+    def _admit_pass(self) -> None:
+        """The admission loop behind :meth:`drain` (see there)."""
         while len(self.queue):
             if self._failed_at_version == self._space_version:
                 return  # nothing changed since the last blocked pass
@@ -419,23 +465,202 @@ class SchedulingKernel:
 
     # -- port + HALT accounting ---------------------------------------------
 
-    def charge_placement(self, outcome: PlacementOutcome) -> float:
+    def charge_placement(self, outcome: PlacementOutcome,
+                         key: str | None = None) -> float:
         """Count a placement's moves, apply HALT stops, charge the port.
 
         The port charged is the one of the device that accepted the
         request (``outcome.device``; always 0 outside a fleet).
         Returns the instant the item's own configuration completes (the
         end of its contiguous port job).
+
+        ``key`` names the bitstream being configured (see
+        :mod:`repro.sched.prefetch`); with caching enabled, a resident
+        key skips the configuration charge entirely — a pure hit
+        without rearrangement moves never even touches the port, so a
+        zero-length job cannot queue behind busy channel time — and a
+        miss leaves the bitstream resident for repeats.  The config
+        seconds actually charged land in :attr:`last_config_seconds`
+        and accumulate into ``metrics.config_stall_seconds`` (demand
+        loads only: hits and planned loads are off the critical path).
         """
         if outcome.moves:
             self.metrics.rearrangements += 1
             self.metrics.moves += len(outcome.moves)
             self.apply_halts(outcome)
-        __, config_done = self.ports[outcome.device].acquire(
-            config_seconds=outcome.config_seconds,
-            move_seconds=outcome.rearrange_seconds,
-        )
+        config = outcome.config_seconds
+        cache = (self.caches[outcome.device]
+                 if self.caches is not None and key is not None else None)
+        entry = None
+        if cache is not None:
+            self._wishlist.pop(key, None)
+            entry = cache.hit(key, self.events.now)
+            if entry is not None:
+                self.metrics.prefetch_hits += 1
+                config = 0.0
+        if entry is not None and not outcome.moves:
+            config_done = max(self.events.now, entry.ready_at)
+        else:
+            __, config_done = self.ports[outcome.device].acquire(
+                config_seconds=config,
+                move_seconds=outcome.rearrange_seconds,
+            )
+            if entry is not None:
+                config_done = max(config_done, entry.ready_at)
+        self.last_config_seconds = config
+        self.metrics.config_stall_seconds += config
+        if cache is not None and entry is None and outcome.rect is not None:
+            if cache.insert(
+                key, outcome.rect.height, outcome.rect.width,
+                ready_at=config_done, now=self.events.now,
+            ) is not None:
+                self.metrics.cache_evictions += 1
         return config_done
+
+    # -- configuration prefetch ---------------------------------------------
+
+    def offer_prefetch(self, key: str, height: int, width: int, *,
+                       next_use: float | None = None,
+                       device: int | None = None) -> None:
+        """Tell the planner a bitstream will be demanded soon.
+
+        The application scheduler offers a chain's successor the moment
+        its predecessor starts executing (``next_use`` = the predicted
+        demand instant); queued tasks need no offer — the planner reads
+        them straight off the queue discipline.  In ``cache`` mode the
+        offer only annotates an already-resident entry's next use (so
+        eviction protects it); in ``plan`` mode it also joins the
+        wishlist :meth:`maybe_prefetch` serves.  No-op in ``never``
+        mode.
+        """
+        if self.caches is None:
+            return
+        target = (device if device is not None
+                  else self._predict_member(height, width))
+        self.caches[target].note_next_use(key, next_use)
+        if self.prefetch_mode != "plan":
+            return
+        if key in self._wishlist:
+            request = self._wishlist[key]
+            if next_use is not None and (
+                request.next_use is None or next_use < request.next_use
+            ):
+                request.next_use = next_use
+            return
+        if len(self._wishlist) >= WISHLIST_BOUND:
+            oldest = next(iter(self._wishlist))
+            del self._wishlist[oldest]
+        self._wishlist[key] = PrefetchRequest(
+            key, height, width, next_use=next_use, device=device
+        )
+
+    def _predict_member(self, height: int, width: int) -> int:
+        """The fleet member a future request would most likely land on
+        (member 0 outside a fleet): the device-selection policy's first
+        preference.  Only a prediction — a wrong guess costs a cache
+        miss, never correctness."""
+        if len(self._managers) == 1:
+            return 0
+        policy = getattr(self.manager, "policy", None)
+        if policy is None:
+            return 0
+        for index in policy.order(self.manager, height, width):
+            return index
+        return 0
+
+    def maybe_prefetch(self) -> None:
+        """Serve planned loads into the port-idle windows of *now*.
+
+        ``plan`` mode only.  Candidates are the wishlist (explicit
+        application-successor offers) followed by the queue
+        discipline's live order (queued tasks want their bitstream "as
+        soon as possible"), bounded by
+        :data:`~repro.sched.prefetch.PLAN_CANDIDATE_BOUND`.  A load is
+        issued only when the predicted member's port is idle at this
+        very instant, so planned traffic can never delay demand
+        traffic already queued — and issuing one load occupies that
+        port, so at most one planned load per member starts per
+        invocation.  Loads are charged through the normal
+        ``PortModel.acquire`` machinery and priced with the member
+        manager's own ``config_seconds``, which is exactly what the
+        demand load would have cost.
+        """
+        if self.prefetch_mode != "plan" or self._paused:
+            return
+        assert self.caches is not None
+        now = self.events.now
+        candidates: list[PrefetchRequest] = list(self._wishlist.values())
+        if len(candidates) < PLAN_CANDIDATE_BOUND:
+            for item in self.queue.ordered(now):
+                queue_key = getattr(item, "prefetch_key", None)
+                if queue_key is None:
+                    continue
+                candidates.append(PrefetchRequest(
+                    queue_key, item.height, item.width, next_use=now
+                ))
+                if len(candidates) >= PLAN_CANDIDATE_BOUND:
+                    break
+        for request in candidates[:PLAN_CANDIDATE_BOUND]:
+            device = (request.device if request.device is not None
+                      else self._predict_member(request.height,
+                                                request.width))
+            cache = self.caches[device]
+            if request.key in cache:
+                cache.note_next_use(request.key, request.next_use)
+                continue
+            port = self.ports[device]
+            if port.free_at > now:
+                continue
+            if not cache.admits(request.next_use):
+                continue
+            seconds = self._managers[device].config_seconds(
+                Rect(0, 0, request.height, request.width)
+            )
+            __, ready = port.acquire(config_seconds=seconds)
+            if cache.insert(
+                request.key, request.height, request.width,
+                ready_at=ready, now=now, next_use=request.next_use,
+            ) is not None:
+                self.metrics.cache_evictions += 1
+            self.metrics.prefetch_loads += 1
+
+    def export_prefetch_state(self) -> dict | None:
+        """Serializable prefetch state: per-member caches + wishlist
+        (``None`` in ``never`` mode).  The service checkpoint carries
+        it so a restored kernel neither re-loads resident bitstreams
+        nor forgets pending successor offers — the stall/prefetch
+        counters of a restored run must match the uninterrupted one
+        bit for bit."""
+        if self.caches is None:
+            return None
+        return {
+            "mode": self.prefetch_mode,
+            "caches": [cache.export_state() for cache in self.caches],
+            "wishlist": [
+                {"key": r.key, "height": r.height, "width": r.width,
+                 "next_use": r.next_use, "device": r.device}
+                for r in self._wishlist.values()
+            ],
+        }
+
+    def restore_prefetch_state(self, state: dict | None) -> None:
+        """Load a previously exported prefetch state (no-op for
+        ``None``/``never``-mode kernels)."""
+        if state is None or self.caches is None:
+            return
+        for cache, cache_state in zip(self.caches, state["caches"]):
+            cache.restore_state(cache_state)
+        self._wishlist = {
+            row["key"]: PrefetchRequest(
+                key=row["key"], height=int(row["height"]),
+                width=int(row["width"]),
+                next_use=(float(row["next_use"])
+                          if row["next_use"] is not None else None),
+                device=(int(row["device"])
+                        if row["device"] is not None else None),
+            )
+            for row in state["wishlist"]
+        }
 
     def start_running(self, owner: int, finish_time: float,
                       on_finish: Callable[[], None]) -> None:

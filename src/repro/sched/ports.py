@@ -139,15 +139,26 @@ class MultiPortModel:
 
 
 class IcapPortModel:
-    """One channel with asymmetric write / readback throughput.
+    """Write and readback channels with asymmetric throughput.
 
     Baseline port seconds assume Boundary-Scan-rate frame writes.  An
     ICAP-style internal port writes ``write_speedup`` times faster; a
     relocation move additionally *reads back* the source frames before
-    rewriting them, so move time pays both phases:
+    rewriting them, paying ``move / readback_speedup`` on the readback
+    path plus ``move / write_speedup`` on the write path.
 
-        job_seconds = config / write_speedup
-                    + move * (1 / write_speedup + 1 / readback_speedup)
+    The two paths are distinct hardware, so they are modelled as
+    distinct lanes: a job's readback phase runs on the readback lane
+    and may overlap a *previous* job still occupying the write lane;
+    its own write phase (configuration + move rewrites, inherently
+    ordered after the readback) then starts once both the readback has
+    finished and the write lane is free.  Total channel time consumed
+    is identical to serving both phases back to back — only the
+    *placement* of the readback seconds changes, which is exactly the
+    asymmetric-path pipelining real ICAP readback hardware provides.
+    (Historically both phases were folded into one contiguous job on a
+    single channel, which serialized readback traffic behind unrelated
+    writes and defeated the asymmetric model for relocations.)
     """
 
     name = "icap"
@@ -156,37 +167,59 @@ class IcapPortModel:
                  readback_speedup: float = 4.0) -> None:
         if write_speedup <= 0 or readback_speedup <= 0:
             raise ValueError("speedups must be positive")
-        self._port = SequentialResource(events)
+        self._events = events
         self.write_speedup = write_speedup
         self.readback_speedup = readback_speedup
+        self._write_free = 0.0
+        self._readback_free = 0.0
+        self.busy_seconds = 0.0
 
     @property
     def free_at(self) -> float:
-        """Instant the channel next becomes idle."""
-        return self._port.free_at
-
-    @property
-    def busy_seconds(self) -> float:
-        """Total channel time consumed so far."""
-        return self._port.busy_seconds
+        """Instant both channels are idle (the port-idle signal)."""
+        return max(self._write_free, self._readback_free)
 
     def acquire(self, config_seconds: float = 0.0,
                 move_seconds: float = 0.0) -> tuple[float, float]:
-        """Queue the throughput-scaled job on the channel."""
-        duration = config_seconds / self.write_speedup + move_seconds * (
-            1.0 / self.write_speedup + 1.0 / self.readback_speedup
-        )
-        return self._port.acquire(duration)
+        """Serve the job: readback lane first, then the write lane.
+
+        Returns the granted [start, end) of the whole job — ``start``
+        is when its first phase begins, ``end`` when its write phase
+        (the part that makes the new configuration usable) completes.
+        """
+        now = self._events.now
+        readback = move_seconds / self.readback_speedup
+        write = (config_seconds + move_seconds) / self.write_speedup
+        if readback > 0.0:
+            rb_start = max(now, self._readback_free)
+            rb_end = rb_start + readback
+            self._readback_free = rb_end
+        else:
+            rb_start = rb_end = now
+        w_start = max(now, self._write_free, rb_end)
+        w_end = w_start + write
+        self._write_free = w_end
+        self.busy_seconds += readback + write
+        start = rb_start if readback > 0.0 else w_start
+        return start, w_end
 
     def export_state(self) -> dict:
-        """Serializable channel state (checkpoint/restore)."""
-        return {"free_at": self._port.free_at,
-                "busy_seconds": self._port.busy_seconds}
+        """Serializable per-lane state (checkpoint/restore)."""
+        return {"write_free": self._write_free,
+                "readback_free": self._readback_free,
+                "busy_seconds": self.busy_seconds}
 
     def restore_state(self, state: dict) -> None:
-        """Load a previously exported channel state."""
-        self._port.free_at = float(state["free_at"])
-        self._port.busy_seconds = float(state["busy_seconds"])
+        """Load a previously exported state.  Pre-lane snapshots (one
+        ``free_at`` horizon for the folded single channel) restore with
+        both lanes at that horizon — the closest legal state."""
+        if "free_at" in state and "write_free" not in state:
+            self._write_free = float(state["free_at"])
+            self._readback_free = float(state["free_at"])
+        else:
+            self._write_free = float(state["write_free"])
+            self._readback_free = float(state["readback_free"])
+        self.busy_seconds = float(state["busy_seconds"])
 
 
 _MULTI_RE = re.compile(r"^multi[-:](\d+)$")

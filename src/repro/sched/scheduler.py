@@ -56,6 +56,17 @@ __all__ = [
 ]
 
 
+def _function_key(spec) -> str:
+    """Bitstream identity of an application function.
+
+    Keyed by function name *and* shape: a function reused across chain
+    repeats (or across applications built from the same library) maps
+    to the same bitstream and can hit the resident cache, while two
+    different functions that merely share a name cannot collide.
+    """
+    return f"fn:{spec.name}:{spec.height}x{spec.width}"
+
+
 def _exposed_config_seconds(record: ApplicationRun) -> float:
     """Configuration time the chain could not hide behind execution.
 
@@ -138,11 +149,13 @@ class OnlineTaskScheduler:
 
     def __init__(self, manager,
                  queue: str | QueueDiscipline = "fifo",
-                 ports: str | PortModel = "serial") -> None:
+                 ports: str | PortModel = "serial",
+                 prefetch_mode: str = "never") -> None:
         self.kernel = SchedulingKernel(
             manager,
             queue=queue,
             ports=ports,
+            prefetch=prefetch_mode,
             on_admitted=self._on_admitted,
             halt_listener=self._on_halt,
         )
@@ -196,7 +209,9 @@ class OnlineTaskScheduler:
 
     def _on_admitted(self, task: Task, outcome: PlacementOutcome) -> None:
         """A waiting task was placed: configure it and start it."""
-        config_done = self.kernel.charge_placement(outcome)
+        config_done = self.kernel.charge_placement(
+            outcome, key=task.prefetch_key
+        )
         task.rect = outcome.rect
         task.state = TaskState.CONFIGURING
         task.configured_at = config_done
@@ -241,12 +256,14 @@ class ApplicationFlowScheduler:
     def __init__(self, manager,
                  prefetch: bool = True,
                  queue: str | QueueDiscipline = "fifo",
-                 ports: str | PortModel = "serial") -> None:
+                 ports: str | PortModel = "serial",
+                 prefetch_mode: str = "never") -> None:
         self.manager = manager
         self.prefetch = prefetch
         self.kernel = SchedulingKernel(
             manager,
             ports=ports,
+            prefetch=prefetch_mode,
             on_space_reclaimed=self._retry_stalled,
             sample_on_defrag=False,
         )
@@ -293,6 +310,10 @@ class ApplicationFlowScheduler:
         summary.proactive_defrags = self.metrics.proactive_defrags
         summary.defrag_moves = self.metrics.defrag_moves
         summary.defrag_port_seconds = self.metrics.defrag_port_seconds
+        summary.config_stall_seconds = self.metrics.config_stall_seconds
+        summary.prefetch_hits = self.metrics.prefetch_hits
+        summary.prefetch_loads = self.metrics.prefetch_loads
+        summary.cache_evictions = self.metrics.cache_evictions
         self.kernel.metrics = summary
         return runs
 
@@ -308,10 +329,19 @@ class ApplicationFlowScheduler:
         if run.rect is None and not self._place_function(state, index):
             # No space: stall until some function releases its region.
             spec = state.record.spec
+            fn = spec.functions[index]
+            # The demand is *now*; preloading the bitstream while the
+            # application waits for space makes the eventual placement
+            # a resident hit.
+            self.kernel.offer_prefetch(
+                _function_key(fn), fn.height, fn.width,
+                next_use=self.events.now,
+            )
+            self.kernel.maybe_prefetch()
             self._stalled.push(
                 _Stall(state, index),
                 priority=spec.priority,
-                area=spec.functions[index].area,
+                area=fn.area,
                 now=self.events.now,
             )
             return
@@ -335,7 +365,16 @@ class ApplicationFlowScheduler:
         )
         # Prefetch the successor during the reconfiguration interval rt.
         if self.prefetch and index + 1 < len(state.record.spec.functions):
-            self._place_function(state, index + 1)
+            if not self._place_function(state, index + 1):
+                # Space prefetch failed (parallelism took the region);
+                # the *bitstream* can still be preloaded so the config
+                # is off the critical path once space frees up.
+                nxt = state.record.spec.functions[index + 1]
+                self.kernel.offer_prefetch(
+                    _function_key(nxt), nxt.height, nxt.width,
+                    next_use=self.events.now + spec.exec_seconds,
+                )
+                self.kernel.maybe_prefetch()
 
     def _place_function(self, state: "_AppState", index: int) -> bool:
         """Try to place + configure function ``index`` right now."""
@@ -347,10 +386,14 @@ class ApplicationFlowScheduler:
         outcome = self.manager.request(spec.height, spec.width, owner)
         if not outcome.success:
             return False
-        config_done = self.kernel.charge_placement(outcome)
+        config_done = self.kernel.charge_placement(
+            outcome, key=_function_key(spec)
+        )
         run.rect = outcome.rect
         run.configured_at = config_done
-        run.config_seconds = outcome.config_seconds
+        # What the port was actually charged — zero on a resident-cache
+        # hit, so a hit's "configuration" is never counted as exposed.
+        run.config_seconds = self.kernel.last_config_seconds
         state.owners[index] = owner
         return True
 

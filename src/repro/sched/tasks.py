@@ -65,6 +65,18 @@ class Task:
         return self.height * self.width
 
     @property
+    def prefetch_key(self) -> str:
+        """Bitstream identity for the resident-bitstream cache.
+
+        Independent tasks are one-shot, so the key is per-task: a task
+        never *hits* the cache, but the planner can still preload its
+        bitstream while it waits in the queue (the kernel's
+        ``maybe_prefetch`` walks the queue discipline's order and picks
+        up any entry exposing this attribute).
+        """
+        return f"task:{self.task_id}"
+
+    @property
     def waiting_seconds(self) -> float:
         """Time between arrival and execution start (inf if never ran)."""
         if self.started_at is None:

@@ -342,6 +342,7 @@ def codec_swap_applications(
     frac_range: tuple[float, float] = (0.35, 0.55),
     exec_range: tuple[float, float] = (0.3, 0.8),
     priority_levels: int = 1,
+    repeats: int = 1,
 ) -> list[ApplicationSpec]:
     """Randomized codec-swap-style application chains, scaled to ``device``.
 
@@ -352,10 +353,18 @@ def codec_swap_applications(
     comfortably exceeds the device while the resident set fits.
     ``priority_levels`` assigns each application a uniform QoS class
     that the ``priority`` queue discipline reads when stalled
-    applications compete for released space.  Deterministic per seed.
+    applications compete for released space.  ``repeats`` replays each
+    chain that many times in sequence — the paper's repeated
+    coding/decoding context switches, where every pass re-demands the
+    same bitstreams (the reuse a resident-bitstream cache exploits).
+    The random stream is independent of ``repeats``, so ``repeats=1``
+    reproduces the historical workloads bit for bit.  Deterministic per
+    seed.
     """
     if n_apps < 1:
         raise ValueError("n_apps must be positive")
+    if repeats < 1:
+        raise ValueError("repeats must be positive")
     lo, hi = chain_range
     if lo < 1 or hi < lo:
         raise ValueError("invalid chain_range")
@@ -375,7 +384,7 @@ def codec_swap_applications(
         ]
         apps.append(
             ApplicationSpec(
-                name, functions,
+                name, functions * repeats,
                 priority=_draw_priority(rng, priority_levels),
             )
         )

@@ -69,6 +69,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="placement heuristic")
     stack.add_argument("--defrag", default="on-failure",
                        help="defragmentation policy")
+    stack.add_argument("--prefetch", default="never",
+                       help="configuration-prefetch mode "
+                            "(never/cache/plan)")
     door = parser.add_argument_group("admission door")
     door.add_argument("--max-queue-depth", type=int, default=None,
                       help="waiting-queue bound before the door sheds "
@@ -110,6 +113,7 @@ def config_from_args(args: argparse.Namespace) -> ServiceConfig:
         rearrange=args.rearrange,
         fit=args.fit,
         defrag=args.defrag,
+        prefetch=args.prefetch,
         **extra,
     )
 

@@ -55,6 +55,20 @@ class TokenBucket:
             return 0.0
         return (1.0 - self.tokens) / self.rate
 
+    def time_to_token(self, now: float) -> float:
+        """Simulated seconds until a token would be available at
+        ``now`` — a pure projection: nothing is spent, nothing is
+        refilled, so probing for a ``Retry-After`` hint never perturbs
+        the bucket a later :meth:`try_take` will see."""
+        tokens = self.tokens
+        if now > self.updated_at:
+            tokens = min(
+                self.burst, tokens + (now - self.updated_at) * self.rate
+            )
+        if tokens >= 1.0:
+            return 0.0
+        return (1.0 - tokens) / self.rate
+
     def export_state(self) -> dict:
         """Serializable bucket state (checkpoint/restore)."""
         return {"rate": self.rate, "burst": self.burst,
@@ -135,8 +149,14 @@ class AdmissionController:
         stats.submitted += 1
         if queue_depth >= self.max_queue_depth:
             stats.throttled_depth += 1
+            # A queue-full refusal still owes an honest hint: a tenant
+            # whose bucket is also drained cannot usefully retry before
+            # its own refill deficit clears, while a nearly-refilled
+            # tenant should not be told to wait the full constant.
+            deficit = self._bucket(tenant, qos).time_to_token(now)
+            retry_after = deficit if deficit > 0.0 else DEPTH_RETRY_AFTER
             return AdmissionDecision(False, qos,
-                                     retry_after=DEPTH_RETRY_AFTER,
+                                     retry_after=retry_after,
                                      reason="queue-full")
         retry_after = self._bucket(tenant, qos).try_take(now)
         if retry_after > 0.0:

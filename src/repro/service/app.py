@@ -73,6 +73,9 @@ class ServiceConfig:
     fit: str = "first"
     defrag: str = "on-failure"
     max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH
+    #: prefetch mode for the kernel's resident-bitstream cache and
+    #: planner (:data:`repro.sched.prefetch.PREFETCH_MODES`).
+    prefetch: str = "never"
 
     def member_names(self) -> tuple[str, ...]:
         """The fleet's member device names, primary first."""
@@ -93,6 +96,7 @@ class ServiceConfig:
             "fit": self.fit,
             "defrag": self.defrag,
             "max_queue_depth": self.max_queue_depth,
+            "prefetch": self.prefetch,
         }
 
     @classmethod
@@ -141,8 +145,9 @@ class ServiceEngine(OnlineTaskScheduler):
     """
 
     def __init__(self, manager, queue: str = "priority",
-                 ports: str = "serial") -> None:
-        super().__init__(manager, queue=queue, ports=ports)
+                 ports: str = "serial", prefetch: str = "never") -> None:
+        super().__init__(manager, queue=queue, ports=ports,
+                         prefetch_mode=prefetch)
         #: every task ever submitted, by id (the service's registry).
         self.tasks: dict[int, Task] = {}
         #: task id -> fleet member that hosts/hosted it (admitted only).
@@ -311,7 +316,8 @@ class ReproService:
         self.config = config
         self.manager = build_manager(config)
         self.engine = ServiceEngine(self.manager, queue=config.queue,
-                                    ports=config.ports)
+                                    ports=config.ports,
+                                    prefetch=config.prefetch)
         self.door = AdmissionController(
             max_queue_depth=config.max_queue_depth
         )

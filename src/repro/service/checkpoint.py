@@ -116,6 +116,10 @@ def snapshot(service: ReproService) -> dict:
             for member in kernel._managers
         ],
         "metrics": asdict(kernel.metrics),
+        # Resident-bitstream caches + planner wishlist (None when the
+        # service runs with prefetch="never"); the stall/prefetch
+        # counters themselves travel inside "metrics" above.
+        "prefetch": kernel.export_prefetch_state(),
         "door": service.door.export_state(),
         "journal": list(engine.journal),
         "telemetry": list(engine.telemetry),
@@ -227,6 +231,7 @@ def restore(state: dict) -> ReproService:
                             state["defrag_last_attempt"]):
         member.defrag_policy._last_attempt = last
     kernel.metrics = ScheduleMetrics(**state["metrics"])
+    kernel.restore_prefetch_state(state.get("prefetch"))
     service.door = AdmissionController.from_state(state["door"])
 
     if queued:

@@ -109,6 +109,35 @@ class TestGuardRates:
             "selection/first-fit/decisions_per_second": 150_000.0,
         }
 
+    def test_prefetch_rates_flatten_and_stalls_normalize(self):
+        payload = {
+            "codec_swap": [
+                {"prefetch": "never", "events_per_second": 800.0,
+                 "config_stall_seconds": 0.4},
+                {"prefetch": "plan", "events_per_second": 900.0,
+                 "config_stall_seconds": 0.3},
+            ],
+            "bursty": [],
+        }
+        assert bench_guard.prefetch_rates(payload) == {
+            "codec_swap/never/events_per_second": 800.0,
+            "codec_swap/plan/events_per_second": 900.0,
+        }
+        # Stall is exported as a ratio against the same payload's
+        # `never` row, so smoke and full runs stay comparable.
+        assert bench_guard.prefetch_stalls(payload) == {
+            "codec_swap/plan/relative_config_stall": pytest.approx(0.75),
+        }
+
+    def test_prefetch_stalls_skip_degenerate_baseline(self):
+        payload = {"codec_swap": [
+            {"prefetch": "never", "events_per_second": 1.0,
+             "config_stall_seconds": 0.0},
+            {"prefetch": "cache", "events_per_second": 1.0,
+             "config_stall_seconds": 0.0},
+        ], "bursty": []}
+        assert bench_guard.prefetch_stalls(payload) == {}
+
     def test_service_rates_split_by_direction(self):
         payload = {
             "flash_crowd": {
@@ -190,11 +219,20 @@ class TestGuardEndToEnd:
                            "roundtrip_identical": True},
             "http": {"requests_per_second": 2000.0},
         }))
+        (tmp_path / "BENCH_prefetch.json").write_text(json.dumps({
+            "codec_swap": [
+                {"prefetch": "never", "events_per_second": 800.0,
+                 "config_stall_seconds": 0.4},
+                {"prefetch": "plan", "events_per_second": 900.0,
+                 "config_stall_seconds": 0.25},
+            ],
+            "bursty": [],
+        }))
         return tmp_path
 
     def _fresh(self, tmp_path: Path, events: float, us: float,
                fleet: float = 600.0, subs: float = 700.0,
-               roundtrip: bool = True):
+               roundtrip: bool = True, plan_stall: float = 0.2):
         import json
 
         sched = tmp_path / "fresh_sched.json"
@@ -220,16 +258,26 @@ class TestGuardEndToEnd:
                             "roundtrip_identical": roundtrip},
              "http": {"requests_per_second": 1800.0}}
         ))
-        return sched, free, fleet_path, service
+        prefetch = tmp_path / "fresh_prefetch.json"
+        prefetch.write_text(json.dumps(
+            {"codec_swap": [
+                {"prefetch": "never", "events_per_second": 750.0,
+                 "config_stall_seconds": 0.5},
+                {"prefetch": "plan", "events_per_second": 850.0,
+                 "config_stall_seconds": plan_stall},
+            ], "bursty": []}
+        ))
+        return sched, free, fleet_path, service, prefetch
 
     def _run(self, base: Path, paths) -> int:
-        sched, free, fleet, service = paths
+        sched, free, fleet, service, prefetch = paths
         return bench_guard.main([
             "--baseline-dir", str(base),
             "--fresh-sched", str(sched),
             "--fresh-freespace", str(free),
             "--fresh-fleet", str(fleet),
             "--fresh-service", str(service),
+            "--fresh-prefetch", str(prefetch),
         ])
 
     def test_clean_comparison_exits_zero(self, tmp_path):
@@ -246,6 +294,17 @@ class TestGuardEndToEnd:
         base = self._baselines(tmp_path)
         paths = self._fresh(tmp_path, events=30_000.0, us=150.0,
                             fleet=100.0)
+        assert self._run(base, paths) == 1
+
+    def test_prefetch_stall_rise_caught(self, tmp_path):
+        """A mode whose relative config stall climbs past tolerance
+        (the cache quietly stopped helping) fails the guard."""
+        base = self._baselines(tmp_path)
+        # Baseline plan/never stall ratio is 0.25/0.4 = 0.625; the
+        # fresh 0.99/0.5 = 1.98 is 3.2x worse and must fail, while the
+        # default 0.2/0.5 = 0.4 passes (see the cases above).
+        paths = self._fresh(tmp_path, events=30_000.0, us=150.0,
+                            plan_stall=0.99)
         assert self._run(base, paths) == 1
 
     def test_checkpoint_divergence_fails_even_when_fast(self, tmp_path):

@@ -183,7 +183,7 @@ def test_policy_table(small_results):
     table = small_results.policy_table("mean_waiting")
     assert table.headers == [
         "device", "workload", "fit", "port", "free_space", "defrag",
-        "queue", "ports", "fleet", "members", "dev_policy",
+        "queue", "ports", "fleet", "members", "dev_policy", "prefetch",
         "none", "concurrent"
     ]
     assert len(table.rows) == 1

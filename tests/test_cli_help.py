@@ -22,7 +22,7 @@ from repro.sched.queues import QUEUE_NAMES
 PUBLIC_FLAGS = (
     "--devices", "--policies", "--workloads", "--seeds", "--fits",
     "--port-kinds", "--free-space", "--defrag", "--queue", "--ports",
-    "--fleet-size", "--device-policy", "--fleet-devices",
+    "--fleet-size", "--device-policy", "--fleet-devices", "--prefetch",
     "--tasks", "--apps", "--priority-levels",
     "--jobs", "--metric", "--csv", "--json", "--quiet",
 )
@@ -78,4 +78,7 @@ def test_help_names_every_axis_choice():
     # choices into the help, so the choices themselves are the check.
     metric = next(a for a in build_parser()._actions
                   if "--metric" in a.option_strings)
-    assert tuple(metric.choices) == ScenarioResult.METRIC_FIELDS
+    assert tuple(metric.choices) == (
+        ScenarioResult.METRIC_FIELDS
+        + ScenarioResult.PREFETCH_METRIC_FIELDS
+    )

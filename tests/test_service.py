@@ -35,7 +35,7 @@ from repro.service import (
     restore,
     snapshot,
 )
-from repro.service.admission import AdmissionController
+from repro.service.admission import DEPTH_RETRY_AFTER, AdmissionController
 from repro.service.checkpoint import load, save
 
 
@@ -103,9 +103,33 @@ def test_depth_bound_sheds_load_before_metering_it():
     refused = door.admit("a", "gold", 0.0, queue_depth=4)
     assert not refused.admitted and refused.reason == "queue-full"
     assert refused.retry_after > 0.0
-    # A depth refusal must not spend a token.
-    assert not door.buckets  # bucket never provisioned
+    # A depth refusal must not spend a token (the bucket is consulted
+    # read-only for the Retry-After hint, never drained).
+    bucket = door.buckets[("a", "gold")]
+    assert bucket.tokens == bucket.burst
     assert door.stats["a"].throttled_depth == 1
+
+
+def test_queue_full_retry_hint_tracks_refill_deficit():
+    """A queue-full 429 owes an honest hint: a tenant whose bucket is
+    also drained is told its actual refill deficit — which shrinks as
+    simulated time advances — not a blanket constant."""
+    door = AdmissionController(max_queue_depth=4)
+    qos = get_qos("gold")
+    for _ in range(int(qos.burst)):
+        assert door.admit("a", "gold", 0.0, queue_depth=0).admitted
+    hints = []
+    for now in (0.0, 0.01, 0.02):
+        refused = door.admit("a", "gold", now, queue_depth=4)
+        assert not refused.admitted and refused.reason == "queue-full"
+        hints.append(refused.retry_after)
+    assert hints[0] > hints[1] > hints[2] > 0.0
+    # The probe is pure: three refusals later the bucket still holds
+    # exactly what the admitted burst left it.
+    assert door.buckets[("a", "gold")].tokens == 0.0
+    # A refilled tenant is only queue-bound: constant drain-time hint.
+    recovered = door.admit("a", "gold", 10.0, queue_depth=4)
+    assert recovered.retry_after == DEPTH_RETRY_AFTER
 
 
 # -- engine life-cycle ------------------------------------------------------
@@ -227,15 +251,16 @@ def surge_service(**overrides) -> tuple[ReproService, list[dict]]:
     return svc, trace
 
 
-def run_split(trace: list[dict], cut: int, fleet_size: int = 1):
+def run_split(trace: list[dict], cut: int, fleet_size: int = 1,
+              **overrides):
     """Replay ``trace`` with a snapshot/restore at submission ``cut``;
     returns (uninterrupted service, restored service)."""
-    whole, _ = surge_service(fleet_size=fleet_size)
+    whole, _ = surge_service(fleet_size=fleet_size, **overrides)
     for sub in trace:
         whole.submit(**sub)
     whole.settle()
 
-    first, _ = surge_service(fleet_size=fleet_size)
+    first, _ = surge_service(fleet_size=fleet_size, **overrides)
     for sub in trace[:cut]:
         first.submit(**sub)
     thawed = restore(snapshot(first))
@@ -259,6 +284,45 @@ def test_checkpoint_roundtrip_on_a_fleet():
     whole, thawed = run_split(trace, 33, fleet_size=2)
     assert thawed.engine.journal == whole.engine.journal
     assert thawed.engine.telemetry == whole.engine.telemetry
+
+
+def _prefetch_stat_view(svc: ReproService) -> dict:
+    """The stall/prefetch counters a roundtrip must carry losslessly."""
+    metrics = svc.engine.metrics
+    return {
+        "config_stall_seconds": metrics.config_stall_seconds,
+        "prefetch_hits": metrics.prefetch_hits,
+        "prefetch_loads": metrics.prefetch_loads,
+        "cache_evictions": metrics.cache_evictions,
+        "prefetched_functions": metrics.prefetched_functions,
+        "prefetch_state": snapshot(svc)["prefetch"],
+    }
+
+
+@pytest.mark.parametrize("cut", [10, 40])
+def test_checkpoint_roundtrip_carries_prefetch_state(cut):
+    """A plan-mode service frozen mid-flight resumes with its resident
+    caches, wishlist and stall/prefetch counters intact — the restored
+    run's streams *and* prefetch statistics match the uninterrupted
+    run exactly."""
+    _, trace = surge_service(prefetch="plan")
+    whole, thawed = run_split(trace, cut, prefetch="plan")
+    assert whole.engine.metrics.config_stall_seconds > 0.0
+    assert thawed.engine.journal == whole.engine.journal
+    assert thawed.engine.telemetry == whole.engine.telemetry
+    assert _prefetch_stat_view(thawed) == _prefetch_stat_view(whole)
+
+
+def test_never_mode_snapshot_has_no_prefetch_state():
+    """prefetch="never" services carry an explicit null in the
+    snapshot (and restore accepts pre-prefetch snapshots without the
+    key at all)."""
+    svc = small_service()
+    state = snapshot(svc)
+    assert state["prefetch"] is None
+    del state["prefetch"]
+    thawed = restore(state)
+    assert thawed.engine.kernel.caches is None
 
 
 def test_snapshot_mid_flight_captures_queue_and_running_work():
