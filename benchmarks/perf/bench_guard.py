@@ -53,6 +53,23 @@ from pathlib import Path
 #: Fresh-vs-baseline tolerance: fail only on a worse-than-3x move.
 DEFAULT_FACTOR = 3.0
 
+#: Absolute floors (events/second) on the *committed* kernel cells.
+#: The ratio comparison above tolerates a slow CI box, but it would
+#: also tolerate quietly committing a slower baseline: nothing stops
+#: ``BENCH_sched.json`` itself from walking the performance claims
+#: back one re-measurement at a time.  These floors pin the claims to
+#: the baseline file: every ``(queue, ports)`` cell must stay at or
+#: above the blanket floor, and the named cells at their stricter
+#: ones.  Raise a floor when an optimisation makes a cell durably
+#: faster; lowering one is an explicit, reviewable act.
+KERNEL_CELL_FLOOR = 1000.0
+KERNEL_CELL_FLOORS = {
+    "fifo/serial": 6000.0,
+    "fifo/icap": 2000.0,
+    "priority/serial": 10000.0,
+    "sjf/serial": 10000.0,
+}
+
 _PERF_DIR = Path(__file__).resolve().parent
 _REPO_ROOT = _PERF_DIR.parent.parent
 
@@ -168,6 +185,27 @@ def prefetch_stalls(payload: dict) -> dict[str, float]:
     return rates
 
 
+def kernel_floor_failures(payload: dict) -> list[str]:
+    """Floor violations of a committed ``bench_sched`` baseline.
+
+    Unlike :func:`compare` this never looks at the fresh run: it holds
+    the checked-in evidence itself to the absolute per-cell claims in
+    :data:`KERNEL_CELL_FLOORS`, so the check is deterministic on every
+    machine.
+    """
+    failures = []
+    for row in payload.get("kernel", []):
+        cell = f"{row['queue']}/{row['ports']}"
+        floor = KERNEL_CELL_FLOORS.get(cell, KERNEL_CELL_FLOOR)
+        rate = row["events_per_second"]
+        if rate < floor:
+            failures.append(
+                f"kernel/{cell}: committed baseline {rate:.0f} ev/s is "
+                f"below its {floor:.0f} ev/s floor"
+            )
+    return failures
+
+
 def compare(baseline: dict[str, float], fresh: dict[str, float],
             factor: float, higher_is_better: bool) -> list[str]:
     """Regression messages for every shared metric outside tolerance."""
@@ -264,6 +302,7 @@ def main(argv: list[str] | None = None) -> int:
     baseline_sched = json.loads(
         (baseline_dir / "BENCH_sched.json").read_text()
     )
+    failures += kernel_floor_failures(baseline_sched)
     failures += compare(sched_rates(baseline_sched),
                         sched_rates(fresh_sched),
                         args.factor, higher_is_better=True)

@@ -15,19 +15,28 @@ afford.  Three layers of evidence:
   historical ``deque.remove`` path was O(n) per timeout);
 * **kernel** — whole-scheduler runs: one heavy-tail stream per
   (queue discipline x port model) cell, wall clock plus the kernel's
-  processed-event counter, i.e. end-to-end events per second.
+  processed-event counter, i.e. end-to-end events per second.  Each
+  cell also samples the :data:`repro.perf.PERF` hot-path counters
+  (probes issued, memo skips, screen cache hits/misses, first-fit path
+  split), so the committed JSON shows *why* a cell is fast, not just
+  how fast — the next optimisation round starts from committed hit
+  rates instead of ad-hoc profiling.
 
 Run from the repo root:
 
     PYTHONPATH=src python benchmarks/perf/bench_sched.py
     PYTHONPATH=src python benchmarks/perf/bench_sched.py --smoke
 
-``--smoke`` shrinks stream sizes for CI.
+``--smoke`` shrinks stream sizes for CI; ``--profile PATH`` wraps the
+kernel grid in cProfile and writes the stats file to PATH (CI attaches
+it to every run as an artifact, so a regression always ships with the
+profile that explains it).
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
 import json
 import platform
 import sys
@@ -38,6 +47,7 @@ from pathlib import Path
 from repro.core.manager import LogicSpaceManager
 from repro.device.devices import device
 from repro.device.fabric import Fabric
+from repro.perf import PERF
 from repro.sched.events import EventQueue
 from repro.sched.ports import PORT_MODEL_NAMES
 from repro.sched.queues import QUEUE_NAMES, make_queue
@@ -154,6 +164,7 @@ def bench_kernel(n_tasks: int) -> list[dict]:
             )
             scheduler = OnlineTaskScheduler(manager, queue=queue,
                                             ports=ports)
+            PERF.reset()
             started = time.perf_counter()
             metrics = scheduler.run(tasks)
             elapsed = time.perf_counter() - started
@@ -170,6 +181,7 @@ def bench_kernel(n_tasks: int) -> list[dict]:
                 ),
                 "finished": metrics.finished,
                 "rejected": metrics.rejected,
+                "perf": PERF.collect(),
             })
             print(
                 f"kernel {queue:>9} x {ports:<8}: {elapsed:6.3f} s, "
@@ -187,17 +199,30 @@ def main(argv: list[str] | None = None) -> int:
                         help="CI mode: smaller streams")
     parser.add_argument("--out", default="BENCH_sched.json",
                         metavar="PATH", help="output JSON path")
+    parser.add_argument("--profile", metavar="PATH",
+                        help="cProfile the kernel grid and write the "
+                             "pstats dump here (read it with "
+                             "'python -m pstats PATH')")
     args = parser.parse_args(argv)
     n_events = 20_000 if args.smoke else 200_000
     n_items = 5_000 if args.smoke else 50_000
     n_tasks = 60 if args.smoke else 300
+    if args.profile:
+        profiler = cProfile.Profile()
+        profiler.enable()
+        kernel_rows = bench_kernel(n_tasks)
+        profiler.disable()
+        profiler.dump_stats(args.profile)
+        print(f"wrote kernel-grid profile to {args.profile}")
+    else:
+        kernel_rows = bench_kernel(n_tasks)
     payload = {
         "machine": platform.platform(),
         "python": platform.python_version(),
         "smoke": args.smoke,
         "events": bench_events(n_events),
         "queues": bench_queues(n_items),
-        "kernel": bench_kernel(n_tasks),
+        "kernel": kernel_rows,
     }
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")

@@ -122,27 +122,58 @@ class CostModel:
         # fixed per model), so repeated steps skip regenerating their
         # packet stream entirely.
         self._step_cost_cache: dict[tuple, tuple[int, int, float]] = {}
+        # Per-step-class (minors per column, FDRI bursts per column),
+        # backing the closed-form word count of the stock model (see
+        # :meth:`step_cost`).
+        self._class_layout_cache: dict[StepClass, tuple[int, int]] = {}
 
     # -- frame accounting ------------------------------------------------------
+
+    def _column_minors(self, step_class: StepClass) -> list[int]:
+        """The frame minors one column of ``step_class`` dirties."""
+        p = self.params
+        if p.granularity == "column":
+            return list(
+                range(self._scratch.frames_in_column(ColumnKind.CLB))
+            )
+        if step_class is StepClass.ROUTING:
+            return list(ROUTING_MINORS)[: p.routing_frames_per_column]
+        if step_class is StepClass.LOGIC:
+            return list(LOGIC_MINORS)[: p.logic_frames_per_column]
+        return list(STATE_MINORS)[: p.control_frames_per_column]
+
+    def _class_layout(self, step_class: StepClass) -> tuple[int, int]:
+        """``(minors per column, FDRI bursts per column)`` of a class.
+
+        :class:`~repro.device.bitstream.PartialBitstream` merges
+        consecutive same-major writes with consecutive minors into one
+        FDRI burst, so a column's burst count is the number of
+        *contiguous runs* in its minor list — a constant per step class
+        and granularity.  Bursts never merge across columns (their
+        majors differ), which is what makes the whole stream's word
+        count a closed form in the column count (see :meth:`step_cost`).
+        """
+        hit = self._class_layout_cache.get(step_class)
+        if hit is not None:
+            return hit
+        minors = self._column_minors(step_class)
+        runs = sum(
+            1
+            for i, minor in enumerate(minors)
+            if i == 0 or minor != minors[i - 1] + 1
+        )
+        layout = (len(minors), runs)
+        self._class_layout_cache[step_class] = layout
+        return layout
 
     def frames_for_step(self, step: ProcedureStep) -> list[FrameAddress]:
         """The frame addresses a step writes, per the model's granularity."""
         if step.is_wait or not step.columns:
             return []
-        p = self.params
+        minors = self._column_minors(step.step_class)
         addresses: list[FrameAddress] = []
         for col in sorted(step.columns):
             major = self._scratch.clb_major(col)
-            if p.granularity == "column":
-                minors: list[int] = list(
-                    range(self._scratch.frames_in_column(ColumnKind.CLB))
-                )
-            elif step.step_class is StepClass.ROUTING:
-                minors = list(ROUTING_MINORS)[: p.routing_frames_per_column]
-            elif step.step_class is StepClass.LOGIC:
-                minors = list(LOGIC_MINORS)[: p.logic_frames_per_column]
-            else:  # control
-                minors = list(STATE_MINORS)[: p.control_frames_per_column]
             addresses.extend(
                 FrameAddress(ColumnKind.CLB, major, m) for m in minors
             )
@@ -166,23 +197,69 @@ class CostModel:
             return BoundaryScanPort(self.params.tck_hz)
         return SelectMapPort()
 
+    #: Words outside the FDRI bursts of any non-empty stream: the sync
+    #: word plus the RCRC, CRC, DESYNC and NOP packets
+    #: (:class:`~repro.device.bitstream.PartialBitstream`'s fixed
+    #: prologue and trailer).
+    _STREAM_OVERHEAD_WORDS = 8
+    #: Words per FDRI burst besides the frame payload and its pad
+    #: frame: the CMD WCFG packet (2), the FAR packet (2) and the FDRI
+    #: packet header (1).
+    _BURST_OVERHEAD_WORDS = 5
+
+    def step_words(self, step: ProcedureStep) -> int:
+        """Exact wire words of a step's partial bitstream, closed form.
+
+        Per column of ``R`` FDRI bursts covering ``K`` frames, the
+        stream carries ``5R`` burst-overhead words plus ``(K + R)``
+        frames of payload (each burst appends one pad frame); the
+        stream prologue/trailer add a constant 8.  This is exactly
+        ``bitstream_for_step(step).word_count`` — pinned by a
+        differential test — without materialising the packet stream,
+        whose payload bytes and CRC cost milliseconds per step and
+        cannot change the *timing* (the port shifts a CRC word no
+        matter its value).
+        """
+        if step.is_wait or not step.columns:
+            return 0
+        per_col, runs = self._class_layout(step.step_class)
+        frame_words = self.device.frame_words
+        return self._STREAM_OVERHEAD_WORDS + len(step.columns) * (
+            self._BURST_OVERHEAD_WORDS * runs
+            + (per_col + runs) * frame_words
+        )
+
     def step_cost(self, step: ProcedureStep) -> StepCost:
-        """Frames, words and seconds for one step."""
+        """Frames, words and seconds for one step.
+
+        The stock model computes the word count in closed form
+        (:meth:`step_words`); subclasses that override the frame
+        accounting keep the exact packet-stream path.
+        """
         key = (step.kind, step.columns)
         hit = self._step_cost_cache.get(key)
         if hit is not None:
             return StepCost(step, *hit)
-        stream = self.bitstream_for_step(step)
-        if stream is None:
-            self._step_cost_cache[key] = (0, 0, 0.0)
-            return StepCost(step, 0, 0, 0.0)
+        if type(self) is CostModel:
+            words = self.step_words(step)
+            if words == 0:
+                self._step_cost_cache[key] = (0, 0, 0.0)
+                return StepCost(step, 0, 0, 0.0)
+            per_col, __ = self._class_layout(step.step_class)
+            frames = len(step.columns) * per_col
+        else:
+            stream = self.bitstream_for_step(step)
+            if stream is None:
+                self._step_cost_cache[key] = (0, 0, 0.0)
+                return StepCost(step, 0, 0, 0.0)
+            words = stream.word_count
+            frames = len(self.frames_for_step(step))
         port = self._fresh_port()
-        seconds = port.configure(stream.word_count)
+        seconds = port.configure(words)
         if self.params.readback_verify:
-            seconds += port.readback(stream.word_count)
-        frames = len(self.frames_for_step(step))
-        self._step_cost_cache[key] = (frames, stream.word_count, seconds)
-        return StepCost(step, frames, stream.word_count, seconds)
+            seconds += port.readback(words)
+        self._step_cost_cache[key] = (frames, words, seconds)
+        return StepCost(step, frames, words, seconds)
 
     def plan_cost(self, plan: RelocationPlan) -> PlanCost:
         """Cost breakdown for a whole relocation plan."""
@@ -206,19 +283,31 @@ class CostModel:
             frames_per_col = p.logic_frames_per_column
         else:
             frames_per_col = p.control_frames_per_column
-        payload = bytes(self._scratch.frame_bytes)
-        stream = PartialBitstream(self._scratch, "estimate")
-        writes = []
-        for col in range(n_columns):
-            major = col % self.device.clb_cols
-            writes.extend(
-                FrameWrite(FrameAddress(ColumnKind.CLB, major, minor), payload)
-                for minor in range(frames_per_col)
+        if type(self) is CostModel:
+            # One burst per column (the burst's minors are the
+            # contiguous ``range(frames_per_col)`` and majors never
+            # merge), so the word count is closed form — identical to
+            # the packet stream built below, pinned by test.
+            words = self._STREAM_OVERHEAD_WORDS + n_columns * (
+                self._BURST_OVERHEAD_WORDS
+                + (frames_per_col + 1) * self.device.frame_words
             )
-        stream.add_frame_writes(writes)
-        stream.finalize()
+        else:
+            payload = bytes(self._scratch.frame_bytes)
+            stream = PartialBitstream(self._scratch, "estimate")
+            writes = []
+            for col in range(n_columns):
+                major = col % self.device.clb_cols
+                writes.extend(
+                    FrameWrite(FrameAddress(ColumnKind.CLB, major, minor),
+                               payload)
+                    for minor in range(frames_per_col)
+                )
+            stream.add_frame_writes(writes)
+            stream.finalize()
+            words = stream.word_count
         port = self._fresh_port()
-        seconds = port.configure(stream.word_count)
+        seconds = port.configure(words)
         if self.params.readback_verify:
-            seconds += port.readback(stream.word_count)
+            seconds += port.readback(words)
         return seconds

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.device.geometry import Rect
+from repro.perf import PERF
 from repro.placement.bitgrid import (
     clear_rect,
     first_fit_bits,
@@ -46,6 +47,10 @@ from repro.placement.compaction import (
     sequence_moves,
 )
 from repro.placement.free_space import largest_empty_rectangle
+
+#: Distinct-from-everything sentinel for memo lookups whose values may
+#: legitimately be ``None``.
+_MISS = object()
 
 
 @dataclass
@@ -94,6 +99,21 @@ class DefragPlanner:
         #: plans, all pure functions of the grid named by the token.
         self._cache_token: object = None
         self._shared: dict | None = None
+        #: content-addressed L2 for the shared state: every entry in the
+        #: per-token dict is a pure function of the occupancy *bytes*, so
+        #: when the fabric revisits an earlier layout bit-for-bit (place
+        #: then finish restores the grid; admission streams do this for
+        #: well over half their planning rounds) the whole dict — packed
+        #: rows, footprints, compaction sweeps, screens, finished plans —
+        #: is replayed instead of recomputed.  Bounded; cleared wholesale
+        #: when full (entries are cheap to rebuild).
+        self._grid_states: dict[bytes, dict] = {}
+        #: pooled scratch arrays for the vectorised screen, keyed by the
+        #: (rows, windows) working-set shape.  ``pop``/reinsert keeps
+        #: concurrent callers from sharing a buffer.
+        self._screen_scratch: dict[
+            tuple[int, int], tuple[np.ndarray, np.ndarray, np.ndarray]
+        ] = {}
 
     def plan(self, occupancy: np.ndarray, height: int, width: int,
              token: object = None) -> RearrangementPlan | None:
@@ -112,7 +132,7 @@ class DefragPlanner:
         planner run per distinct shape.  Without a token every call
         computes from scratch.
         """
-        shared = self._shared_state(token)
+        shared = self._shared_state(token, occupancy)
         if shared is not None and (height, width) in shared["plans"]:
             return shared["plans"][height, width]
         result = self._plan_uncached(occupancy, height, width, shared)
@@ -120,13 +140,28 @@ class DefragPlanner:
             shared["plans"][height, width] = result
         return result
 
-    def _shared_state(self, token: object) -> dict | None:
-        """The per-token scratch dict (fresh when the token moved)."""
+    def _shared_state(self, token: object,
+                      occupancy: np.ndarray) -> dict | None:
+        """The per-token scratch dict (fresh when the token moved).
+
+        A token change re-keys the dict by the occupancy *content*
+        (:attr:`_grid_states`): distinct tokens naming bit-identical
+        grids — the same engine after a place/finish round trip, or two
+        fleet members in the same layout — share one dict, and every
+        entry (being a pure function of the grid) replays exactly.
+        """
         if token is None:
             return None
         if self._cache_token != token:
             self._cache_token = token
-            self._shared = {"plans": {}, "compaction": {}}
+            key = occupancy.tobytes()
+            shared = self._grid_states.get(key)
+            if shared is None:
+                if len(self._grid_states) >= 64:
+                    self._grid_states.clear()
+                shared = {"plans": {}, "compaction": {}, "screens": {}}
+                self._grid_states[key] = shared
+            self._shared = shared
         return self._shared
 
     def plan_prefetch(self, occupancy: np.ndarray,
@@ -145,7 +180,7 @@ class DefragPlanner:
         """
         if token is None:
             return
-        shared = self._shared_state(token)
+        shared = self._shared_state(token, occupancy)
         memo = shared["plans"]
         todo: list[tuple[int, int]] = []
         for shape in shapes:
@@ -319,7 +354,12 @@ class DefragPlanner:
                 )
                 if shared is not None:
                     shared["compaction"][toward] = (moves, compacted_bits)
-            if not moves:
+            # A plan longer than ``max_moves`` is discarded by
+            # ``_assemble`` regardless of where the shape would land, so
+            # the first-fit probe is skipped outright — on saturated
+            # grids the compaction move lists routinely overshoot the
+            # cap and this avoids the probe entirely.
+            if not moves or len(moves) > self.max_moves:
                 continue
             spot = first_fit_bits(compacted_bits, height, width)
             if spot is not None:
@@ -357,6 +397,12 @@ class DefragPlanner:
         state = {
             "print_items": print_items,
             "pr": pr, "pc": pc, "ph": ph, "pw": pw,
+            "areas": ph * pw,
+            # Plain-list mirrors for the per-shape anchor dedup in
+            # :meth:`_eviction_windows` — the candidate sets are a few
+            # dozen ints, where a Python set beats array machinery.
+            "coord_lists": (pr.tolist(), pc.tolist(),
+                            ph.tolist(), pw.tolist()),
         }
         rows, cols = occupancy.shape
         if cols <= 64:
@@ -385,6 +431,12 @@ class DefragPlanner:
             state["uh"] = uniq_key // 65
             state["uw"] = uniq_key % 65
             state["inv"] = inv
+            # Footprint -> shape one-hot, so the screen can map a
+            # window/blocker membership matrix onto the (much smaller)
+            # set of windows each *shape* actually blocks.
+            onehot = np.zeros((count, len(uniq_key)), dtype=np.int64)
+            onehot[np.arange(count), inv] = 1
+            state["shape_onehot"] = onehot
         if shared is not None:
             shared["evict"] = state
         return state
@@ -405,12 +457,23 @@ class DefragPlanner:
         count = len(state["print_items"])
         pr, pc, ph, pw = (state["pr"], state["pc"],
                           state["ph"], state["pw"])
-        edge = np.array([0, rows - height], dtype=np.int64)
-        rcand = np.concatenate((edge, pr - height, pr, pr + ph))
-        ra = np.unique(rcand[(rcand >= 0) & (rcand <= rows - height)])
-        edge = np.array([0, cols - width], dtype=np.int64)
-        ccand = np.concatenate((edge, pc - width, pc, pc + pw))
-        ca = np.unique(ccand[(ccand >= 0) & (ccand <= cols - width)])
+        prl, pcl, phl, pwl = state["coord_lists"]
+        rhi = rows - height
+        chi = cols - width
+        if rhi < 0 or chi < 0:
+            return None
+        rset = {0, rhi}
+        for p, h in zip(prl, phl):
+            for v in (p - height, p, p + h):
+                if 0 <= v <= rhi:
+                    rset.add(v)
+        ra = np.array(sorted(rset), dtype=np.int64)
+        cset = {0, chi}
+        for p, w in zip(pcl, pwl):
+            for v in (p - width, p, p + w):
+                if 0 <= v <= chi:
+                    cset.add(v)
+        ca = np.array(sorted(cset), dtype=np.int64)
         # Bound the search (minimising disturbance is a heuristic, not an
         # exhaustive optimisation): subsample anchors evenly if needed.
         while len(ra) * len(ca) > self.max_candidates:
@@ -462,24 +525,55 @@ class DefragPlanner:
         if height > rows or width > cols or not prints:
             return None
         state = self._evict_state(occupancy, prints, shared)
-        win = self._eviction_windows(occupancy, state, height, width)
-        if win is None:
-            return None
-        member, n_w, wr, wc = win
-        keeps = self._screen_windows(
-            occupancy, state, [(member, wr, wc, height, width)],
+        survivors = self._screened_windows(
+            occupancy, state, height, width, shared
         )
-        if keeps is not None:
-            keep = keeps[0]
-            if not keep.any():
-                return None
-            member, n_w, wr, wc = (
-                member[keep], n_w[keep], wr[keep], wc[keep]
-            )
+        if survivors is None:
+            return None
+        member, n_w, wr, wc = survivors
         return self._eviction_select(
             occupancy, state, base_bits, member, n_w, wr, wc,
             height, width,
         )
+
+    def _screened_windows(
+        self, occupancy: np.ndarray, state: dict, height: int,
+        width: int, shared: dict | None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None:
+        """One shape's screen survivors, memoised per planner token.
+
+        The keep-set is a pure function of (occupancy grid, shape) — the
+        token names the grid via the free-space generation, so within a
+        token the candidate windows and their screen verdicts are
+        computed once per shape and replayed on every later probe
+        (``screen_cache_hits`` counts the replays).
+        """
+        if shared is not None:
+            hit = shared["screens"].get((height, width), _MISS)
+            if hit is not _MISS:
+                PERF.screen_cache_hits += 1
+                return hit
+            PERF.screen_cache_misses += 1
+        win = self._eviction_windows(occupancy, state, height, width)
+        if win is None:
+            result = None
+        else:
+            member, n_w, wr, wc = win
+            keeps = self._screen_windows(
+                occupancy, state, [(member, wr, wc, height, width)],
+            )
+            if keeps is None:
+                result = win
+            elif not keeps[0].any():
+                result = None
+            else:
+                keep = keeps[0]
+                result = (
+                    member[keep], n_w[keep], wr[keep], wc[keep]
+                )
+        if shared is not None:
+            shared["screens"][height, width] = result
+        return result
 
     def _eviction_batch(
         self, occupancy: np.ndarray, prints: dict[int, Rect],
@@ -497,31 +591,47 @@ class DefragPlanner:
         rows, cols = occupancy.shape
         results: dict[tuple[int, int], RearrangementPlan | None] = {}
         state = self._evict_state(occupancy, prints, shared)
+        screens = shared["screens"] if shared is not None else None
+        survivors: dict[tuple[int, int], tuple | None] = {}
         groups: list[tuple] = []
         wins: dict[tuple[int, int], tuple] = {}
         for height, width in shapes:
+            if screens is not None:
+                hit = screens.get((height, width), _MISS)
+                if hit is not _MISS:
+                    PERF.screen_cache_hits += 1
+                    survivors[height, width] = hit
+                    continue
+                PERF.screen_cache_misses += 1
             if height > rows or width > cols or not prints:
-                results[height, width] = None
+                survivors[height, width] = None
                 continue
             win = self._eviction_windows(occupancy, state, height, width)
             if win is None:
-                results[height, width] = None
+                survivors[height, width] = None
                 continue
             wins[height, width] = win
             groups.append((win[0], win[2], win[3], height, width))
-        if not wins:
-            return results
-        keeps = self._screen_windows(occupancy, state, groups)
-        for g, (height, width) in enumerate(wins):
-            member, n_w, wr, wc = wins[height, width]
-            if keeps is not None:
-                keep = keeps[g]
-                if not keep.any():
-                    results[height, width] = None
-                    continue
-                member, n_w, wr, wc = (
-                    member[keep], n_w[keep], wr[keep], wc[keep]
-                )
+        if wins:
+            keeps = self._screen_windows(occupancy, state, groups)
+            for g, (height, width) in enumerate(wins):
+                member, n_w, wr, wc = wins[height, width]
+                if keeps is None:
+                    survivors[height, width] = (member, n_w, wr, wc)
+                elif not keeps[g].any():
+                    survivors[height, width] = None
+                else:
+                    keep = keeps[g]
+                    survivors[height, width] = (
+                        member[keep], n_w[keep], wr[keep], wc[keep]
+                    )
+        for (height, width), win in survivors.items():
+            if screens is not None and (height, width) not in screens:
+                screens[height, width] = win
+            if win is None:
+                results[height, width] = None
+                continue
+            member, n_w, wr, wc = win
             results[height, width] = self._eviction_select(
                 occupancy, state, base_bits, member, n_w, wr, wc,
                 height, width,
@@ -541,37 +651,82 @@ class DefragPlanner:
         ranked by (sites moved, distance) with scan order breaking
         ties, and the best *sequenceable* candidate wins — the same
         winner the one-window-at-a-time scan selected.
+
+        The (sites moved) rank is lazy: a window's moved area is the
+        sum of its blockers' footprint areas — every blocker yields
+        exactly one move whose source is its footprint — so it is known
+        from the member matrix *before* any relocation search runs.
+        Windows are grouped by moved area ascending and only groups
+        reached before a winner pay for their move lists, which is most
+        of the eviction cost on rejection-heavy streams.
         """
         print_items = state["print_items"]
-        for bucket in sorted(set(n_w.tolist())):
-            scored: list[tuple[tuple[int, int], int, Rect, list[Move]]] = []
-            for seq in np.flatnonzero(n_w == bucket):
-                target = Rect(int(wr[seq]), int(wc[seq]), height, width)
-                blockers = [
-                    print_items[i] for i in np.flatnonzero(member[seq])
-                ]
+        areas = state["areas"].tolist()
+        # Survivor counts are tiny after the screen (a handful per
+        # shape), so the walk runs on plain Python containers — per-
+        # bucket numpy dispatches would dominate the actual work.
+        w_idx, p_idx = np.nonzero(member)
+        n = member.shape[0]
+        blockers_of: list[list[int]] = [[] for _ in range(n)]
+        for w, p in zip(w_idx.tolist(), p_idx.tolist()):
+            blockers_of[w].append(p)
+        wr_l = wr.tolist()
+        wc_l = wc.tolist()
+        n_l = n_w.tolist()
+        order = sorted(range(n), key=lambda i: (n_l[i], i))
+        pos = 0
+        while pos < len(order):
+            seq = order[pos]
+            bucket = n_l[seq]
+            if bucket == 1:
+                pos += 1
+                target = Rect(wr_l[seq], wc_l[seq], height, width)
+                blockers = [print_items[i] for i in blockers_of[seq]]
                 moves = self._evict_moves(base_bits, blockers, target)
                 if moves is None:
                     continue
-                if bucket == 1:
-                    ordered = sequence_moves(occupancy, moves)
-                    if ordered is not None:
-                        return RearrangementPlan(target, ordered, "eviction")
-                    continue
-                key = (
-                    sum(m.src.area for m in moves),
-                    sum(m.distance for m in moves),
-                )
-                scored.append((key, int(seq), target, moves))
-            scored.sort(key=lambda entry: (entry[0], entry[1]))
-            for _, _, target, moves in scored:
                 ordered = sequence_moves(occupancy, moves)
                 if ordered is not None:
                     return RearrangementPlan(target, ordered, "eviction")
+                continue
+            # One whole bucket, grouped by moved area ascending; only
+            # groups reached before a winner pay for their move lists.
+            stop = pos
+            while stop < len(order) and n_l[order[stop]] == bucket:
+                stop += 1
+            idxs = order[pos:stop]
+            pos = stop
+            area_of = {
+                i: sum(areas[p] for p in blockers_of[i]) for i in idxs
+            }
+            by_area = sorted(idxs, key=lambda i: (area_of[i], i))
+            g = 0
+            while g < len(by_area):
+                area = area_of[by_area[g]]
+                scored: list[tuple[int, int, Rect, list[Move]]] = []
+                while g < len(by_area):
+                    seq = by_area[g]
+                    if area_of[seq] != area:
+                        break
+                    g += 1
+                    target = Rect(wr_l[seq], wc_l[seq], height, width)
+                    blockers = [print_items[i] for i in blockers_of[seq]]
+                    moves = self._evict_moves(base_bits, blockers, target)
+                    if moves is None:
+                        continue
+                    distance = sum(m.distance for m in moves)
+                    scored.append((distance, seq, target, moves))
+                scored.sort(key=lambda entry: (entry[0], entry[1]))
+                for _, _, target, moves in scored:
+                    ordered = sequence_moves(occupancy, moves)
+                    if ordered is not None:
+                        return RearrangementPlan(
+                            target, ordered, "eviction"
+                        )
         return None
 
-    @staticmethod
     def _screen_windows(
+        self,
         occupancy: np.ndarray,
         state: dict,
         groups: list[tuple],
@@ -632,6 +787,8 @@ class DefragPlanner:
             bounds.append(slice(offset, offset + n))
             offset += n
         windows = offset
+        PERF.screen_calls += 1
+        PERF.screen_windows += windows
         # One "does shape (h, w) fit anywhere?" bit per (shape, window).
         # Row bands and column-run anchors both grow *incrementally*
         # (heights and then widths visited in ascending order — the
@@ -641,8 +798,19 @@ class DefragPlanner:
         # two extra ops here and gate nothing below (their member
         # columns are all False).  The reductions run transposed —
         # (rows, windows), windows contiguous — so every slab the ops
-        # touch is a contiguous block of whole rows.
-        bits_t = np.ascontiguousarray(bits.T)
+        # touch is a contiguous block of whole rows.  The three
+        # (rows, windows) scratch slabs are pooled per working-set shape
+        # across calls (:attr:`_screen_scratch`) — within one admission
+        # round the batch sizes repeat, so steady state allocates
+        # nothing.
+        scratch = self._screen_scratch.pop((rows, windows), None)
+        if scratch is None:
+            bits_t = np.empty((rows, windows), dtype=np.uint64)
+            bbuf_pool = np.empty_like(bits_t)
+            sbuf = np.empty_like(bits_t)
+        else:
+            bits_t, bbuf_pool, sbuf = scratch
+        np.copyto(bits_t, bits.T)
         uh, uw, inv = state["uh"], state["uw"], state["inv"]
         shapes = len(uh)
         # Only shapes blocking some window of *this* batch gate a
@@ -650,11 +818,10 @@ class DefragPlanner:
         # batch's largest active shape.  ``fits`` defaults to True so
         # the skipped rows (never selected by a True member bit) stay
         # inert in the verdict gather below.
-        active = np.unique(inv[member.any(axis=0)])
+        active = sorted(set(inv[member.any(axis=0)].tolist()))
         fits = np.ones((shapes, windows), dtype=bool)
         band = bits_t        # AND of rows r..r+covered_h-1 per row r
         bbuf: np.ndarray | None = None
-        sbuf = np.empty_like(bits_t)
         covered_h = 1
         ai = 0
         n_active = len(active)
@@ -664,7 +831,7 @@ class DefragPlanner:
             while covered_h < bh:
                 n = rows - covered_h
                 if bbuf is None:
-                    bbuf = np.empty_like(bits_t)
+                    bbuf = bbuf_pool
                     np.bitwise_and(bits_t[:n], bits_t[covered_h:],
                                    out=bbuf[:n])
                     band = bbuf
@@ -696,6 +863,10 @@ class DefragPlanner:
         # A window survives unless it contains a blocker whose shape has
         # no relocation spot at all.
         bad = (member & ~fits[inv].T).any(axis=1)
+        if len(self._screen_scratch) >= 8:
+            # Window counts vary per round; don't hoard stale sizes.
+            self._screen_scratch.clear()
+        self._screen_scratch[rows, windows] = (bits_t, bbuf_pool, sbuf)
         return [~bad[b] for b in bounds]
 
     def _evict_moves(
@@ -712,6 +883,7 @@ class DefragPlanner:
         the exact scratch-grid procedure of the eviction strategy, minus
         the numpy copies.  Sequencing is the caller's job.
         """
+        PERF.evict_moves_calls += 1
         bits = list(base_bits)
         for _, rect in blockers:
             set_rect(bits, rect.row, rect.row_end,

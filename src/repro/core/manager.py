@@ -86,6 +86,18 @@ class PlacementOutcome:
     #: manager; set by :class:`repro.fleet.manager.FleetManager` so the
     #: scheduling kernel charges the right device's port).
     device: int = 0
+    #: failure certificate: True when the manager can *prove* that any
+    #: request of equal-or-larger footprint (height' >= height and
+    #: width' >= width) would also fail against this same occupancy.
+    #: Two provable cases exist — a direct-fit failure with
+    #: rearrangement disabled (a larger window contains a smaller one),
+    #: and a free-area shortfall (defragmentation consolidates sites,
+    #: it cannot create them).  A rearrangement-*search* failure is NOT
+    #: dominant: the eviction heuristic's candidate anchors and
+    #: relocation trade-offs are shape-dependent and non-monotone.  The
+    #: scheduling kernel uses the certificate to skip doomed probes of
+    #: larger queued shapes; always False on success.
+    dominant: bool = False
 
     @property
     def rearrange_seconds(self) -> float:
@@ -249,7 +261,9 @@ class LogicSpaceManager:
             return outcome
         if self.policy is RearrangePolicy.NONE \
                 or not self.defrag_policy.reactive:
-            outcome = PlacementOutcome(False, owner)
+            # Fit-only failure is monotone in the footprint: any larger
+            # window would contain the missing smaller one.
+            outcome = PlacementOutcome(False, owner, dominant=True)
             self.outcomes.append(outcome)
             return outcome
         # The token names the current occupancy content (see
@@ -265,7 +279,13 @@ class LogicSpaceManager:
             self.fabric.occupancy, height, width, token=token
         )
         if plan is None:
-            outcome = PlacementOutcome(False, owner)
+            # The failure is dominant only on a free-area shortfall
+            # (larger shapes need even more area); a rearrangement
+            # *search* failure proves nothing about other shapes.
+            outcome = PlacementOutcome(
+                False, owner,
+                dominant=self.free_space.free_area() < height * width,
+            )
             self.outcomes.append(outcome)
             return outcome
         executions = self.execute_plan(plan)
@@ -288,7 +308,11 @@ class LogicSpaceManager:
     #: in the rare case an early shape's *plan* succeeds (which admits
     #: the item and invalidates everything after it).  Shapes past the
     #: cap fall back to on-demand (still token-memoised) planning.
-    PLAN_PREFETCH_DEPTH = 8
+    #: Sized to cover a rejection-heavy pass's whole distinct-shape set
+    #: (the batch screens all shapes in one vectorised pass, so depth
+    #: is nearly free when plans fail — and plans failing is exactly
+    #: when the deep batch gets consumed).
+    PLAN_PREFETCH_DEPTH = 32
 
     def prefetch_admission(self, shapes: list[tuple[int, int]]) -> None:
         """Warm the fit and plan caches for one admission pass.

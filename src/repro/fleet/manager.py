@@ -35,6 +35,7 @@ from __future__ import annotations
 
 from repro.core.manager import LogicSpaceManager, PlacementOutcome
 from repro.device.fabric import Fabric
+from repro.perf import PERF
 
 from .policies import DeviceSelectionPolicy, make_device_policy
 
@@ -55,6 +56,18 @@ class FleetManager:
         #: and the O(1) load counters in one map.
         self._owners: dict[int, tuple[int, int]] = {}
         self._areas = [0] * len(self.members)
+        #: (member index, height, width) -> (free-space generation at
+        #: the failed probe, its dominance certificate).  A member's
+        #: ``request`` is a pure function of its occupancy, and a
+        #: *failed* request never mutates it — so while the member's
+        #: generation still equals the memoed one, re-probing the same
+        #: shape is guaranteed to reproduce the same rejection and is
+        #: skipped (``fleet_member_skips`` counts these).  Entries are
+        #: simply superseded when a newer generation fails again; stale
+        #: generations never match, so no eviction is needed.
+        self._member_shape_failed: dict[
+            tuple[int, int, int], tuple[int, bool]
+        ] = {}
 
     # -- fleet introspection -------------------------------------------------
 
@@ -104,14 +117,30 @@ class FleetManager:
         Members are attempted in the selection policy's preference
         order; the first accepting member tags the outcome with its
         device index (the scheduling kernel charges that device's
-        port).  When every member declines — including through their
-        rearrangement planners — the last member's failed outcome is
-        returned, so a 1-member fleet returns exactly what its single
-        manager would.
+        port).  A member whose free-space generation is unchanged since
+        this shape last failed on it is skipped outright — the memoed
+        rejection is replayed instead of re-running its planner.  When
+        every member declines, a failed outcome is returned whose
+        ``dominant`` certificate holds only if every member was covered
+        and every rejection was itself dominant; a 1-member fleet
+        returns exactly what its single manager would.
         """
         outcome: PlacementOutcome | None = None
+        dominant = True
+        covered: set[int] = set()
         for index in self.policy.order(self, height, width):
-            outcome = self.members[index].request(height, width, owner)
+            member = self.members[index]
+            generation = getattr(member.free_space, "generation", None)
+            memo = self._member_shape_failed.get((index, height, width))
+            if memo is not None and generation is not None \
+                    and generation == memo[0]:
+                PERF.fleet_member_skips += 1
+                dominant = dominant and memo[1]
+                covered.add(index)
+                if outcome is None:
+                    outcome = PlacementOutcome(False, owner)
+                continue
+            outcome = member.request(height, width, owner)
             if outcome.success:
                 outcome.device = index
                 assert outcome.rect is not None
@@ -119,8 +148,15 @@ class FleetManager:
                 self._areas[index] += outcome.rect.area
                 self.policy.note_placed(index)
                 return outcome
+            dominant = dominant and outcome.dominant
+            covered.add(index)
+            if generation is not None:
+                self._member_shape_failed[index, height, width] = (
+                    generation, outcome.dominant
+                )
         if outcome is None:  # pragma: no cover - members is never empty
             outcome = PlacementOutcome(False, owner)
+        outcome.dominant = dominant and len(covered) == len(self.members)
         return outcome
 
     def prefetch_admission(self, shapes: list[tuple[int, int]]) -> None:

@@ -243,12 +243,32 @@ class IncrementalFreeSpace:
             self._mers = survivors
             return
         if unaffected is None:
-            candidates = list(survivors) + list(pieces)
-            kept = {
-                p for p in pieces
-                if not any(o != p and o.contains_rect(p)
-                           for o in candidates)
-            }
+            # Scalar absorption over precomputed coordinate tuples: the
+            # ``o != p and o.contains_rect(p)`` formulation spends most
+            # of its time in dataclass ``__eq__`` and property calls,
+            # and this check runs on every allocation.
+            cand = [
+                (o.row, o.col, o.row + o.height, o.col + o.width)
+                for o in survivors
+            ]
+            cand += [
+                (o.row, o.col, o.row + o.height, o.col + o.width)
+                for o in pieces
+            ]
+            kept = set()
+            for p in pieces:
+                pr = p.row
+                pc = p.col
+                pre = pr + p.height
+                pce = pc + p.width
+                for cr, cc, cre, cce in cand:
+                    if (cr <= pr and cc <= pc and cre >= pre
+                            and cce >= pce
+                            and not (cr == pr and cc == pc
+                                     and cre == pre and cce == pce)):
+                        break
+                else:
+                    kept.add(p)
             self._mers = survivors | kept
             return
         piece_list = list(pieces)
@@ -283,10 +303,25 @@ class IncrementalFreeSpace:
         # strictly larger rectangle absorb it — and that rectangle, being
         # maximal and intersecting the freed rect, is in ``fresh``.
         if small:
-            survivors = {
-                m for m in self._mers
-                if not any(n != m and n.contains_rect(m) for n in fresh)
-            }
+            # Coordinate-tuple absorption scan (see ``allocate``).
+            fr = [
+                (n.row, n.col, n.row + n.height, n.col + n.width)
+                for n in fresh
+            ]
+            survivors = set()
+            for m in self._mers:
+                mr = m.row
+                mc = m.col
+                mre = mr + m.height
+                mce = mc + m.width
+                for nr, nc, nre, nce in fr:
+                    if (nr <= mr and nc <= mc and nre >= mre
+                            and nce >= mce
+                            and not (nr == mr and nc == mc
+                                     and nre == mre and nce == mce)):
+                        break
+                else:
+                    survivors.add(m)
         else:
             demoted = self._absorbed(coords, self._coords_of(fresh))
             survivors = {rects[i] for i in np.flatnonzero(~demoted)}
@@ -334,25 +369,34 @@ class IncrementalFreeSpace:
         ``seed`` columns, walking the bottom edge ``r1`` downward."""
         if band is None:
             band = row_bits[r0]
-        above = row_bits[r0 - 1] if r0 > 0 else 0
+        not_above = ~(row_bits[r0 - 1] if r0 > 0 else 0)
         r1 = r1_start
         while band & seed:
-            below = row_bits[r1 + 1] if r1 < rows - 1 else 0
-            x = band
-            while x:
-                low = x & -x
-                grown = x + low
-                run = x & ~grown  # the lowest run of set bits
-                x &= grown
-                if not run & seed:
-                    continue  # misses the freed columns
-                if not run & ~above:
-                    continue  # grows upward: emitted at a smaller r0
-                if not run & ~below:
-                    continue  # grows downward: emitted at a larger r1
-                c0 = (run & -run).bit_length() - 1
-                c1 = run.bit_length() - 1
-                out.append(Rect(r0, c0, r1 - r0 + 1, c1 - c0 + 1))
+            if not band & not_above:
+                # Every run is free across row r0 - 1 too, so each is
+                # emitted by the sweep starting there — and bands only
+                # shrink walking down, so that stays true: done.
+                return
+            not_below = ~(row_bits[r1 + 1] if r1 < rows - 1 else 0)
+            if band & not_below:
+                x = band
+                while x:
+                    low = x & -x
+                    grown = x + low
+                    run = x & ~grown  # the lowest run of set bits
+                    x &= grown
+                    if not run & seed:
+                        continue  # misses the freed columns
+                    if not run & not_above:
+                        continue  # grows upward: emitted at a smaller r0
+                    if not run & not_below:
+                        continue  # grows downward: emitted at larger r1
+                    c0 = (run & -run).bit_length() - 1
+                    c1 = run.bit_length() - 1
+                    out.append(Rect(r0, c0, r1 - r0 + 1, c1 - c0 + 1))
+            # else: the band persists through row r1 + 1, so every run
+            # grows downward and the level emits nothing — skip the
+            # run enumeration outright.
             r1 += 1
             if r1 >= rows:
                 break

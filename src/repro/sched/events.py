@@ -18,19 +18,25 @@ class _Entry:
     seq: int
     action: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    fired: bool = field(default=False, compare=False)
 
 
 class EventHandle:
     """Handle allowing a scheduled event to be cancelled."""
 
-    __slots__ = ("_entry",)
+    __slots__ = ("_entry", "_queue")
 
-    def __init__(self, entry: _Entry) -> None:
+    def __init__(self, entry: _Entry, queue: "EventQueue") -> None:
         self._entry = entry
+        self._queue = queue
 
     def cancel(self) -> None:
         """Prevent the event from firing (no-op if already fired)."""
-        self._entry.cancelled = True
+        entry = self._entry
+        if entry.cancelled or entry.fired:
+            return
+        entry.cancelled = True
+        self._queue._note_cancel()
 
     @property
     def time(self) -> float:
@@ -51,6 +57,19 @@ class EventQueue:
         self._heap: list[_Entry] = []
         self._seq = 0
         self.processed = 0
+        #: Cancelled entries still buried in the heap.  ``pending`` is
+        #: then O(1) (heap length minus tombstones), and the heap is
+        #: compacted lazily once tombstones outnumber live entries —
+        #: timeout-heavy runs cancel most of what they schedule, and
+        #: without compaction those placeholders pile up until drain.
+        self._tombstones = 0
+
+    def _note_cancel(self) -> None:
+        self._tombstones += 1
+        if self._tombstones * 2 > len(self._heap) >= 16:
+            self._heap = [e for e in self._heap if not e.cancelled]
+            heapq.heapify(self._heap)
+            self._tombstones = 0
 
     def at(self, time: float, action: Callable[[], None]) -> EventHandle:
         """Schedule ``action`` at absolute ``time`` (>= now)."""
@@ -59,7 +78,7 @@ class EventQueue:
         entry = _Entry(time, self._seq, action)
         self._seq += 1
         heapq.heappush(self._heap, entry)
-        return EventHandle(entry)
+        return EventHandle(entry, self)
 
     def after(self, delay: float, action: Callable[[], None]) -> EventHandle:
         """Schedule ``action`` after ``delay`` seconds."""
@@ -80,7 +99,9 @@ class EventQueue:
                 return
             entry = heapq.heappop(self._heap)
             if entry.cancelled:
+                self._tombstones -= 1
                 continue
+            entry.fired = True
             self.now = entry.time
             entry.action()
             self.processed += 1
@@ -94,8 +115,9 @@ class EventQueue:
 
     @property
     def pending(self) -> int:
-        """Events still queued (including cancelled placeholders)."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Events still queued and not cancelled (O(1): tracked as heap
+        length minus buried tombstones, not recounted)."""
+        return len(self._heap) - self._tombstones
 
 
 class SequentialResource:

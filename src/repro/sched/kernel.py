@@ -44,6 +44,7 @@ from repro.core.manager import (
     PlacementOutcome,
 )
 from repro.device.geometry import Rect
+from repro.perf import PERF
 
 from .events import EventHandle, EventQueue
 from .ports import PortModel, make_port_model
@@ -244,6 +245,22 @@ class SchedulingKernel:
         #: id would let a *new* item inherit a stale failure memo and be
         #: silently skipped for a pass.
         self._item_failed_at: dict[int, int] = {}
+        #: shape-level failure memo: (height, width) -> space version at
+        #: which that *shape* failed.  ``manager.request``'s verdict is
+        #: a pure function of (occupancy, shape) — the owner id never
+        #: affects success — so once one item's shape fails, every other
+        #: queued item of the same shape is skipped until the space
+        #: version bumps.  The per-item memo above cannot catch these:
+        #: each item carries its own token.
+        self._shape_failed_at: dict[tuple[int, int], int] = {}
+        #: dominance memo: the shapes that failed *with a certificate*
+        #: (``PlacementOutcome.dominant``) at ``_space_version``.  A
+        #: certified failure of (h, w) proves every (h' >= h, w' >= w)
+        #: also fails against this occupancy, so equal-or-larger queued
+        #: footprints skip their probe (and their eviction screen)
+        #: entirely.  Reset implicitly by the version tag — a memo can
+        #: never outlive a space-version bump.
+        self._dominant_shapes: tuple[int, list[tuple[int, int]]] = (-1, [])
         #: id(item) -> admission token, live only while the item is
         #: queued (the queue holds a strong reference, so the id cannot
         #: be recycled while an entry exists here).
@@ -382,6 +399,43 @@ class SchedulingKernel:
         releases must call it so blocked passes are retried)."""
         self._space_version += 1
 
+    def _shape_blocked(self, height: int, width: int,
+                       count: bool = True) -> bool:
+        """Whether the shape memos prove this footprint cannot place.
+
+        True when the exact shape already failed at the current space
+        version, or when some *certified* failure of an equal-or-smaller
+        footprint dominates it.  Both memos key on the space version, so
+        any occupancy change re-opens every shape.  ``count=False``
+        keeps advisory checks (the prefetch scan) out of the skip
+        counters, which tally skipped *probes* only.
+        """
+        if self._shape_failed_at.get((height, width)) \
+                == self._space_version:
+            if count:
+                PERF.shape_memo_skips += 1
+            return True
+        version, shapes = self._dominant_shapes
+        if version == self._space_version:
+            for failed_height, failed_width in shapes:
+                if failed_height <= height and failed_width <= width:
+                    if count:
+                        PERF.dominance_skips += 1
+                    return True
+        return False
+
+    def _note_shape_failed(self, height: int, width: int,
+                           dominant: bool) -> None:
+        """Record a failed probe in the shape memos."""
+        self._shape_failed_at[height, width] = self._space_version
+        if not dominant:
+            return
+        version, shapes = self._dominant_shapes
+        if version != self._space_version:
+            self._dominant_shapes = (self._space_version, [(height, width)])
+        else:
+            shapes.append((height, width))
+
     def _prefetch(self) -> None:
         """Warm the manager's fit/plan caches for the coming pass.
 
@@ -413,7 +467,11 @@ class SchedulingKernel:
             shape = (item.height, item.width)
             if shape not in seen:
                 seen.add(shape)
-                shapes.append(shape)
+                # Shapes the memos already doom are never probed below,
+                # so warming their caches (and running their eviction
+                # screens) would be pure waste.
+                if not self._shape_blocked(*shape, count=False):
+                    shapes.append(shape)
         if shapes:
             prefetch(shapes)
 
@@ -446,7 +504,15 @@ class SchedulingKernel:
             for item in self.queue.scan(self.events.now):
                 token = self._token(item)
                 if self._item_failed_at.get(token) == self._space_version:
+                    PERF.item_memo_skips += 1
                     continue  # same occupancy, same answer: skip replan
+                if self._shape_blocked(item.height, item.width):
+                    # The verdict is already known (same or dominated
+                    # shape failed at this version): record it on the
+                    # item without re-asking the manager.
+                    self._item_failed_at[token] = self._space_version
+                    continue
+                PERF.admission_probes += 1
                 outcome = self.manager.request(
                     item.height, item.width, item.task_id
                 )
@@ -459,6 +525,9 @@ class SchedulingKernel:
                     placed = True
                     break
                 self._item_failed_at[token] = self._space_version
+                self._note_shape_failed(
+                    item.height, item.width, outcome.dominant
+                )
             if not placed:
                 self._failed_at_version = self._space_version
                 return

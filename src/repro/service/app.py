@@ -44,6 +44,7 @@ from repro.core.manager import (
 from repro.device.devices import device as device_by_name
 from repro.device.fabric import Fabric
 from repro.fleet.manager import FleetManager
+from repro.perf import PERF
 from repro.sched.scheduler import OnlineTaskScheduler
 from repro.sched.tasks import Task, TaskState
 
@@ -459,4 +460,9 @@ class ReproService:
                 tenant: stats.to_dict()
                 for tenant, stats in sorted(self.door.stats.items())
             },
+            # Hot-path cache/memo counters (process-wide, monotonic
+            # since start or the harness's last reset) — the live
+            # counterpart of the per-cell samples BENCH_sched.json
+            # commits; see ``repro.perf``.
+            "perf": PERF.snapshot(),
         }

@@ -193,6 +193,60 @@ class TestGuardCompare:
                                    higher_is_better=True) == []
 
 
+class TestKernelFloors:
+    """Absolute floors on the committed kernel baseline itself."""
+
+    @staticmethod
+    def _cell(queue, ports, rate):
+        return {"queue": queue, "ports": ports,
+                "events_per_second": rate}
+
+    def test_healthy_baseline_passes(self):
+        payload = {"kernel": [
+            self._cell("fifo", "serial", 6500.0),
+            self._cell("backfill", "icap", 1100.0),
+        ]}
+        assert bench_guard.kernel_floor_failures(payload) == []
+
+    def test_blanket_floor_catches_any_cell(self):
+        payload = {"kernel": [self._cell("backfill", "icap", 900.0)]}
+        failures = bench_guard.kernel_floor_failures(payload)
+        assert len(failures) == 1
+        assert "backfill/icap" in failures[0]
+
+    def test_named_floor_is_stricter_than_blanket(self):
+        # 5000 ev/s clears the blanket floor by 5x but not the cell's
+        # own 6000 ev/s claim.
+        payload = {"kernel": [self._cell("fifo", "serial", 5000.0)]}
+        failures = bench_guard.kernel_floor_failures(payload)
+        assert len(failures) == 1 and "fifo/serial" in failures[0]
+
+    def test_committed_baseline_meets_its_floors(self):
+        """The repo's own BENCH_sched.json honours every claim the
+        guard enforces — the acceptance evidence, checked in CI."""
+        import json
+
+        payload = json.loads(
+            (Path(__file__).parent.parent / "BENCH_sched.json")
+            .read_text()
+        )
+        assert payload["kernel"], "committed baseline has no kernel grid"
+        assert bench_guard.kernel_floor_failures(payload) == []
+
+    def test_slow_committed_baseline_fails_the_cli(self, tmp_path):
+        """The floor check runs against the *baseline*, so a healthy
+        fresh run cannot mask a walked-back committed claim."""
+        import json
+
+        e2e = TestGuardEndToEnd()
+        base = e2e._baselines(tmp_path)
+        sched = json.loads((base / "BENCH_sched.json").read_text())
+        sched["kernel"] = [self._cell("backfill", "icap", 500.0)]
+        (base / "BENCH_sched.json").write_text(json.dumps(sched))
+        paths = e2e._fresh(tmp_path, events=30_000.0, us=150.0)
+        assert e2e._run(base, paths) == 1
+
+
 class TestGuardEndToEnd:
     """The CLI on canned fresh payloads (no benchmark runs)."""
 

@@ -79,6 +79,49 @@ class TestEventQueue:
         h1.cancel()
         assert q.pending == 1
 
+    def test_pending_tracks_cancel_fire_and_double_cancel(self):
+        q = EventQueue()
+        handles = [q.at(float(i + 1), lambda: None) for i in range(4)]
+        handles[0].cancel()
+        handles[0].cancel()  # double cancel counts once
+        assert q.pending == 3
+        q.run(until=2.5)  # fires #2 and drains the cancelled #1
+        assert q.pending == 2
+        handles[1].cancel()  # already fired: no-op
+        assert q.pending == 2
+        q.run()
+        assert q.pending == 0
+
+    def test_lazy_compaction_evicts_tombstones(self):
+        q = EventQueue()
+        live = []
+        keep = [q.at(100.0 + i, lambda i=i: live.append(i))
+                for i in range(4)]
+        doomed = [q.at(1.0 + i, lambda: live.append(-1))
+                  for i in range(28)]
+        for h in doomed:
+            h.cancel()
+        # Tombstones outnumbered live entries mid-cancel: the heap must
+        # have been compacted (it can retain tombstones buried after
+        # the last rebuild), with pending unchanged throughout.
+        assert len(q._heap) < len(keep) + len(doomed)
+        assert len(q._heap) - q._tombstones == 4
+        assert q.pending == 4
+        q.run()
+        assert live == [0, 1, 2, 3]
+        assert not any(h.cancelled for h in keep)
+
+    def test_compaction_preserves_order_and_interleaving(self):
+        q = EventQueue()
+        log = []
+        handles = []
+        for i in range(40):
+            handles.append(q.at(1.0 + i * 0.5, lambda i=i: log.append(i)))
+        for i in range(0, 40, 2):
+            handles[i].cancel()
+        q.run()
+        assert log == list(range(1, 40, 2))
+
 
 class TestSequentialResource:
     def test_serialises_requests(self):

@@ -212,6 +212,11 @@ def test_concurrent_submit_cancel_status_stay_consistent():
         assert stats["waiting"] == 0 and stats["running"] == 0
         door = sum(t["submitted"] for t in stats["tenants"].values())
         assert door == 60
+        # The hot-path counter export: every repro.perf counter column
+        # is present, and a run this size must have issued probes.
+        from repro.perf import COUNTER_NAMES
+        assert set(COUNTER_NAMES) <= set(stats["perf"])
+        assert stats["perf"]["admission_probes"] > 0
         terminal = 0
         for state in ("finished", "rejected", "cancelled"):
             _, listed, _ = await client.request(
