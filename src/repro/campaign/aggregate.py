@@ -23,6 +23,7 @@ from pathlib import Path
 
 from repro.analysis.reporting import Table
 from repro.analysis.stats import mean
+from repro.sched.workload import get_workload
 
 from .runner import ScenarioResult
 
@@ -37,16 +38,16 @@ SUMMARY_METRICS = (
 #: tables (policy last so policy duels read across a row).
 GROUP_AXES = ("device", "workload", "fit", "port_kind", "free_space",
               "defrag", "queue", "ports", "fleet_size", "fleet_devices",
-              "device_policy", "prefetch", "policy")
+              "device_policy", "prefetch", "faults", "policy")
 #: Table headers matching GROUP_AXES (``port_kind`` is shown as "port").
 GROUP_HEADERS = ("device", "workload", "fit", "port", "free_space",
                  "defrag", "queue", "ports", "fleet", "members",
-                 "dev_policy", "prefetch", "policy")
+                 "dev_policy", "prefetch", "faults", "policy")
 
 #: Axis columns :meth:`ScenarioSpec.to_dict` omits at their default
 #: value (keeps golden row shapes stable); exports back-fill them.
 SPARSE_AXES = ("queue", "ports", "fleet_size", "device_policy",
-               "fleet_devices", "prefetch")
+               "fleet_devices", "prefetch", "faults")
 
 #: Spec columns always present in a row, in export order.
 BASE_AXES = ("device", "policy", "workload", "seed", "fit", "port_kind",
@@ -104,7 +105,9 @@ class CampaignResult:
             if any(name in row for row in rows)
         ]
         swept_metrics = [
-            name for name in ScenarioResult.PREFETCH_METRIC_FIELDS
+            name for name in (ScenarioResult.PREFETCH_METRIC_FIELDS
+                              + ScenarioResult.FAULT_METRIC_FIELDS
+                              + ScenarioResult.TRACE_METRIC_FIELDS)
             if any(name in row for row in rows)
         ]
         if not swept and not swept_metrics:
@@ -137,10 +140,13 @@ class CampaignResult:
     def group_means(
         self, metric: str
     ) -> dict[tuple[str, ...], float]:
-        """Per-group mean of one metric column (prefetch metrics
-        included — they are zero for never-mode cells)."""
+        """Per-group mean of one metric column (prefetch, fault and
+        fairness metrics included — they sit at their defaults for
+        cells that never touch those axes)."""
         known = (ScenarioResult.METRIC_FIELDS
-                 + ScenarioResult.PREFETCH_METRIC_FIELDS)
+                 + ScenarioResult.PREFETCH_METRIC_FIELDS
+                 + ScenarioResult.FAULT_METRIC_FIELDS
+                 + ScenarioResult.TRACE_METRIC_FIELDS)
         if metric not in known:
             raise KeyError(
                 f"unknown metric {metric!r}; choose from {known}"
@@ -244,6 +250,13 @@ class CampaignResult:
         each cell?"""
         return self.pivot_table("prefetch", metric)
 
+    def faults_table(self, metric: str = "relocated") -> Table:
+        """Fault plans side by side (none / kill-member / outbreak /
+        flaky-port): one column per plan, one row per remaining cell —
+        the failover study's headline view (relocated / dropped /
+        recovery_seconds across fault axes)."""
+        return self.pivot_table("faults", metric)
+
     def to_csv(self, path: str | Path) -> Path:
         """Write one CSV row per run; returns the path written."""
         path = Path(path)
@@ -259,9 +272,10 @@ class CampaignResult:
     def to_json(self, path: str | Path) -> Path:
         """Write the full result list (spec + metrics) as JSON.
 
-        Prefetch metrics are emitted sparsely, like the spec axis: only
-        for non-``never`` runs, so campaigns that never touch the axis
-        serialize bit-identically to the committed snapshots.
+        Prefetch, fault and fairness metrics are emitted sparsely, like
+        their spec axes: only for runs that touch them, so campaigns
+        that never do serialize bit-identically to the committed
+        snapshots.
         """
         path = Path(path)
         payload = []
@@ -270,6 +284,12 @@ class CampaignResult:
                        for m in ScenarioResult.METRIC_FIELDS}
             if r.spec.prefetch != "never":
                 for m in ScenarioResult.PREFETCH_METRIC_FIELDS:
+                    metrics[m] = getattr(r, m)
+            if r.spec.faults != "none":
+                for m in ScenarioResult.FAULT_METRIC_FIELDS:
+                    metrics[m] = getattr(r, m)
+            if get_workload(r.spec.workload).tenanted:
+                for m in ScenarioResult.TRACE_METRIC_FIELDS:
                     metrics[m] = getattr(r, m)
             payload.append({"spec": r.spec.to_dict(), "metrics": metrics})
         path.write_text(json.dumps(payload, indent=2) + "\n")

@@ -18,6 +18,7 @@ import sys
 import time
 
 from repro.core.defrag_policy import DEFRAG_POLICY_NAMES
+from repro.faults import FAULT_PLAN_NAMES
 from repro.fleet.policies import DEFAULT_DEVICE_POLICY, DEVICE_POLICY_NAMES
 from repro.placement.free_space import FREE_SPACE_NAMES
 from repro.sched.ports import PORT_MODEL_NAMES, normalize_port_model
@@ -105,6 +106,18 @@ def build_parser() -> argparse.ArgumentParser:
                       help=f"configuration-prefetch modes {PREFETCH_MODES}: "
                            "resident-bitstream cache (cache) plus "
                            "idle-window planned loads (plan)")
+    grid.add_argument("--faults", nargs="+", default=["none"],
+                      choices=FAULT_PLAN_NAMES, metavar="PLAN",
+                      dest="faults",
+                      help=f"seeded fault plans {FAULT_PLAN_NAMES}: "
+                           "member death mid-surge, stuck-at region "
+                           "outbreaks, flaky configuration ports "
+                           "(kill-member needs --fleet-size >= 2)")
+    grid.add_argument("--trace", metavar="FILE", default=None,
+                      help="replay an NDJSON arrival trace: adds the "
+                           "'trace' workload reading FILE (one JSON "
+                           "object per line: at/tenant/qos/height/"
+                           "width/duration/max_wait)")
     size = parser.add_argument_group("workload sizing")
     size.add_argument("--tasks", type=int, default=30, metavar="N",
                       help="tasks per run for task-stream workloads")
@@ -121,7 +134,9 @@ def build_parser() -> argparse.ArgumentParser:
                                 "1 = serial)")
     execution.add_argument("--metric", default="mean_waiting",
                            choices=(ScenarioResult.METRIC_FIELDS
-                                    + ScenarioResult.PREFETCH_METRIC_FIELDS),
+                                    + ScenarioResult.PREFETCH_METRIC_FIELDS
+                                    + ScenarioResult.FAULT_METRIC_FIELDS
+                                    + ScenarioResult.TRACE_METRIC_FIELDS),
                            help="metric for the policy-comparison table")
     execution.add_argument("--csv", metavar="PATH",
                            help="write per-run results as CSV")
@@ -133,8 +148,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def campaign_from_args(args: argparse.Namespace) -> CampaignSpec:
-    """Translate parsed CLI arguments into a :class:`CampaignSpec`."""
+    """Translate parsed CLI arguments into a :class:`CampaignSpec`.
+
+    ``--trace FILE`` appends the ``trace`` replay workload (reading
+    FILE) to whatever ``--workloads`` named, so a recorded arrival
+    sequence can ride next to synthetic families in one grid.
+    """
+    workloads = list(args.workloads)
+    if args.trace is not None and "trace" not in workloads:
+        workloads.append("trace")
     params: dict[str, dict] = {}
+    if args.trace is not None:
+        params["trace"] = {"path": args.trace}
     for name in args.workloads:
         family = WORKLOADS[name]
         if family.size_param:
@@ -146,7 +171,7 @@ def campaign_from_args(args: argparse.Namespace) -> CampaignSpec:
     return CampaignSpec(
         devices=args.devices,
         policies=args.policies,
-        workloads=args.workloads,
+        workloads=workloads,
         seeds=args.seeds,
         fits=args.fits,
         port_kinds=args.port_kinds,
@@ -158,6 +183,7 @@ def campaign_from_args(args: argparse.Namespace) -> CampaignSpec:
         device_policies=args.device_policies,
         fleet_devices=args.fleet_devices,
         prefetches=args.prefetches,
+        faults=args.faults,
         workload_params=params,
     )
 
@@ -197,6 +223,8 @@ def main(argv: list[str] | None = None) -> int:
                if len(args.device_policies) > 1 else "")
             + (f" x {len(args.prefetches)} prefetch modes"
                if len(args.prefetches) > 1 else "")
+            + (f" x {len(args.faults)} fault plans"
+               if len(args.faults) > 1 else "")
             + f"), {jobs} worker(s)"
         )
     started = time.perf_counter()
@@ -217,6 +245,8 @@ def main(argv: list[str] | None = None) -> int:
             results.device_policy_table(args.metric).show()
         if len(args.prefetches) > 1:
             results.prefetch_table(args.metric).show()
+        if len(args.faults) > 1:
+            results.faults_table(args.metric).show()
         sim_seconds = sum(r.wall_seconds for r in results.results)
         print(
             f"\n{len(results)} runs in {elapsed:.2f} s wall "

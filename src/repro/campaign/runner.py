@@ -33,7 +33,8 @@ from repro.sched.scheduler import (
     OnlineTaskScheduler,
     ScheduleMetrics,
 )
-from repro.sched.workload import make_workload
+from repro.faults import make_fault_plan
+from repro.sched.workload import get_workload, make_workload
 
 from .spec import ScenarioSpec
 
@@ -68,6 +69,14 @@ class ScenarioResult:
     prefetch_hits: int = 0
     prefetch_loads: int = 0
     cache_evictions: int = 0
+    faults_injected: int = 0
+    members_lost: int = 0
+    relocated: int = 0
+    restarted: int = 0
+    dropped: int = 0
+    recovery_seconds: float = 0.0
+    port_retry_seconds: float = 0.0
+    tenant_fairness: float = 1.0
     wall_seconds: float = field(default=0.0, compare=False)
 
     #: result columns exported to CSV/JSON (order fixed for stability).
@@ -89,11 +98,25 @@ class ScenarioResult:
         "cache_evictions",
     )
 
+    #: extra columns exported only when the scenario injects faults
+    #: (``spec.faults != "none"``); same sparse-emission contract as
+    #: the prefetch columns, for the same golden-stability reason.
+    FAULT_METRIC_FIELDS = (
+        "faults_injected", "members_lost", "relocated", "restarted",
+        "dropped", "recovery_seconds", "port_retry_seconds",
+    )
+
+    #: extra columns exported only for tenant-labelled workload
+    #: families (``WorkloadSpec.tenanted``): per-tenant fairness.
+    TRACE_METRIC_FIELDS = ("tenant_fairness",)
+
     def to_row(self) -> dict:
         """One flat dict: spec axes first, then every metric column.
 
         Prefetch metrics ride along only for non-``never`` scenarios
-        (see :attr:`PREFETCH_METRIC_FIELDS`).
+        (see :attr:`PREFETCH_METRIC_FIELDS`); fault metrics only for
+        fault-injecting scenarios, fairness only for tenant-labelled
+        workloads.
         """
         row = self.spec.to_dict()
         row.pop("workload_params")
@@ -101,6 +124,12 @@ class ScenarioResult:
             row[name] = getattr(self, name)
         if self.spec.prefetch != "never":
             for name in self.PREFETCH_METRIC_FIELDS:
+                row[name] = getattr(self, name)
+        if self.spec.faults != "none":
+            for name in self.FAULT_METRIC_FIELDS:
+                row[name] = getattr(self, name)
+        if get_workload(self.spec.workload).tenanted:
+            for name in self.TRACE_METRIC_FIELDS:
                 row[name] = getattr(self, name)
         return row
 
@@ -130,6 +159,14 @@ def _from_metrics(spec: ScenarioSpec, metrics: ScheduleMetrics,
         prefetch_hits=metrics.prefetch_hits,
         prefetch_loads=metrics.prefetch_loads,
         cache_evictions=metrics.cache_evictions,
+        faults_injected=metrics.faults_injected,
+        members_lost=metrics.members_lost,
+        relocated=metrics.relocated_tasks,
+        restarted=metrics.restarted_tasks,
+        dropped=metrics.dropped_tasks,
+        recovery_seconds=metrics.recovery_seconds,
+        port_retry_seconds=metrics.port_retry_seconds,
+        tenant_fairness=metrics.tenant_fairness,
         wall_seconds=wall_seconds,
     )
 
@@ -184,10 +221,15 @@ def run_scenario(spec: ScenarioSpec,
     dev = manager.fabric.device
     payload = make_workload(spec.workload, dev, spec.seed, **spec.params())
     if spec.scheduler_kind == "tasks":
-        metrics = OnlineTaskScheduler(
+        scheduler = OnlineTaskScheduler(
             manager, queue=spec.queue, ports=spec.ports,
             prefetch_mode=spec.prefetch,
-        ).run(payload)
+        )
+        if spec.faults != "none":
+            make_fault_plan(
+                spec.faults, dev, spec.fleet_size, spec.seed
+            ).install(scheduler)
+        metrics = scheduler.run(payload)
     else:
         scheduler = ApplicationFlowScheduler(
             manager, queue=spec.queue, ports=spec.ports,

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from repro.core.defrag_policy import DEFRAG_POLICY_NAMES
 from repro.core.manager import RearrangePolicy
 from repro.device.devices import device as device_by_name
+from repro.faults import FAULT_PLAN_NAMES
 from repro.fleet.policies import DEFAULT_DEVICE_POLICY, DEVICE_POLICY_NAMES
 from repro.placement.fit import fitter
 from repro.placement.free_space import FREE_SPACE_NAMES
@@ -68,6 +69,10 @@ class ScenarioSpec:
     #: configuration-prefetch mode (``never`` / ``cache`` / ``plan``);
     #: ``never`` reproduces the historical behaviour bit for bit.
     prefetch: str = "never"
+    #: named fault plan injected into the run (see
+    #: :data:`repro.faults.FAULT_PLAN_NAMES`); ``none`` injects nothing
+    #: and reproduces the fault-free behaviour bit for bit.
+    faults: str = "none"
     workload_params: tuple[tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
@@ -124,7 +129,21 @@ class ScenarioSpec:
             self, "prefetch", normalize_prefetch_mode(self.prefetch)
         )
         fitter(self.fit)  # raises on unknown strategy
-        workload_by_name(self.workload)  # raises on unknown workload
+        workload = workload_by_name(self.workload)  # raises on unknown
+        if self.faults not in FAULT_PLAN_NAMES:
+            raise ValueError(
+                f"unknown fault plan {self.faults!r}; "
+                f"choose from {FAULT_PLAN_NAMES}"
+            )
+        if self.faults != "none" and workload.kind != "tasks":
+            raise ValueError(
+                "fault plans apply to independent-task workloads only"
+            )
+        if self.faults == "kill-member" and self.fleet_size < 2:
+            raise ValueError(
+                "the kill-member fault plan needs a fleet "
+                "(fleet_size >= 2)"
+            )
 
     @property
     def scheduler_kind(self) -> str:
@@ -195,6 +214,8 @@ class ScenarioSpec:
             out["fleet_devices"] = self.fleet_label()
         if self.prefetch != "never":
             out["prefetch"] = self.prefetch
+        if self.faults != "none":
+            out["faults"] = self.faults
         out["workload_params"] = self.params()
         return out
 
@@ -212,9 +233,9 @@ class CampaignSpec:
 
     Axis order in the expansion is fixed (device, policy, fit, port,
     free-space engine, defrag policy, queue discipline, port model,
-    fleet size, device-selection policy, prefetch mode, workload, seed)
-    so a campaign's run list — and therefore its result ordering — is
-    deterministic for a given spec.
+    fleet size, device-selection policy, prefetch mode, fault plan,
+    workload, seed) so a campaign's run list — and therefore its result
+    ordering — is deterministic for a given spec.
     """
 
     devices: list[str] = field(default_factory=lambda: ["XCV200"])
@@ -232,6 +253,7 @@ class CampaignSpec:
         default_factory=lambda: [DEFAULT_DEVICE_POLICY]
     )
     prefetches: list[str] = field(default_factory=lambda: ["never"])
+    faults: list[str] = field(default_factory=lambda: ["none"])
     #: additional member devices joining each run's primary device
     #: (one heterogeneous composition for the whole campaign; when
     #: non-empty it overrides ``fleet_sizes``, which must stay at its
@@ -271,12 +293,13 @@ class CampaignSpec:
                 device_policy=device_policy,
                 fleet_devices=fleet_devices,
                 prefetch=prefetch,
+                faults=faults,
                 workload_params=normalize_params(
                     self.workload_params.get(wl)
                 ),
             )
             for dev, pol, fit, port, space, defrag, queue, ports,
-            fleet, device_policy, prefetch, wl, seed
+            fleet, device_policy, prefetch, faults, wl, seed
             in itertools.product(
                 self.devices,
                 self.policies,
@@ -289,6 +312,7 @@ class CampaignSpec:
                 self._fleet_size_axis(),
                 self.device_policies,
                 self.prefetches,
+                self.faults,
                 self.workloads,
                 self.seeds,
             )
@@ -309,6 +333,7 @@ class CampaignSpec:
             * len(self._fleet_size_axis())
             * len(self.device_policies)
             * len(self.prefetches)
+            * len(self.faults)
             * len(self.workloads)
             * len(self.seeds)
         )

@@ -1,0 +1,38 @@
+"""Deterministic fault injection for the scheduling experiments.
+
+The paper's premise is that run-time relocation keeps applications
+alive while the logic space changes under them; its reference [8]
+lineage (active replication, reproduced in
+:mod:`repro.core.active_replication`) extends that to fabrics that are
+being *tested and repaired* concurrently with operation.  This package
+supplies the missing stressor: seeded, reproducible fault scenarios —
+fleet-member death, stuck-at region outbreaks, transient
+configuration-port failures — driven through the schedulers' own event
+timeline, so the recovery path exercised is exactly the paper's
+relocation mechanism.
+
+:class:`~repro.faults.plan.FaultPlan` is the unit of injection: an
+immutable, seeded list of timed :class:`~repro.faults.plan.FaultEvent`
+records, installed onto an
+:class:`~repro.sched.scheduler.OnlineTaskScheduler` before (or during)
+a run.  Named plan factories live in
+:data:`~repro.faults.plan.FAULT_PLANS`; the campaign layer sweeps them
+via the ``--faults`` axis and the always-on service injects ad-hoc
+events over HTTP (``POST /faults``).
+"""
+
+from .plan import (
+    FAULT_PLAN_NAMES,
+    FAULT_PLANS,
+    FaultEvent,
+    FaultPlan,
+    make_fault_plan,
+)
+
+__all__ = [
+    "FAULT_PLAN_NAMES",
+    "FAULT_PLANS",
+    "FaultEvent",
+    "FaultPlan",
+    "make_fault_plan",
+]

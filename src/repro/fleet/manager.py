@@ -68,6 +68,12 @@ class FleetManager:
         self._member_shape_failed: dict[
             tuple[int, int, int], tuple[int, bool]
         ] = {}
+        #: members declared dead by fault injection (see
+        #: :mod:`repro.faults`): :meth:`request` and
+        #: :meth:`prefetch_admission` never touch them, telemetry stops
+        #: weighting them, and the dominance certificate of a failed
+        #: request covers survivors only.  Empty outside fault runs.
+        self.lost: set[int] = set()
 
     # -- fleet introspection -------------------------------------------------
 
@@ -108,6 +114,28 @@ class FleetManager:
         """Member index currently hosting ``owner``."""
         return self._owners[owner][0]
 
+    def mark_lost(self, index: int) -> None:
+        """Declare member ``index`` dead (fleet failover, see
+        :mod:`repro.faults`).
+
+        From this instant the member receives no placements, warms no
+        caches and contributes nothing to fleet telemetry.  The caller
+        (the scheduler's failover path) is responsible for displacing
+        the residents it was hosting — their owner-routing entries stay
+        valid until each is individually released.  Idempotent.
+        """
+        if not 0 <= index < len(self.members):
+            raise ValueError(f"no fleet member {index}")
+        self.lost.add(index)
+
+    def residents_of(self, index: int) -> list[int]:
+        """Owner ids currently hosted on member ``index`` (sorted, so
+        failover displaces them in a deterministic order)."""
+        return sorted(
+            owner for owner, (device, _area) in self._owners.items()
+            if device == index
+        )
+
     # -- the manager-protocol surface ---------------------------------------
 
     def request(self, height: int, width: int,
@@ -129,6 +157,8 @@ class FleetManager:
         dominant = True
         covered: set[int] = set()
         for index in self.policy.order(self, height, width):
+            if index in self.lost:
+                continue
             member = self.members[index]
             generation = getattr(member.free_space, "generation", None)
             memo = self._member_shape_failed.get((index, height, width))
@@ -154,9 +184,14 @@ class FleetManager:
                 self._member_shape_failed[index, height, width] = (
                     generation, outcome.dominant
                 )
-        if outcome is None:  # pragma: no cover - members is never empty
-            outcome = PlacementOutcome(False, owner)
-        outcome.dominant = dominant and len(covered) == len(self.members)
+        if outcome is None:
+            # Every member is lost (or the fleet is empty of survivors):
+            # nothing was probed, so the failure is trivially dominant —
+            # no smaller footprint could succeed either.
+            outcome = PlacementOutcome(False, owner, dominant=True)
+            return outcome
+        alive = len(self.members) - len(self.lost)
+        outcome.dominant = dominant and len(covered) == alive
         return outcome
 
     def prefetch_admission(self, shapes: list[tuple[int, int]]) -> None:
@@ -171,7 +206,9 @@ class FleetManager:
         outcomes with or without it — the selection policy still probes
         members in its own preference order.
         """
-        for member in self.members:
+        for index, member in enumerate(self.members):
+            if index in self.lost:
+                continue
             prefetch = getattr(member, "prefetch_admission", None)
             if prefetch is not None:
                 prefetch(shapes)
@@ -209,10 +246,14 @@ class FleetManager:
             return read(self.members[0])
         weighted = 0.0
         sites = 0
-        for manager in self.members:
+        for index, manager in enumerate(self.members):
+            if index in self.lost:
+                continue
             count = manager.fabric.device.clb_count
             weighted += read(manager) * count
             sites += count
+        if sites == 0:
+            return 0.0
         return weighted / sites
 
     def fragmentation(self) -> float:

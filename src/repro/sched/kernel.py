@@ -93,6 +93,28 @@ class ScheduleMetrics:
     prefetch_hits: int = 0
     prefetch_loads: int = 0
     cache_evictions: int = 0
+    #: fault-injection extras (see :mod:`repro.faults`; all zero for
+    #: fault-free runs so the sparse campaign columns never appear in
+    #: the committed goldens): events injected, members declared dead,
+    #: and the fate of the work those events displaced — relocated
+    #: (kept its progress on a surviving fabric), restarted (lost its
+    #: progress, re-queued from scratch) or dropped (no surviving
+    #: member could ever host the footprint).
+    faults_injected: int = 0
+    members_lost: int = 0
+    relocated_tasks: int = 0
+    restarted_tasks: int = 0
+    dropped_tasks: int = 0
+    #: seconds of extra latency fault recovery put on displaced work:
+    #: for each relocation, the interval from the fault instant to the
+    #: re-configuration completing on the new member.
+    recovery_seconds: float = 0.0
+    #: port seconds burnt by transient configuration-channel brown-outs
+    #: (the retry x backoff cost of ``port-flaky`` fault events).
+    port_retry_seconds: float = 0.0
+    #: per-tenant finished-task counts (multi-tenant traces only; empty
+    #: otherwise).  :attr:`tenant_fairness` folds it into one number.
+    tenant_finished: dict[str, int] = field(default_factory=dict)
 
     @property
     def mean_waiting(self) -> float:
@@ -129,6 +151,25 @@ class ScheduleMetrics:
             if self.utilization_samples
             else 0.0
         )
+
+    @property
+    def tenant_fairness(self) -> float:
+        """Jain's fairness index over per-tenant finished-task counts.
+
+        1.0 when every tenant completed the same amount of work (and,
+        degenerately, for runs with at most one tenant); approaches
+        ``1/n`` when a single tenant of ``n`` starved the rest.  Fault
+        scenarios read it to show recovery did not sacrifice one
+        tenant's work for another's.
+        """
+        counts = list(self.tenant_finished.values())
+        if len(counts) <= 1:
+            return 1.0
+        square_sum = sum(c * c for c in counts)
+        if square_sum == 0:
+            return 1.0
+        total = sum(counts)
+        return (total * total) / (len(counts) * square_sum)
 
     @property
     def prefetched_fraction(self) -> float:
@@ -272,6 +313,12 @@ class SchedulingKernel:
         #: per-member (fragmentation, utilization) readings of the most
         #: recent :meth:`sample` (one pair for a single-device kernel).
         self.member_samples: list[tuple[float, float]] = []
+        #: fleet members declared dead by fault injection (see
+        #: :mod:`repro.faults`): their fabrics are neither sampled nor
+        #: defragmented, their ports are never charged again and the
+        #: prefetch planner stops predicting onto them.  Empty — and
+        #: every check below a constant-false — outside fault runs.
+        self.lost_members: set[int] = set()
 
     # -- event plumbing -----------------------------------------------------
 
@@ -634,7 +681,8 @@ class SchedulingKernel:
         if policy is None:
             return 0
         for index in policy.order(self.manager, height, width):
-            return index
+            if index not in self.lost_members:
+                return index
         return 0
 
     def maybe_prefetch(self) -> None:
@@ -673,6 +721,8 @@ class SchedulingKernel:
             device = (request.device if request.device is not None
                       else self._predict_member(request.height,
                                                 request.width))
+            if device in self.lost_members:
+                continue
             cache = self.caches[device]
             if request.key in cache:
                 cache.note_next_use(request.key, request.next_use)
@@ -731,6 +781,22 @@ class SchedulingKernel:
             for row in state["wishlist"]
         }
 
+    def forget_member(self, index: int) -> None:
+        """Drop a dead member's configuration memory (fault path).
+
+        A member's resident-bitstream cache lives in its configuration
+        memory — when the device dies the residents die with it, so the
+        cache is emptied and every wishlist offer pinned to that device
+        is withdrawn.  Called by the failover machinery right after the
+        member joins :attr:`lost_members`; a no-op in ``never`` mode.
+        """
+        if self.caches is not None:
+            self.caches[index] = BitstreamCache()
+        self._wishlist = {
+            key: request for key, request in self._wishlist.items()
+            if request.device != index
+        }
+
     def start_running(self, owner: int, finish_time: float,
                       on_finish: Callable[[], None]) -> None:
         """Register ``owner`` as executing until ``finish_time``."""
@@ -779,7 +845,10 @@ class SchedulingKernel:
         fleet), or ``None`` when no trigger fired.
         """
         fired: DefragOutcome | None = None
-        for manager, port in zip(self._managers, self.ports):
+        for index, (manager, port) in enumerate(
+                zip(self._managers, self.ports)):
+            if index in self.lost_members:
+                continue
             outcome = manager.maybe_defrag(
                 now=self.events.now,
                 port_idle=port.free_at <= self.events.now,
@@ -820,15 +889,24 @@ class SchedulingKernel:
         :attr:`member_samples` for telemetry consumers.
         """
         samples = [
-            (m.fragmentation(), m.utilization()) for m in self._managers
+            (m.fragmentation(), m.utilization())
+            if i not in self.lost_members else (0.0, 0.0)
+            for i, m in enumerate(self._managers)
         ]
         self.member_samples = samples
-        if len(samples) == 1:
-            frag, util = samples[0]
+        live = [
+            (self._managers[i], pair)
+            for i, pair in enumerate(samples)
+            if i not in self.lost_members
+        ]
+        if not live:
+            frag = util = 0.0
+        elif len(live) == 1:
+            frag, util = live[0][1]
         else:
             weighted_frag = weighted_util = 0.0
             sites = 0
-            for manager, (frag_i, util_i) in zip(self._managers, samples):
+            for manager, (frag_i, util_i) in live:
                 count = manager.fabric.device.clb_count
                 weighted_frag += frag_i * count
                 weighted_util += util_i * count

@@ -34,6 +34,10 @@ class TaskState(Enum):
     #: dropped by an explicit cancel request (the always-on service's
     #: API; batch runs never enter this state).
     CANCELLED = "cancelled"
+    #: lost to a fault: the task was running when its host member died
+    #: (or a stuck-at outbreak took its region) and no surviving fabric
+    #: could ever host its footprint (see :mod:`repro.faults`).
+    DROPPED = "dropped"
 
 
 @dataclass(slots=True)
@@ -52,6 +56,10 @@ class Task:
     #: QoS priority class (higher = more urgent); only the ``priority``
     #: queue discipline reads it — FIFO admission ignores classes.
     priority: int = 0
+    #: owning tenant (multi-tenant traces; empty for the synthetic
+    #: single-tenant generators).  Purely a label: admission never reads
+    #: it, but per-tenant fairness accounting groups finish counts by it.
+    tenant: str = ""
     state: TaskState = TaskState.PENDING
     rect: Rect | None = None
     configured_at: float | None = None

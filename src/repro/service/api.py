@@ -28,6 +28,12 @@ GET       /telemetry/stream       **NDJSON**: history then live samples
                                   (``?limit=N`` closes after N lines,
                                   ``?history=0`` skips the backlog)
 GET       /stats                  run metrics + per-tenant door counters
+POST      /faults                 inject a fault (``{kind, member?, row?,
+                                  col?, height?, width?, duration?,
+                                  retries?, backoff?}``); kinds are
+                                  ``member-death`` / ``region-stuck`` /
+                                  ``port-flaky``; returns the recovery
+                                  summary
 POST      /checkpoint             snapshot; returns it (or writes
                                   ``{path}`` and returns the path)
 POST      /restore                swap in a service restored from the
@@ -218,6 +224,8 @@ class ServiceAPI:
             return 200, service.telemetry(), {}
         if path == "/stats" and method == "GET":
             return 200, service.stats(), {}
+        if path == "/faults" and method == "POST":
+            return self._inject_fault(body)
         if path == "/checkpoint" and method == "POST":
             if body.get("path"):
                 saved = checkpoint.save(service, body["path"])
@@ -251,6 +259,26 @@ class ServiceAPI:
         if not view["admitted"]:
             return 429, view, {"Retry-After": f"{view['retry_after']:.3f}"}
         return 202, view, {}
+
+    def _inject_fault(self, body: dict) -> tuple[int, dict, dict]:
+        """POST /faults: chaos injection into the live service."""
+        try:
+            kind = str(body["kind"])
+        except KeyError:
+            raise _HttpError(400, "missing field 'kind'") from None
+        duration = body.get("duration")
+        summary = self.service.inject_fault(
+            kind,
+            member=int(body.get("member", 0)),
+            row=int(body.get("row", 0)),
+            col=int(body.get("col", 0)),
+            height=int(body.get("height", 0)),
+            width=int(body.get("width", 0)),
+            duration=float(duration) if duration is not None else None,
+            retries=int(body.get("retries", 3)),
+            backoff=float(body.get("backoff", 0.2)),
+        )
+        return 200, summary, {}
 
     def _task_detail(self, method: str, path: str) -> tuple[int, dict, dict]:
         """GET/DELETE /tasks/{id}."""

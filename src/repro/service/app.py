@@ -288,12 +288,33 @@ class ServiceEngine(OnlineTaskScheduler):
         self._journal("finished", task)
         self._record_telemetry()
 
-    def _on_timeout(self, task: Task) -> None:
+    def _on_timeout(self, task: Task, epoch: int | None = None) -> None:
         """Journal a patience rejection (no-op if no longer queued)."""
         was_queued = task.state is TaskState.QUEUED
-        super()._on_timeout(task)
+        super()._on_timeout(task, epoch)
         if was_queued and task.state is TaskState.REJECTED:
             self._journal("rejected", task)
+
+    def _on_relocated(self, task: Task,
+                      outcome: PlacementOutcome) -> None:
+        """Journal a fault-driven relocation and re-point the task's
+        hosting device at the surviving member."""
+        self.devices[task.task_id] = outcome.device
+        self._journal("relocated", task)
+        self._record_telemetry()
+
+    def _on_restarted(self, task: Task) -> None:
+        """Journal a fault-driven restart (the task re-queued from
+        scratch; its old hosting device is gone)."""
+        self.devices.pop(task.task_id, None)
+        self._journal("restarted", task)
+        self._record_telemetry()
+
+    def _on_dropped(self, task: Task) -> None:
+        """Journal a fault drop (no surviving fabric fits the task)."""
+        self.devices.pop(task.task_id, None)
+        self._journal("dropped", task)
+        self._record_telemetry()
 
 
 class ReproService:
@@ -389,6 +410,41 @@ class ReproService:
         self.engine.cancel(task_id)
         return self.status(task_id)
 
+    def inject_fault(self, kind: str, *, member: int = 0, row: int = 0,
+                     col: int = 0, height: int = 0, width: int = 0,
+                     duration: float | None = None, retries: int = 3,
+                     backoff: float = 0.2) -> dict:
+        """Inject one fault into the live service (chaos endpoint).
+
+        ``kind`` selects the fault machinery the batch fault plans use
+        (:mod:`repro.faults`): ``member-death`` fails ``member`` over
+        onto the survivors, ``region-stuck`` blocks a fabric region
+        (healing after ``duration`` if given), ``port-flaky`` costs
+        ``retries * backoff`` seconds of configuration-port retries.
+        Returns a summary of what the fault displaced; raises
+        :class:`ValueError` on unknown kinds, bad targets, or a
+        member-death without a fleet.
+        """
+        if kind == "member-death":
+            summary = self.engine.kill_member(member)
+        elif kind == "region-stuck":
+            summary = self.engine.inject_region_fault(
+                member, row, col, height, width, duration=duration
+            )
+        elif kind == "port-flaky":
+            summary = {
+                "member": member,
+                "retry_seconds": self.engine.flake_port(
+                    member, retries=retries, backoff=backoff
+                ),
+            }
+        else:
+            raise ValueError(
+                f"unknown fault kind {kind!r} (choose from "
+                "member-death, region-stuck, port-flaky)"
+            )
+        return {"kind": kind, "now": self.now, **summary}
+
     # -- introspection -------------------------------------------------------
 
     def status(self, task_id: int) -> dict:
@@ -456,6 +512,13 @@ class ReproService:
             "mean_waiting": metrics.mean_waiting,
             "mean_turnaround": metrics.mean_turnaround,
             "port_busy_seconds": self.engine.kernel.port_busy_seconds,
+            # Fault/failover counters (all zero until a fault is
+            # injected; see :meth:`inject_fault`).
+            "faults_injected": metrics.faults_injected,
+            "members_lost": metrics.members_lost,
+            "relocated": metrics.relocated_tasks,
+            "restarted": metrics.restarted_tasks,
+            "dropped": metrics.dropped_tasks,
             "tenants": {
                 tenant: stats.to_dict()
                 for tenant, stats in sorted(self.door.stats.items())

@@ -120,6 +120,18 @@ def snapshot(service: ReproService) -> dict:
         # service runs with prefetch="never"); the stall/prefetch
         # counters themselves travel inside "metrics" above.
         "prefetch": kernel.export_prefetch_state(),
+        # Fault-injection state (None until a fault is injected): lost
+        # members, active stuck-at blockers and their heal instants.
+        "faults": engine.export_fault_state(),
+        # True patience deadlines of the queued tasks: a fault-restarted
+        # task's patience re-armed at the restart instant, so
+        # arrival + max_wait would restore the wrong deadline.
+        "queue_deadlines": {
+            str(task_id): deadline
+            for task_id, deadline in sorted(
+                engine._queue_deadlines.items()
+            )
+        },
         "door": service.door.export_state(),
         "journal": list(engine.journal),
         "telemetry": list(engine.telemetry),
@@ -218,12 +230,22 @@ def restore(state: dict) -> ReproService:
                           now=task.arrival)
     # ... and their patience deadlines (strictly in the future: a due
     # timeout would have fired before the snapshot's quiescent point).
+    # The snapshot's recorded deadline wins over arrival + max_wait — a
+    # fault-restarted task re-armed its patience at the restart instant
+    # (older snapshots without the key never restarted anything).
+    recorded = state.get("queue_deadlines", {})
     for deadline, _task_id, task in sorted(
-        (task.arrival + task.max_wait, task.task_id, task)
+        (float(recorded.get(str(task.task_id),
+                            task.arrival + task.max_wait)),
+         task.task_id, task)
         for task in queued
         if task.max_wait is not None
     ):
-        kernel.events.at(deadline, lambda t=task: engine._on_timeout(t))
+        epoch = engine._queue_epochs.setdefault(task.task_id, 1)
+        engine._queue_deadlines[task.task_id] = deadline
+        kernel.events.at(
+            deadline, lambda t=task, e=epoch: engine._on_timeout(t, e)
+        )
 
     for port, port_state in zip(kernel.ports, state["ports"]):
         port.restore_state(port_state)
@@ -232,6 +254,7 @@ def restore(state: dict) -> ReproService:
         member.defrag_policy._last_attempt = last
     kernel.metrics = ScheduleMetrics(**state["metrics"])
     kernel.restore_prefetch_state(state.get("prefetch"))
+    engine.restore_fault_state(state.get("faults"))
     service.door = AdmissionController.from_state(state["door"])
 
     if queued:

@@ -1,0 +1,105 @@
+"""The adversarial fragmentation stream and its pinned worst seed.
+
+``fragmenting-adversarial`` is an attack on the allocator: long-lived
+small anchors shatter the free space, and every third arrival demands
+an ~85 %-of-device contiguous rectangle with sub-second patience.  The
+committed :data:`~repro.sched.workload.ADVERSARIAL_SEED` was found by
+``tools/find_adversarial_seed.py`` sweeping seeds 0..127 on the
+reference cell (XC2S15 / concurrent / first fit / fifo / serial) and
+keeping the most rejection-heavy stream.  These tests pin:
+
+* the seed itself and the damage it does (the regression floor — a
+  generator or allocator change that blunts the attack fails here and
+  means the search should be re-run);
+* the stream's adversarial *structure*, so the generator cannot drift
+  into an easier shape while keeping the numbers by luck;
+* the search tool's scoring path end to end.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.campaign.runner import run_scenario
+from repro.campaign.spec import ScenarioSpec
+from repro.device.devices import device
+from repro.sched.workload import ADVERSARIAL_SEED, make_workload
+
+REPO = Path(__file__).resolve().parents[1]
+
+#: the fixed scoring cell of the seed search (see the tool's docstring).
+REFERENCE = dict(device="XC2S15", policy="concurrent",
+                 workload="fragmenting-adversarial",
+                 workload_params={"n": 40})
+
+
+def reference_result(seed: int):
+    return run_scenario(ScenarioSpec(seed=seed, **REFERENCE))
+
+
+def test_committed_seed_is_the_search_winner():
+    """Seed 16 won the 128-seed sweep with 11 rejections; the exact
+    value is pinned so the attack's strength is part of the contract
+    (re-run the search tool before changing either number)."""
+    assert ADVERSARIAL_SEED == 16
+    result = reference_result(ADVERSARIAL_SEED)
+    assert result.rejected == 11
+    assert result.mean_waiting > 0.3
+
+
+def test_committed_seed_beats_the_default_seeds():
+    """The searched seed must stay strictly nastier than the lazy
+    choices (0 and 1) — otherwise the pin has decayed into noise."""
+    pinned = reference_result(ADVERSARIAL_SEED).rejected
+    for lazy in (0, 1):
+        assert pinned > reference_result(lazy).rejected
+
+
+def test_stream_structure_is_adversarial():
+    dev = device("XC2S15")
+    tasks = make_workload("fragmenting-adversarial", dev,
+                          seed=ADVERSARIAL_SEED, n=40)
+    assert tasks == make_workload("fragmenting-adversarial", dev,
+                                  seed=ADVERSARIAL_SEED, n=40)
+    assert len(tasks) == 40
+    device_area = dev.clb_rows * dev.clb_cols
+    large = [t for t in tasks if t.height * t.width >= 0.5 * device_area]
+    # Every third arrival is a near-device-sized demand ...
+    assert [i for i, t in enumerate(tasks) if t in large][:4] == [2, 5, 8, 11]
+    assert len(large) == 13
+    for task in large:
+        assert task.height >= 0.8 * dev.clb_rows
+        assert task.width >= 0.8 * dev.clb_cols
+    # ... with sub-second patience, against anchors that outlive the
+    # whole surge (tens of seconds vs. sub-second inter-arrivals).
+    assert all(t.max_wait == 0.8 for t in tasks)
+    anchors = [t for t in tasks if t not in large]
+    assert min(t.exec_seconds for t in anchors) >= 20.0
+
+
+def test_search_tool_ranks_and_reports(tmp_path):
+    """The committed tool runs end to end and prints a ranked table
+    (3 seeds keeps it fast; the full sweep is an offline job)."""
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "tools" / "find_adversarial_seed.py"),
+         "--seeds", "3", "--tasks", "20", "--top", "2"],
+        capture_output=True, text=True,
+        env={"PYTHONPATH": str(REPO / "src")},
+        cwd=REPO,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "worst seed:" in proc.stdout
+    assert "rejected" in proc.stdout
+
+
+def test_search_scoring_matches_the_campaign_runner():
+    """The tool's score is exactly the reference-cell scenario result
+    (no drift between the search and what the tests pin)."""
+    sys.path.insert(0, str(REPO / "tools"))
+    try:
+        from find_adversarial_seed import score_seed
+    finally:
+        sys.path.pop(0)
+    rejected, waiting = score_seed(ADVERSARIAL_SEED)
+    result = reference_result(ADVERSARIAL_SEED)
+    assert (rejected, waiting) == (result.rejected, result.mean_waiting)

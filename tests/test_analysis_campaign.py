@@ -56,11 +56,11 @@ class TestTablesAcrossEngines:
         means = both_engines.group_means("mean_waiting")
         by_cell: dict[tuple, dict[str, float]] = {}
         for (device, workload, fit, port, engine, defrag, queue, ports,
-             fleet, members, dev_policy, prefetch, policy), \
+             fleet, members, dev_policy, prefetch, faults, policy), \
                 value in means.items():
             by_cell.setdefault(
                 (device, workload, fit, port, defrag, queue, ports,
-                 fleet, members, dev_policy, prefetch, policy),
+                 fleet, members, dev_policy, prefetch, faults, policy),
                 {})[engine] = value
         for cell, engines in by_cell.items():
             assert len(engines) == len(FREE_SPACE_NAMES), cell

@@ -184,7 +184,7 @@ def test_policy_table(small_results):
     assert table.headers == [
         "device", "workload", "fit", "port", "free_space", "defrag",
         "queue", "ports", "fleet", "members", "dev_policy", "prefetch",
-        "none", "concurrent"
+        "faults", "none", "concurrent"
     ]
     assert len(table.rows) == 1
     with pytest.raises(KeyError):

@@ -23,6 +23,7 @@ PUBLIC_FLAGS = (
     "--devices", "--policies", "--workloads", "--seeds", "--fits",
     "--port-kinds", "--free-space", "--defrag", "--queue", "--ports",
     "--fleet-size", "--device-policy", "--fleet-devices", "--prefetch",
+    "--faults", "--trace",
     "--tasks", "--apps", "--priority-levels",
     "--jobs", "--metric", "--csv", "--json", "--quiet",
 )
@@ -81,4 +82,6 @@ def test_help_names_every_axis_choice():
     assert tuple(metric.choices) == (
         ScenarioResult.METRIC_FIELDS
         + ScenarioResult.PREFETCH_METRIC_FIELDS
+        + ScenarioResult.FAULT_METRIC_FIELDS
+        + ScenarioResult.TRACE_METRIC_FIELDS
     )

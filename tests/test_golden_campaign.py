@@ -44,6 +44,7 @@ GOLDEN_PATH = GOLDEN_DIR / "campaign_24.json"
 GOLDEN_DEFRAG_PATH = GOLDEN_DIR / "campaign_defrag.json"
 GOLDEN_SCHED_PATH = GOLDEN_DIR / "campaign_sched.json"
 GOLDEN_FLEET_PATH = GOLDEN_DIR / "campaign_fleet.json"
+GOLDEN_FAULTS_PATH = GOLDEN_DIR / "campaign_faults.json"
 
 #: The CLI's default grid axes with a fast task count; any edit here
 #: requires regenerating the snapshot.
@@ -93,11 +94,28 @@ GOLDEN_FLEET_GRID = dict(
     workload_params={"fleet-surge": {"n": 30}},
 )
 
+#: The fault grid: every fault plan over the surge workload on a
+#: 2-member fleet (1 device x concurrent x fleet-surge x 2 seeds x
+#: 4 fault plans = 8 runs).  Rows carry the sparse failover columns
+#: (relocated / restarted / dropped / recovery_seconds), so this is
+#: the committed record of what each fault plan costs.
+GOLDEN_FAULTS_GRID = dict(
+    devices=["XC2S15"],
+    policies=["concurrent"],
+    workloads=["fleet-surge"],
+    seeds=[0, 1],
+    fleet_sizes=[2],
+    faults=["none", "kill-member", "outbreak", "flaky-port"],
+    workload_params={"fleet-surge": {"n": 24}},
+)
+
 #: Integer-valued metric columns are compared exactly; the rest admit
 #: only float-representation noise.
 EXACT_FIELDS = {
     "finished", "rejected", "rearrangements", "moves",
     "proactive_defrags", "defrag_moves",
+    "faults_injected", "members_lost", "relocated", "restarted",
+    "dropped",
 }
 
 
@@ -214,6 +232,37 @@ def test_golden_fleet_snapshot():
     assert len({rejected[(2, p)] for p in
                 ("first-fit", "round-robin", "least-loaded")}) > 1
     check_against_snapshot(rows, GOLDEN_FLEET_PATH)
+
+
+def test_golden_faults_snapshot():
+    rows = run_grid(GOLDEN_FAULTS_GRID)
+    assert len(rows) == 8
+    # The fault axis is a genuine column of the exported rows ...
+    assert {row["faults"] for row in rows} == {
+        "none", "kill-member", "outbreak", "flaky-port"
+    }
+    # ... the failover columns ride along for the whole swept grid ...
+    for row in rows:
+        for field in ("relocated", "restarted", "dropped",
+                      "recovery_seconds", "port_retry_seconds"):
+            assert field in row
+    # ... and the plans do what their names say: only kill-member
+    # loses members, only flaky-port burns retry seconds, and the
+    # fault-free baseline stays spotless.
+    by_plan: dict[str, list[dict]] = {}
+    for row in rows:
+        by_plan.setdefault(row["faults"], []).append(row)
+    for row in by_plan["none"]:
+        assert row["faults_injected"] == 0
+        assert row["members_lost"] == 0
+    for row in by_plan["kill-member"]:
+        assert row["members_lost"] == 1
+        assert row["dropped"] == 0  # homogeneous fleet: nothing is lost
+    for row in by_plan["outbreak"]:
+        assert row["faults_injected"] == 2 and row["members_lost"] == 0
+    for row in by_plan["flaky-port"]:
+        assert row["port_retry_seconds"] == pytest.approx(2.4)
+    check_against_snapshot(rows, GOLDEN_FAULTS_PATH)
 
 
 @pytest.mark.parametrize(

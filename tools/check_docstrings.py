@@ -42,7 +42,8 @@ import sys
 from pathlib import Path
 
 DEFAULT_TARGETS = ("src/repro/campaign", "src/repro/sched",
-                   "src/repro/fleet", "src/repro/service")
+                   "src/repro/fleet", "src/repro/service",
+                   "src/repro/faults")
 
 #: Dotted repro.* names in prose or backticks.
 DOTTED_RE = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Search for the worst-case seed of the adversarial fragmentation stream.
+
+The ``fragmenting-adversarial`` workload family is an attack on the
+allocator: small long-lived anchors shatter the free space, and every
+third arrival demands an ~85 %-of-device contiguous rectangle with
+sub-second patience.  The *mechanism* is fixed; what varies per seed is
+how maliciously the anchors happen to scatter.  This tool runs the
+hypothesis-driven search that picked the committed
+:data:`repro.sched.workload.ADVERSARIAL_SEED`:
+
+* **Hypothesis**: seeds whose early anchor placements spread across
+  *distinct* free-space rectangles reject more large arrivals than
+  seeds whose anchors cluster — so exhaustively sweeping seeds (cheap:
+  each run is a 40-task simulation) and scoring rejections finds a
+  reliably adversarial arrival order, not just an unlucky one.
+* **Score**: rejections on the fixed reference cell
+  (XC2S15 / concurrent rearrangement / first fit / fifo / serial port
+  / on-failure defrag — the golden grid's strongest single-device
+  configuration), tie-broken by mean waiting time.  Higher = worse for
+  the allocator = better for the stress test.
+
+Usage::
+
+    PYTHONPATH=src python tools/find_adversarial_seed.py            # 64 seeds
+    PYTHONPATH=src python tools/find_adversarial_seed.py --seeds 256
+
+The committed seed is pinned by ``tests/test_adversarial.py``: if a
+generator change blunts the attack (fewer rejections than the floor the
+search established), the regression test fails and this search should
+be re-run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.campaign.runner import run_scenario
+from repro.campaign.spec import ScenarioSpec
+
+
+def score_seed(seed: int, device: str = "XC2S15",
+               n: int = 40) -> tuple[int, float]:
+    """(rejections, mean waiting) of the adversarial stream for ``seed``
+    on the fixed reference cell."""
+    result = run_scenario(ScenarioSpec(
+        device=device,
+        policy="concurrent",
+        workload="fragmenting-adversarial",
+        seed=seed,
+        workload_params={"n": n},
+    ))
+    return result.rejected, result.mean_waiting
+
+
+def search(seeds: int, device: str = "XC2S15",
+           n: int = 40) -> list[tuple[int, int, float]]:
+    """Score every seed in ``range(seeds)``; returns rows sorted
+    worst-first as ``(seed, rejections, mean_waiting)``."""
+    rows = []
+    for seed in range(seeds):
+        rejected, waiting = score_seed(seed, device=device, n=n)
+        rows.append((seed, rejected, waiting))
+    rows.sort(key=lambda row: (-row[1], -row[2], row[0]))
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; prints the ranked seeds, worst first."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seeds", type=int, default=64, metavar="N",
+                        help="sweep seeds 0..N-1 (default 64)")
+    parser.add_argument("--device", default="XC2S15",
+                        help="reference device (default XC2S15)")
+    parser.add_argument("--tasks", type=int, default=40, metavar="N",
+                        help="stream length per run (default 40)")
+    parser.add_argument("--top", type=int, default=10, metavar="K",
+                        help="show the K worst seeds (default 10)")
+    args = parser.parse_args(argv)
+    rows = search(args.seeds, device=args.device, n=args.tasks)
+    print(f"{'seed':>6} {'rejected':>9} {'mean_waiting':>13}")
+    for seed, rejected, waiting in rows[:args.top]:
+        print(f"{seed:>6} {rejected:>9} {waiting:>13.4f}")
+    worst = rows[0]
+    print(f"\nworst seed: {worst[0]} "
+          f"({worst[1]} rejections, mean waiting {worst[2]:.4f} s)")
+    print("pin it as repro.sched.workload.ADVERSARIAL_SEED and update "
+          "tests/test_adversarial.py if it changed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
